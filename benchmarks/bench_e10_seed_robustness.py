@@ -1,0 +1,53 @@
+"""E10 -- Seed robustness of the headline claims.
+
+Heavy-tailed outage episodes make single traces noisy; the abstract's
+numbers must hold *across* traces.  This bench sweeps several generator
+seeds at reduced scale (1 week each) and reports mean/min/max gap
+coverage per scheme; EXPERIMENTS.md records the full 4-week sweep.
+"""
+
+from __future__ import annotations
+
+import common
+
+from repro.analysis.robustness import run_seed_sweep, summarize
+from repro.netmodel.scenarios import WEEK_S, Scenario
+from repro.util.tables import render_table
+
+SWEEP_SEEDS = (7, 11, 42)
+SWEEP_WEEKS = 1.0
+
+
+def test_e10_seed_robustness(benchmark):
+    def sweep():
+        return run_seed_sweep(
+            common.topology(),
+            Scenario(duration_s=SWEEP_WEEKS * WEEK_S),
+            common.flows(),
+            common.service(),
+            seeds=SWEEP_SEEDS,
+        )
+
+    outcomes = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    summaries = summarize(outcomes)
+    rows = [
+        [
+            summary.scheme,
+            f"{100 * summary.mean_coverage:.1f}",
+            f"{100 * summary.min_coverage:.1f}",
+            f"{100 * summary.max_coverage:.1f}",
+        ]
+        for summary in summaries
+    ]
+    print(
+        common.banner(
+            f"E10: gap coverage across seeds {SWEEP_SEEDS} "
+            f"({SWEEP_WEEKS:g}-week traces)"
+        )
+    )
+    print(render_table(("scheme", "mean %", "min %", "max %"), rows))
+    overheads = [outcome.cost_overhead_targeted for outcome in outcomes]
+    print(
+        f"\n  targeted cost overhead across seeds: "
+        f"{100 * min(overheads):+.2f}% .. {100 * max(overheads):+.2f}%"
+    )

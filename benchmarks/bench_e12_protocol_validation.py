@@ -1,0 +1,106 @@
+"""E12 -- Protocol-level cross-validation.
+
+Two checks that the *deployable system* delivers what the analysis
+promises:
+
+a. the full protocol stack (daemons, monitoring, link-state, forwarding)
+   reproduces the scheme ordering on a controlled destination problem;
+b. a trace *measured by the overlay's own monitoring* (the paper's data
+   pipeline), replayed through the analytic engine, yields conclusions
+   consistent with replaying the ground truth.
+"""
+
+from __future__ import annotations
+
+import common
+
+from repro.netmodel.conditions import ConditionTimeline, Contribution, LinkState
+from repro.netmodel.topology import FlowSpec
+from repro.overlay.collect import collect_measured_trace
+from repro.overlay.runner import run_protocol_evaluation
+from repro.routing.registry import make_policy
+from repro.simulation.interval import replay_flow
+from repro.util.tables import render_table
+
+FLOW = FlowSpec("NYC", "SJC")
+RUN_S = 150.0
+EPISODE = (30.0, 120.0)
+
+
+def destination_problem(topology):
+    return [
+        Contribution(edge, EPISODE[0], EPISODE[1], LinkState(loss_rate=0.6))
+        for edge in topology.adjacent_edges("SJC")
+    ]
+
+
+def test_e12a_protocol_stack_ordering(benchmark):
+    topology = common.topology()
+    timeline = ConditionTimeline(topology, RUN_S, destination_problem(topology))
+
+    def run():
+        return run_protocol_evaluation(
+            topology,
+            timeline,
+            [FLOW],
+            common.service(),
+            scheme_names=(
+                "static-single",
+                "static-two-disjoint",
+                "targeted",
+                "flooding",
+            ),
+            duration_s=RUN_S - 10.0,
+            seed=common.BENCH_SEED,
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [
+            scheme,
+            outcome.sent,
+            f"{100 * outcome.on_time_fraction:.2f}%",
+            f"{outcome.data_messages_per_packet:.2f}",
+            outcome.graph_switches,
+        ]
+        for scheme, outcome in results.items()
+    ]
+    print(common.banner("E12a: full protocol stack, destination problem at SJC"))
+    print(
+        render_table(
+            ("scheme", "packets", "on-time", "msgs/pkt", "switches"), rows
+        )
+    )
+    ordering = [results[s].on_time_fraction for s in (
+        "static-single", "static-two-disjoint", "targeted"
+    )]
+    assert ordering == sorted(ordering), "protocol stack broke the scheme ordering"
+
+
+def test_e12b_measured_trace_replay(benchmark):
+    topology = common.topology()
+    truth = ConditionTimeline(topology, RUN_S, destination_problem(topology))
+
+    def collect_and_replay():
+        measured, _samples = collect_measured_trace(
+            topology, truth, seed=common.BENCH_SEED
+        )
+        rows = []
+        for timeline, label in ((truth, "ground truth"), (measured, "measured")):
+            stats = replay_flow(
+                topology,
+                timeline,
+                FLOW,
+                common.service(),
+                make_policy("static-two-disjoint"),
+            )
+            rows.append([label, f"{stats.unavailable_s:.1f}"])
+        return rows
+
+    rows = benchmark.pedantic(collect_and_replay, rounds=1, iterations=1)
+    print(common.banner("E12b: replaying overlay-measured vs ground-truth trace"))
+    print(render_table(("trace", "two-disjoint unavail s"), rows))
+    truth_unavailable = float(rows[0][1])
+    measured_unavailable = float(rows[1][1])
+    assert measured_unavailable > 0.4 * truth_unavailable
+    assert measured_unavailable < 2.5 * truth_unavailable

@@ -1,0 +1,92 @@
+"""E15 -- Hop-by-hop recovery vs. redundancy.
+
+The Spines line of work adds one link-level retransmission to the timely
+service.  Does retransmission substitute for redundancy?  This bench
+replays the trace with and without hop recovery:
+
+* recovery squares every link's effective loss (p -> ~p^2 for deliveries,
+  at ~3x the link latency for recovered copies), so *every* scheme
+  improves;
+* but a recovered copy must still fit the deadline, and a fully dead
+  link stays dead -- so the scheme ordering, and targeted redundancy's
+  advantage, survive.
+
+Recovery and targeted redundancy compose: they attack different parts of
+the loss distribution.
+"""
+
+from __future__ import annotations
+
+import common
+
+from repro.netmodel.scenarios import WEEK_S, Scenario, generate_timeline
+from repro.simulation.interval import run_replay
+from repro.simulation.results import ReplayConfig
+from repro.util.tables import render_table
+
+RECOVERY_WEEKS = 0.5
+SCHEMES = (
+    "dynamic-single",
+    "static-two-disjoint",
+    "dynamic-two-disjoint",
+    "targeted",
+    "flooding",
+)
+
+
+def test_e15_hop_recovery(benchmark):
+    _events, timeline = generate_timeline(
+        common.topology(),
+        Scenario(duration_s=RECOVERY_WEEKS * WEEK_S),
+        seed=common.BENCH_SEED,
+    )
+
+    def sweep():
+        results = {}
+        for recovery in (False, True):
+            results[recovery] = run_replay(
+                common.topology(),
+                timeline,
+                common.flows(),
+                common.service(),
+                scheme_names=SCHEMES,
+                config=ReplayConfig(
+                    detection_delay_s=common.DETECTION_DELAY_S,
+                    hop_recovery=recovery,
+                ),
+            )
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = []
+    for scheme in SCHEMES:
+        plain = results[False].totals(scheme).unavailable_s
+        recovered = results[True].totals(scheme).unavailable_s
+        rows.append(
+            [
+                scheme,
+                f"{plain:.1f}",
+                f"{recovered:.1f}",
+                f"{100 * (1 - recovered / plain):.0f}%" if plain else "-",
+            ]
+        )
+    print(
+        common.banner(
+            f"E15: one hop-by-hop retransmission per link "
+            f"({RECOVERY_WEEKS:g}-week trace)"
+        )
+    )
+    print(
+        render_table(
+            ("scheme", "unavail s (plain)", "unavail s (recovery)", "removed"),
+            rows,
+        )
+    )
+    print(
+        "  (recovery helps every scheme; the redundancy ordering -- and the\n"
+        "   case for targeted graphs -- survives, and the two compose)\n"
+        "  note: flooding's recovery number is a conservative bound --\n"
+        "  windows with more simultaneously lossy links than the ternary\n"
+        "  enumeration cap fall back to no-recovery accounting, which only\n"
+        "  affects the largest (flooding) graphs"
+    )

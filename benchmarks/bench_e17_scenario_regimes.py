@@ -1,0 +1,89 @@
+"""E17 -- Robustness across condition regimes.
+
+The calibrated default scenario reproduces the paper's numbers; this
+bench reruns the comparison under deliberately different regimes
+(calm / stormy / endpoint-heavy / middle-heavy) to show which parts of
+the result are regime-dependent and which are not:
+
+* the *ordering* (single < two disjoint < targeted <= flooding) holds in
+  every regime;
+* targeted's near-optimal coverage holds wherever endpoint problems
+  exist at all;
+* in the middle-heavy regime two disjoint paths are already
+  near-optimal -- exactly the paper's point about *where* extra
+  redundancy pays.
+"""
+
+from __future__ import annotations
+
+import common
+
+from repro.analysis.metrics import gap_coverage
+from repro.netmodel.presets import preset_scenario
+from repro.netmodel.scenarios import WEEK_S, generate_timeline
+from repro.simulation.interval import run_replay
+from repro.simulation.results import ReplayConfig
+from repro.util.tables import render_table
+
+REGIME_WEEKS = 0.5
+PRESETS = ("calm", "default", "stormy", "endpoint-heavy", "middle-heavy")
+SCHEMES = (
+    "dynamic-single",
+    "static-two-disjoint",
+    "dynamic-two-disjoint",
+    "targeted",
+    "flooding",
+)
+
+
+def test_e17_scenario_regimes(benchmark):
+    def sweep():
+        rows = []
+        for preset in PRESETS:
+            scenario = preset_scenario(preset, duration_s=REGIME_WEEKS * WEEK_S)
+            _events, timeline = generate_timeline(
+                common.topology(), scenario, seed=common.BENCH_SEED
+            )
+            result = run_replay(
+                common.topology(),
+                timeline,
+                common.flows(),
+                common.service(),
+                scheme_names=SCHEMES,
+                config=ReplayConfig(detection_delay_s=common.DETECTION_DELAY_S),
+            )
+            gap = (
+                result.totals("dynamic-single").unavailable_s
+                - result.totals("flooding").unavailable_s
+            )
+            if gap <= 0:
+                rows.append([preset, "-", "-", "-", "(trace too quiet)"])
+                continue
+            rows.append(
+                [
+                    preset,
+                    f"{100 * gap_coverage(result, 'static-two-disjoint'):.1f}",
+                    f"{100 * gap_coverage(result, 'dynamic-two-disjoint'):.1f}",
+                    f"{100 * gap_coverage(result, 'targeted'):.1f}",
+                    f"{100 * result.totals('targeted').availability:.4f}%",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print(
+        common.banner(
+            f"E17: gap coverage across condition regimes "
+            f"({REGIME_WEEKS:g}-week traces)"
+        )
+    )
+    print(
+        render_table(
+            ("regime", "static-2 %", "dynamic-2 %", "targeted %", "targeted avail"),
+            rows,
+        )
+    )
+    print(
+        "  (ordering holds everywhere; in middle-heavy regimes two paths\n"
+        "   are already near-optimal -- redundancy pays at endpoints)"
+    )

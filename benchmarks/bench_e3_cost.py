@@ -1,0 +1,25 @@
+"""E3 -- Message cost per packet (claim C6).
+
+Paper: the targeted approach's performance "is obtained at a cost
+increase of about 2% over two disjoint paths", while flooding is
+prohibitively expensive.
+"""
+
+from __future__ import annotations
+
+import common
+
+from repro.analysis.reporting import format_cost_table
+from repro.simulation.cost import cost_comparison
+
+
+def test_e3_cost(benchmark):
+    result = common.headline_replay()
+    comparison = benchmark(cost_comparison, result)
+    print(common.banner("E3: message cost per packet"))
+    print(format_cost_table(result))
+    targeted = next(c for c in comparison if c.scheme == "targeted")
+    print(
+        f"\n  targeted overhead over two disjoint paths: "
+        f"{targeted.overhead_percent:+.2f}%   (paper: about +2%)"
+    )

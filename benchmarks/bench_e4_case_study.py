@@ -1,0 +1,64 @@
+"""E4 -- Case-study timeline: one destination problem, packet by packet.
+
+The paper illustrates its approach with a delivery timeline around a real
+destination problem.  This bench finds a destination-problem episode in
+the benchmark trace, replays every packet around it under each scheme
+(packet-level engine, common random numbers), and prints the per-window
+on-time delivery series.
+"""
+
+from __future__ import annotations
+
+import common
+
+from repro.analysis.casestudy import bucketed_delivery, find_episode, run_case_study
+from repro.routing.registry import STANDARD_SCHEME_NAMES
+from repro.simulation.results import ReplayConfig
+
+
+def test_e4_case_study(benchmark):
+    events, timeline = common.trace()
+    found = find_episode(events, common.flows(), min_duration_s=90.0)
+    assert found is not None, "benchmark trace contains no destination episode"
+    event, flow = found
+
+    def study():
+        return run_case_study(
+            common.topology(),
+            timeline,
+            flow,
+            event,
+            common.service(),
+            scheme_names=STANDARD_SCHEME_NAMES,
+            config=ReplayConfig(detection_delay_s=common.DETECTION_DELAY_S),
+            seed=common.BENCH_SEED,
+        )
+
+    result = benchmark.pedantic(study, rounds=1, iterations=1)
+    print(
+        common.banner(
+            f"E4: destination problem at {event.location} "
+            f"(t={event.start_s:.0f}s, {event.duration_s:.0f}s), flow {flow.name}"
+        )
+    )
+    series = {
+        name: dict(bucketed_delivery(outcome, bucket_s=10.0))
+        for name, outcome in result.outcomes.items()
+    }
+    buckets = sorted(next(iter(series.values())).keys())
+    print("t(s)     " + "  ".join(f"{name[:12]:>12s}" for name in series))
+    for bucket in buckets:
+        active = event.start_s <= bucket < event.end_s
+        marker = "*" if active else " "
+        row = f"{bucket:7.0f}{marker} " + "  ".join(
+            f"{series[name].get(bucket, float('nan')):12.3f}" for name in series
+        )
+        print(row)
+    print("(* = episode active; 1.000 = every packet on time)")
+    print("\nwhole-window totals:")
+    for name, outcome in result.outcomes.items():
+        print(
+            f"  {name:22s} on-time {outcome.delivered_on_time:5d}/{outcome.packets}"
+            f"  lost {outcome.lost:4d}  late {outcome.late:3d}"
+            f"  msgs/pkt {outcome.total_messages / outcome.packets:5.2f}"
+        )

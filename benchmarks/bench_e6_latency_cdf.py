@@ -1,0 +1,71 @@
+"""E6 -- Delivery-latency distribution per scheme (claim C1).
+
+Packet-level simulation of a window around a problem episode: the CDF of
+one-way delivery latency per scheme, plus loss fractions.  The paper's
+timeliness point: the overlay keeps delivered packets well inside the
+65 ms one-way budget -- redundancy changes *whether* a packet arrives,
+not how fast the surviving copy is.
+"""
+
+from __future__ import annotations
+
+import common
+
+from repro.analysis.casestudy import find_episode
+from repro.analysis.cdf import cdf_at, latency_profile
+from repro.routing.registry import STANDARD_SCHEME_NAMES, make_policy
+from repro.simulation.packet_sim import simulate_packets
+from repro.simulation.results import ReplayConfig
+
+PROBE_POINTS_MS = (30.0, 40.0, 50.0, 65.0)
+
+
+def test_e6_latency_cdf(benchmark):
+    events, timeline = common.trace()
+    found = find_episode(events, common.flows(), min_duration_s=60.0)
+    assert found is not None
+    event, flow = found
+    window = (
+        max(0.0, event.start_s - 30.0),
+        min(timeline.duration_s, event.end_s + 30.0),
+    )
+    config = ReplayConfig(detection_delay_s=common.DETECTION_DELAY_S)
+
+    def profiles():
+        result = {}
+        for name in STANDARD_SCHEME_NAMES:
+            outcome = simulate_packets(
+                common.topology(),
+                timeline,
+                flow,
+                common.service(),
+                make_policy(name),
+                window[0],
+                window[1],
+                seed=common.BENCH_SEED,
+                config=config,
+            )
+            result[name] = latency_profile(outcome)
+        return result
+
+    result = benchmark.pedantic(profiles, rounds=1, iterations=1)
+    print(
+        common.banner(
+            f"E6: delivery-latency distribution, flow {flow.name}, window "
+            f"around the {event.location} episode"
+        )
+    )
+    header = (
+        f"{'scheme':22s} {'lost%':>6s} {'p50':>7s} {'p99':>7s} {'p99.9':>7s}"
+        + "".join(f"  <={int(p)}ms" for p in PROBE_POINTS_MS)
+    )
+    print(header)
+    for name, profile in result.items():
+        row = (
+            f"{name:22s} {100 * profile.lost_fraction:6.2f} "
+            f"{profile.p50_ms:7.2f} {profile.p99_ms:7.2f} {profile.p999_ms:7.2f}"
+        )
+        for point in PROBE_POINTS_MS:
+            row += f"  {100 * cdf_at(profile, point):5.1f}%"
+        print(row)
+    print("(percentiles over delivered packets; <=Xms columns are CDF points)")

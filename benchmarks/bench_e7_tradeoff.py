@@ -1,0 +1,43 @@
+"""E7 -- The cost/benefit frontier.
+
+One line per scheme: unavailability against message cost.  The paper's
+pitch in one table: targeted redundancy sits at flooding-level
+reliability at two-disjoint-level cost.
+"""
+
+from __future__ import annotations
+
+import common
+
+from repro.analysis.metrics import scheme_performance_rows
+from repro.util.tables import render_table
+
+
+def test_e7_tradeoff(benchmark):
+    result = common.headline_replay()
+    rows = benchmark(scheme_performance_rows, result)
+    flooding = next(r for r in rows if r["scheme"] == "flooding")
+    table_rows = []
+    for row in rows:
+        relative_unavailability = (
+            row["unavailable_s"] / flooding["unavailable_s"]
+            if flooding["unavailable_s"]
+            else float("nan")
+        )
+        relative_cost = row["cost_messages"] / flooding["cost_messages"]
+        table_rows.append(
+            [
+                row["scheme"],
+                f"{row['unavailable_s']:.1f}",
+                f"{relative_unavailability:.2f}x",
+                f"{row['cost_messages']:.2f}",
+                f"{100 * relative_cost:.0f}%",
+            ]
+        )
+    print(common.banner("E7: reliability/cost frontier (flooding = reference)"))
+    print(
+        render_table(
+            ("scheme", "unavail s", "vs optimal", "msgs/pkt", "cost vs flood"),
+            table_rows,
+        )
+    )

@@ -1,0 +1,68 @@
+"""E9 -- Micro-benchmarks of the routing algorithms.
+
+Not a paper artifact; documents that every graph computation is far below
+the routing daemon's decision cadence (sub-millisecond on a 12-node
+overlay), which is what makes precomputation plus dynamic recomputation
+practical.
+"""
+
+from __future__ import annotations
+
+import common
+
+from repro.core.algorithms import adjacency_from_topology, disjoint_paths, shortest_path
+from repro.core.builders import (
+    destination_problem_graph,
+    time_constrained_flooding_graph,
+    two_disjoint_paths_graph,
+)
+from repro.core.encoding import decode_graph, encode_graph
+
+
+def test_e9_shortest_path(benchmark):
+    adjacency = adjacency_from_topology(common.topology())
+    result = benchmark(shortest_path, adjacency, "NYC", "SJC")
+    assert result[0][0] == "NYC"
+
+
+def test_e9_two_disjoint_paths(benchmark):
+    adjacency = adjacency_from_topology(common.topology())
+    result = benchmark(disjoint_paths, adjacency, "NYC", "SJC", 2)
+    assert len(result) == 2
+
+
+def test_e9_two_disjoint_graph_builder(benchmark):
+    graph = benchmark(
+        two_disjoint_paths_graph, common.topology(), "NYC", "SJC"
+    )
+    assert graph.connects()
+
+
+def test_e9_flooding_builder(benchmark):
+    graph = benchmark(
+        time_constrained_flooding_graph, common.topology(), "NYC", "SJC", 65.0
+    )
+    assert graph.num_edges > 20
+
+
+def test_e9_destination_problem_builder(benchmark):
+    graph = benchmark(
+        destination_problem_graph,
+        common.topology(),
+        "NYC",
+        "SJC",
+        None,
+        65.0,
+    )
+    assert graph.connects()
+
+
+def test_e9_graph_encoding_round_trip(benchmark):
+    topology = common.topology()
+    graph = time_constrained_flooding_graph(topology, "NYC", "SJC", 65.0)
+
+    def round_trip():
+        return decode_graph(topology, encode_graph(topology, graph))
+
+    decoded = benchmark(round_trip)
+    assert decoded.edges == graph.edges

@@ -1,0 +1,74 @@
+"""Shared fixtures for the benchmark suite.
+
+The headline experiments replay a multi-week trace under all six schemes,
+which is the expensive step; it is computed once per pytest session and
+shared by every bench that needs it.  Scale and seed are controlled by
+environment variables so a quick run and the full paper-scale run use the
+same code:
+
+* ``REPRO_BENCH_WEEKS`` -- trace length in weeks (default 2; the
+  EXPERIMENTS.md headline numbers use 4);
+* ``REPRO_BENCH_SEED`` -- generator seed (default 7).
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+
+from repro.netmodel.scenarios import WEEK_S, Scenario, generate_timeline
+from repro.netmodel.topology import (
+    ServiceSpec,
+    build_reference_topology,
+    reference_flows,
+)
+from repro.simulation.interval import run_replay
+from repro.simulation.results import ReplayConfig
+
+BENCH_WEEKS = float(os.environ.get("REPRO_BENCH_WEEKS", "2"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "7"))
+DETECTION_DELAY_S = 1.0
+
+
+@functools.lru_cache(maxsize=None)
+def topology():
+    return build_reference_topology()
+
+
+@functools.lru_cache(maxsize=None)
+def flows():
+    return reference_flows()
+
+
+@functools.lru_cache(maxsize=None)
+def service():
+    return ServiceSpec()
+
+
+@functools.lru_cache(maxsize=None)
+def scenario(weeks: float = BENCH_WEEKS):
+    return Scenario(duration_s=weeks * WEEK_S)
+
+
+@functools.lru_cache(maxsize=None)
+def trace(weeks: float = BENCH_WEEKS, seed: int = BENCH_SEED):
+    """(events, timeline) of the benchmark trace."""
+    return generate_timeline(topology(), scenario(weeks), seed=seed)
+
+
+@functools.lru_cache(maxsize=None)
+def headline_replay(weeks: float = BENCH_WEEKS, seed: int = BENCH_SEED):
+    """The full six-scheme replay every headline bench reads from."""
+    _events, timeline = trace(weeks, seed)
+    return run_replay(
+        topology(),
+        timeline,
+        flows(),
+        service(),
+        config=ReplayConfig(detection_delay_s=DETECTION_DELAY_S),
+    )
+
+
+def banner(title: str) -> str:
+    line = "=" * len(title)
+    return f"\n{line}\n{title}\n{line}"

@@ -1,0 +1,13 @@
+"""Benchmark suite configuration.
+
+Each bench regenerates one of the paper's tables/figures and prints it, so
+``pytest benchmarks/ --benchmark-only -s`` reproduces the evaluation
+section end to end.  The printed output is the artifact; the timing
+numbers additionally document the cost of each pipeline stage.
+"""
+
+import sys
+from pathlib import Path
+
+# Make `import common` work regardless of invocation directory.
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,63 @@
+"""Timely, reliable, cost-effective Internet transport via dissemination graphs.
+
+A from-scratch Python reproduction of *"Timely, Reliable, and
+Cost-Effective Internet Transport Service Using Dissemination Graphs"*
+(Babay, Wagner, Dinitz, Amir -- IEEE ICDCS 2017).
+
+Quick tour (see ``examples/quickstart.py`` for runnable code)::
+
+    from repro import (
+        build_reference_topology, reference_flows, ServiceSpec,
+        Scenario, generate_timeline, run_replay,
+    )
+
+    topology = build_reference_topology()
+    events, timeline = generate_timeline(topology, Scenario(), seed=7)
+    result = run_replay(
+        topology, timeline, reference_flows(), ServiceSpec()
+    )
+    for totals in result.all_totals():
+        print(totals.scheme, totals.availability)
+
+Subpackages:
+
+* :mod:`repro.core` -- dissemination graphs, builders, algorithms,
+  problem detection, wire encoding;
+* :mod:`repro.routing` -- the six routing schemes;
+* :mod:`repro.netmodel` -- topology, conditions, scenario generation,
+  trace persistence;
+* :mod:`repro.simulation` -- analytic and packet-level replay engines;
+* :mod:`repro.analysis` -- metrics, classification, tables;
+* :mod:`repro.overlay` -- the message-level overlay-network substrate.
+"""
+
+from repro.core.dgraph import DisseminationGraph
+from repro.core.graph import Topology
+from repro.netmodel.scenarios import Scenario, generate_timeline
+from repro.netmodel.topology import (
+    FlowSpec,
+    ServiceSpec,
+    build_reference_topology,
+    reference_flows,
+)
+from repro.routing.registry import STANDARD_SCHEME_NAMES, make_policy
+from repro.simulation.interval import run_replay
+from repro.simulation.results import ReplayConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DisseminationGraph",
+    "FlowSpec",
+    "ReplayConfig",
+    "STANDARD_SCHEME_NAMES",
+    "Scenario",
+    "ServiceSpec",
+    "Topology",
+    "__version__",
+    "build_reference_topology",
+    "generate_timeline",
+    "make_policy",
+    "reference_flows",
+    "run_replay",
+]

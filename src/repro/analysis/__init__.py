@@ -1,0 +1,54 @@
+"""Analysis of replay results: the paper's metrics and tables.
+
+* :mod:`repro.analysis.metrics` -- unavailability, availability, and the
+  headline *gap coverage* metric (claims C4/C5);
+* :mod:`repro.analysis.classify` -- problem classification from each
+  flow's perspective (claim C3, experiment E1), both from generator ground
+  truth and through the online classifier;
+* :mod:`repro.analysis.cdf` -- delivery-latency distributions (E6);
+* :mod:`repro.analysis.casestudy` -- per-scheme delivery timelines around
+  a single problem episode (E4);
+* :mod:`repro.analysis.reporting` -- renders every experiment's table.
+"""
+
+from repro.analysis.classify import (
+    FlowProblem,
+    attribute_unavailability,
+    attribution_matrix,
+    classify_events_for_flows,
+    classification_distribution,
+)
+from repro.analysis.availability import outage_episodes, summarize_outages
+from repro.analysis.robustness import run_seed_sweep, summarize
+from repro.analysis.metrics import (
+    gap_coverage,
+    per_flow_gap_coverage,
+    scheme_performance_rows,
+)
+from repro.analysis.reporting import (
+    format_attribution_matrix,
+    format_classification_table,
+    format_cost_table,
+    format_per_flow_table,
+    format_scheme_performance_table,
+)
+
+__all__ = [
+    "FlowProblem",
+    "attribute_unavailability",
+    "attribution_matrix",
+    "classification_distribution",
+    "classify_events_for_flows",
+    "format_attribution_matrix",
+    "format_classification_table",
+    "format_cost_table",
+    "format_per_flow_table",
+    "format_scheme_performance_table",
+    "gap_coverage",
+    "outage_episodes",
+    "summarize_outages",
+    "per_flow_gap_coverage",
+    "run_seed_sweep",
+    "summarize",
+    "scheme_performance_rows",
+]

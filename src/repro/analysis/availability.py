@@ -1,0 +1,134 @@
+"""Outage-episode analysis: how long do service interruptions last?
+
+Total unavailable seconds hide the shape of failure: ten one-second
+blips and one ten-second outage are very different for a remote-surgery
+session.  This module extracts *outage episodes* -- maximal runs of
+replay windows whose on-time probability falls below a threshold -- and
+summarises their count and duration distribution per scheme, the
+SLA-style view of the paper's reliability story.
+
+Requires a replay run with ``ReplayConfig(collect_windows=True)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.simulation.results import FlowSchemeStats, ReplayResult
+from repro.util.stats import mean, percentile
+from repro.util.validation import require
+
+__all__ = ["OutageEpisode", "OutageSummary", "outage_episodes", "summarize_outages"]
+
+
+@dataclass(frozen=True)
+class OutageEpisode:
+    """One maximal run of degraded service on one flow."""
+
+    flow: str
+    start_s: float
+    end_s: float
+    worst_on_time_probability: float
+    unavailable_s: float  # integrated expected unavailable time
+
+    @property
+    def duration_s(self) -> float:
+        """Episode length in seconds."""
+        return self.end_s - self.start_s
+
+
+@dataclass(frozen=True)
+class OutageSummary:
+    """Episode statistics for one scheme across all flows."""
+
+    scheme: str
+    episodes: int
+    total_unavailable_s: float
+    mean_duration_s: float
+    p95_duration_s: float
+    max_duration_s: float
+
+
+def outage_episodes(
+    stats: FlowSchemeStats, threshold: float = 0.999
+) -> list[OutageEpisode]:
+    """Extract maximal degraded runs from one flow's replay windows.
+
+    A window is degraded when its on-time probability is below
+    ``threshold``; adjacent degraded windows merge into one episode.
+    """
+    require(
+        bool(stats.windows),
+        "outage_episodes needs windows; rerun the replay with "
+        "ReplayConfig(collect_windows=True)",
+    )
+    require(0.0 < threshold <= 1.0, f"threshold must be in (0, 1], got {threshold}")
+    episodes: list[OutageEpisode] = []
+    current_start: float | None = None
+    current_end = 0.0
+    worst = 1.0
+    unavailable = 0.0
+    for window in stats.windows:
+        degraded = window.on_time_probability < threshold
+        if degraded:
+            if current_start is None:
+                current_start = window.start_s
+                worst = window.on_time_probability
+                unavailable = 0.0
+            worst = min(worst, window.on_time_probability)
+            unavailable += (1.0 - window.on_time_probability) * window.duration_s
+            current_end = window.end_s
+        elif current_start is not None:
+            episodes.append(
+                OutageEpisode(
+                    stats.flow.name, current_start, current_end, worst, unavailable
+                )
+            )
+            current_start = None
+    if current_start is not None:
+        episodes.append(
+            OutageEpisode(
+                stats.flow.name, current_start, current_end, worst, unavailable
+            )
+        )
+    return episodes
+
+
+def summarize_outages(
+    result: ReplayResult,
+    schemes: Sequence[str] | None = None,
+    threshold: float = 0.999,
+) -> list[OutageSummary]:
+    """Per-scheme outage statistics across every flow in the result."""
+    if schemes is None:
+        schemes = list(result.schemes)
+    summaries = []
+    for scheme in schemes:
+        episodes: list[OutageEpisode] = []
+        for stats in result.per_flow(scheme).values():
+            episodes.extend(outage_episodes(stats, threshold))
+        if episodes:
+            durations = [episode.duration_s for episode in episodes]
+            summaries.append(
+                OutageSummary(
+                    scheme=scheme,
+                    episodes=len(episodes),
+                    total_unavailable_s=sum(e.unavailable_s for e in episodes),
+                    mean_duration_s=mean(durations),
+                    p95_duration_s=percentile(durations, 95.0),
+                    max_duration_s=max(durations),
+                )
+            )
+        else:
+            summaries.append(
+                OutageSummary(
+                    scheme=scheme,
+                    episodes=0,
+                    total_unavailable_s=0.0,
+                    mean_duration_s=0.0,
+                    p95_duration_s=0.0,
+                    max_duration_s=0.0,
+                )
+            )
+    return summaries

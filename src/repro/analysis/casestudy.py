@@ -1,0 +1,113 @@
+"""Case-study timelines around a single problem episode (experiment E4).
+
+The paper illustrates its approach with a timeline of one real
+destination problem: packet delivery under each scheme, bucketed over
+time, before/during/after the episode.  This module finds a suitable
+episode in a generated trace and produces the same series from the
+packet-level engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.graph import Topology
+from repro.netmodel.conditions import ConditionTimeline
+from repro.netmodel.events import EventKind, ProblemEvent
+from repro.netmodel.topology import FlowSpec, ServiceSpec
+from repro.routing.registry import STANDARD_SCHEME_NAMES, make_policy
+from repro.simulation.packet_sim import PacketSimOutcome, simulate_packets
+from repro.simulation.results import ReplayConfig
+from repro.util.validation import require
+
+__all__ = ["CaseStudy", "find_episode", "run_case_study", "bucketed_delivery"]
+
+
+@dataclass(frozen=True)
+class CaseStudy:
+    """Per-scheme packet outcomes around one episode."""
+
+    flow: FlowSpec
+    event: ProblemEvent
+    window_start_s: float
+    window_end_s: float
+    outcomes: dict[str, PacketSimOutcome]  # scheme -> outcome
+
+
+def find_episode(
+    events: Sequence[ProblemEvent],
+    flows: Sequence[FlowSpec],
+    kind: EventKind = EventKind.NODE,
+    at: str = "destination",
+    min_duration_s: float = 60.0,
+) -> tuple[ProblemEvent, FlowSpec] | None:
+    """Find an episode of ``kind`` at a flow endpoint.
+
+    ``at`` is ``"destination"`` or ``"source"``.  Returns the first
+    (event, flow) pair where the event's location is the flow's endpoint
+    and the episode is long enough to show the dynamics, or ``None``.
+    """
+    require(at in ("destination", "source"), f"bad endpoint selector {at!r}")
+    for event in events:
+        if event.kind is not kind or event.duration_s < min_duration_s:
+            continue
+        for flow in flows:
+            endpoint = flow.destination if at == "destination" else flow.source
+            if event.location == endpoint:
+                return event, flow
+    return None
+
+
+def run_case_study(
+    topology: Topology,
+    timeline: ConditionTimeline,
+    flow: FlowSpec,
+    event: ProblemEvent,
+    service: ServiceSpec,
+    scheme_names: Sequence[str] = STANDARD_SCHEME_NAMES,
+    config: ReplayConfig = ReplayConfig(),
+    seed: int = 0,
+    lead_s: float = 30.0,
+    tail_s: float = 30.0,
+) -> CaseStudy:
+    """Simulate every packet of ``flow`` around ``event`` for each scheme."""
+    window_start = max(0.0, event.start_s - lead_s)
+    window_end = min(timeline.duration_s, event.end_s + tail_s)
+    outcomes: dict[str, PacketSimOutcome] = {}
+    for name in scheme_names:
+        policy = make_policy(name)
+        outcomes[name] = simulate_packets(
+            topology,
+            timeline,
+            flow,
+            service,
+            policy,
+            window_start,
+            window_end,
+            seed=seed,
+            config=config,
+        )
+    return CaseStudy(flow, event, window_start, window_end, outcomes)
+
+
+def bucketed_delivery(
+    outcome: PacketSimOutcome, bucket_s: float = 5.0
+) -> list[tuple[float, float]]:
+    """On-time delivery rate per time bucket: ``(bucket_start_s, rate)``.
+
+    This is the series the paper's case-study figure plots per scheme.
+    """
+    require(bucket_s > 0, "bucket size must be positive")
+    if not outcome.records:
+        return []
+    start = outcome.records[0].send_time_s
+    buckets: dict[int, list[bool]] = {}
+    for record in outcome.records:
+        index = int((record.send_time_s - start) // bucket_s)
+        buckets.setdefault(index, []).append(record.on_time)
+    series = []
+    for index in sorted(buckets):
+        sample = buckets[index]
+        series.append((start + index * bucket_s, sum(sample) / len(sample)))
+    return series

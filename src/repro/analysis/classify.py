@@ -1,0 +1,241 @@
+"""Problem classification from each flow's perspective (experiment E1).
+
+The paper analysed its recorded data and found that the episodes two
+disjoint paths cannot handle "typically involve problems around a source
+or destination".  This module reproduces that analysis over a generated
+trace: every problem event is classified, per flow it could affect, into
+the paper's categories.
+
+Two classifications are provided:
+
+* :func:`classify_events_for_flows` -- *ground truth*: uses the
+  generator's knowledge of where each event struck;
+* :func:`classifier_verdicts` -- *online*: feeds the event's conditions
+  through the same :class:`~repro.core.detection.ProblemClassifier` the
+  targeted policy uses, so tests (and E1) can check that online detection
+  agrees with ground truth.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.detection import ProblemClassifier, ProblemType
+from repro.core.graph import Topology
+from repro.netmodel.conditions import ConditionTimeline
+from repro.netmodel.events import EventKind, ProblemEvent
+from repro.netmodel.topology import FlowSpec
+
+__all__ = [
+    "FlowProblem",
+    "attribute_unavailability",
+    "attribution_matrix",
+    "classify_events_for_flows",
+    "classifier_verdicts",
+    "classification_distribution",
+]
+
+#: Category labels in the paper's presentation order.
+CATEGORY_ORDER: tuple[str, ...] = (
+    "destination",
+    "source",
+    "source+destination",
+    "middle",
+)
+
+
+@dataclass(frozen=True)
+class FlowProblem:
+    """One (event, flow) pair that could disrupt the flow."""
+
+    flow: FlowSpec
+    event: ProblemEvent
+    category: str  # one of CATEGORY_ORDER
+
+
+def _relevant_to_flow(
+    topology: Topology, flow: FlowSpec, event: ProblemEvent, relevant_edges: frozenset
+) -> bool:
+    """Could this event disrupt this flow at all?
+
+    An event matters when it degrades at least one edge a timely route for
+    the flow could use (the flow's time-constrained-flooding edge set).
+    """
+    return bool(event.affected_edges & relevant_edges)
+
+
+def _categorise(flow: FlowSpec, event: ProblemEvent) -> str:
+    """Ground-truth category of an event for one flow."""
+    nodes = event.affected_nodes
+    touches_source = any(flow.source in edge for edge in event.affected_edges)
+    touches_destination = any(
+        flow.destination in edge for edge in event.affected_edges
+    )
+    if event.kind is EventKind.NODE:
+        if event.location == flow.source:
+            return "source"
+        if event.location == flow.destination:
+            return "destination"
+        return "middle"
+    if touches_source and touches_destination:
+        return "source+destination"
+    if touches_source:
+        return "source"
+    if touches_destination:
+        return "destination"
+    del nodes
+    return "middle"
+
+
+def classify_events_for_flows(
+    topology: Topology,
+    flows: Sequence[FlowSpec],
+    events: Iterable[ProblemEvent],
+    deadline_ms: float,
+    include_kinds: frozenset[EventKind] = frozenset(
+        {EventKind.NODE, EventKind.LINK}
+    ),
+) -> list[FlowProblem]:
+    """Ground-truth (event, flow) problems with categories.
+
+    Only loss events (NODE/LINK by default) count as "problems"; latency
+    and background events are below the paper's problem threshold.
+    """
+    from repro.core.builders import time_constrained_flooding_graph
+
+    relevant_by_flow = {
+        flow: time_constrained_flooding_graph(
+            topology, flow.source, flow.destination, deadline_ms
+        ).edges
+        for flow in flows
+    }
+    problems: list[FlowProblem] = []
+    for event in events:
+        if event.kind not in include_kinds:
+            continue
+        for flow in flows:
+            if not _relevant_to_flow(topology, flow, event, relevant_by_flow[flow]):
+                continue
+            problems.append(FlowProblem(flow, event, _categorise(flow, event)))
+    return problems
+
+
+def classification_distribution(
+    problems: Iterable[FlowProblem],
+) -> dict[str, float]:
+    """Fraction of flow-problems per category (E1's table rows)."""
+    counts = Counter(problem.category for problem in problems)
+    total = sum(counts.values())
+    if total == 0:
+        return {category: 0.0 for category in CATEGORY_ORDER}
+    return {
+        category: counts.get(category, 0) / total for category in CATEGORY_ORDER
+    }
+
+
+def attribute_unavailability(
+    topology: Topology,
+    timeline: ConditionTimeline,
+    result,
+    scheme: str = "static-two-disjoint",
+    classifier: ProblemClassifier | None = None,
+) -> dict[str, float]:
+    """Unavailable seconds of ``scheme`` attributed to problem locations.
+
+    This is the paper's claim C3 made quantitative: *among the time two
+    disjoint paths fail to deliver on time, how much coincides with a
+    source problem, a destination problem, both, or only middle trouble?*
+    Requires a replay run with ``collect_windows=True`` so the per-window
+    unavailability is available.
+
+    Returns seconds per category (plus ``"none"`` for unavailability with
+    no concurrent classified problem, e.g. sub-threshold background loss).
+    """
+    classifier = classifier or ProblemClassifier()
+    attribution: dict[str, float] = {
+        "destination": 0.0,
+        "source": 0.0,
+        "source+destination": 0.0,
+        "middle": 0.0,
+        "none": 0.0,
+    }
+    verdict_names = {
+        ProblemType.SOURCE: "source",
+        ProblemType.DESTINATION: "destination",
+        ProblemType.SOURCE_AND_DESTINATION: "source+destination",
+        ProblemType.MIDDLE: "middle",
+        ProblemType.NONE: "none",
+    }
+    for stats in result:
+        if stats.scheme != scheme:
+            continue
+        if not stats.windows:
+            raise ValueError(
+                "attribute_unavailability needs windows; rerun the replay "
+                "with ReplayConfig(collect_windows=True)"
+            )
+        flow = stats.flow
+        for window in stats.windows:
+            unavailable = (1.0 - window.on_time_probability) * window.duration_s
+            if unavailable <= 0.0:
+                continue
+            loss_rates = timeline.loss_rates_at(window.start_s)
+            assessment = classifier.classify(
+                topology, flow.source, flow.destination, loss_rates
+            )
+            attribution[verdict_names[assessment.problem_type]] += unavailable
+    return attribution
+
+
+def attribution_matrix(
+    topology: Topology,
+    timeline: ConditionTimeline,
+    result,
+    schemes: Sequence[str] | None = None,
+    classifier: ProblemClassifier | None = None,
+) -> dict[str, dict[str, float]]:
+    """Per-scheme unavailability attribution: ``scheme -> category -> s``.
+
+    The paper's "where does each scheme still fail?" analysis: single-path
+    schemes bleed everywhere, two disjoint paths only at endpoints,
+    targeted redundancy almost nowhere.  Requires a replay run with
+    ``collect_windows=True``.
+    """
+    if schemes is None:
+        schemes = list(result.schemes)
+    return {
+        scheme: attribute_unavailability(
+            topology, timeline, result, scheme=scheme, classifier=classifier
+        )
+        for scheme in schemes
+    }
+
+
+def classifier_verdicts(
+    topology: Topology,
+    timeline: ConditionTimeline,
+    problems: Sequence[FlowProblem],
+    classifier: ProblemClassifier | None = None,
+) -> list[tuple[FlowProblem, ProblemType]]:
+    """Run the online classifier at each problem's midpoint.
+
+    Returns the (ground truth, online verdict) pairs so callers can build
+    agreement statistics; sampling the midpoint of the first burst keeps
+    this cheap while hitting a moment the problem is live.
+    """
+    classifier = classifier or ProblemClassifier()
+    verdicts = []
+    for problem in problems:
+        burst = problem.event.bursts[0]
+        moment = min(
+            burst.start_s + burst.duration_s / 2.0,
+            timeline.duration_s,
+        )
+        loss_rates = timeline.loss_rates_at(moment)
+        assessment = classifier.classify(
+            topology, problem.flow.source, problem.flow.destination, loss_rates
+        )
+        verdicts.append((problem, assessment.problem_type))
+    return verdicts

@@ -1,0 +1,136 @@
+"""Rendered tables for every experiment (what the benches print)."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.analysis.classify import CATEGORY_ORDER
+from repro.analysis.metrics import (
+    DEFAULT_BASELINE,
+    DEFAULT_OPTIMAL,
+    per_flow_gap_coverage,
+    scheme_performance_rows,
+)
+from repro.simulation.cost import cost_comparison
+from repro.simulation.results import ReplayResult
+from repro.util.tables import render_table
+
+__all__ = [
+    "format_scheme_performance_table",
+    "format_cost_table",
+    "format_classification_table",
+    "format_per_flow_table",
+]
+
+
+def format_scheme_performance_table(
+    result: ReplayResult,
+    baseline: str = DEFAULT_BASELINE,
+    optimal: str = DEFAULT_OPTIMAL,
+    title: str = "Scheme performance (all flows, whole trace)",
+) -> str:
+    """The E2 headline table."""
+    rows = []
+    for row in scheme_performance_rows(result, baseline, optimal):
+        coverage = row["gap_coverage"]
+        rows.append(
+            [
+                row["scheme"],
+                f"{row['unavailable_s']:.1f}",
+                f"{row['lost_s']:.1f}",
+                f"{row['late_s']:.1f}",
+                f"{100 * row['availability']:.4f}",
+                f"{row['expected_bad_packets']:.0f}",
+                "-" if coverage is None else f"{100 * coverage:.1f}",
+                f"{row['cost_messages']:.2f}",
+            ]
+        )
+    return render_table(
+        (
+            "scheme",
+            "unavail s",
+            "lost s",
+            "late s",
+            "avail %",
+            "bad pkts",
+            "gap cov %",
+            "msgs/pkt",
+        ),
+        rows,
+        title=title,
+    )
+
+
+def format_cost_table(
+    result: ReplayResult,
+    baseline_scheme: str = "static-two-disjoint",
+    title: str = "Message cost per packet",
+) -> str:
+    """The E3 cost table."""
+    rows = []
+    for entry in cost_comparison(result, baseline_scheme):
+        rows.append(
+            [
+                entry.scheme,
+                f"{entry.average_messages_per_packet:.2f}",
+                f"{entry.overhead_percent:+.1f}%",
+            ]
+        )
+    return render_table(
+        ("scheme", "msgs/pkt", f"vs {baseline_scheme}"), rows, title=title
+    )
+
+
+def format_classification_table(
+    distribution: Mapping[str, float],
+    counts: Mapping[str, int] | None = None,
+    title: str = "Problem classification (per flow perspective)",
+) -> str:
+    """The E1 table."""
+    rows = []
+    for category in CATEGORY_ORDER:
+        fraction = distribution.get(category, 0.0)
+        row = [category, f"{100 * fraction:.1f}%"]
+        if counts is not None:
+            row.append(str(counts.get(category, 0)))
+        rows.append(row)
+    headers = ["problem location", "share"]
+    if counts is not None:
+        headers.append("events")
+    return render_table(headers, rows, title=title)
+
+
+def format_attribution_matrix(
+    matrix: Mapping[str, Mapping[str, float]],
+    title: str = "Unavailability (s) by problem location, per scheme",
+) -> str:
+    """Render the per-scheme attribution matrix (E14)."""
+    categories = ("destination", "source", "source+destination", "middle", "none")
+    rows = []
+    for scheme, attribution in matrix.items():
+        rows.append(
+            [scheme, *(f"{attribution.get(c, 0.0):.1f}" for c in categories)]
+        )
+    return render_table(["scheme", *categories], rows, title=title)
+
+
+def format_per_flow_table(
+    result: ReplayResult,
+    schemes: Sequence[str] = ("static-two-disjoint", "dynamic-two-disjoint", "targeted"),
+    baseline: str = DEFAULT_BASELINE,
+    optimal: str = DEFAULT_OPTIMAL,
+    title: str = "Per-flow gap coverage (%)",
+) -> str:
+    """The E5 table: one row per flow, one column per scheme."""
+    coverage_by_scheme = {
+        scheme: per_flow_gap_coverage(result, scheme, baseline, optimal)
+        for scheme in schemes
+    }
+    rows = []
+    for flow_name in result.flow_names:
+        row: list[object] = [flow_name]
+        for scheme in schemes:
+            coverage = coverage_by_scheme[scheme].get(flow_name)
+            row.append("-" if coverage is None else f"{100 * coverage:.1f}")
+        rows.append(row)
+    return render_table(["flow", *schemes], rows, title=title)

@@ -1,0 +1,235 @@
+"""Command-line interface: ``repro-dgraphs <subcommand>``.
+
+Subcommands mirror the evaluation workflow:
+
+* ``generate-trace`` -- synthesise a multi-week condition trace to a file;
+* ``evaluate`` -- replay all schemes over a trace (or a fresh one) and
+  print the headline performance and cost tables;
+* ``classify`` -- print the problem-classification distribution of a
+  trace (experiment E1);
+* ``graphs`` -- print every dissemination-graph family for one flow.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.classify import (
+    classification_distribution,
+    classify_events_for_flows,
+)
+from repro.analysis.reporting import (
+    format_classification_table,
+    format_cost_table,
+    format_per_flow_table,
+    format_scheme_performance_table,
+)
+from repro.core.builders import (
+    destination_problem_graph,
+    robust_source_destination_graph,
+    single_path_graph,
+    source_problem_graph,
+    time_constrained_flooding_graph,
+    two_disjoint_paths_graph,
+)
+from repro.netmodel.scenarios import WEEK_S, Scenario, generate_events, generate_timeline
+from repro.netmodel.topology import (
+    ServiceSpec,
+    build_reference_topology,
+    reference_flows,
+)
+from repro.netmodel.trace import load_timeline, write_trace
+from repro.simulation.interval import run_replay
+from repro.simulation.results import ReplayConfig
+
+__all__ = ["main"]
+
+
+def _add_trace_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--weeks", type=float, default=4.0, help="trace length")
+    parser.add_argument("--seed", type=int, default=7, help="generator seed")
+    parser.add_argument(
+        "--preset",
+        default="default",
+        help="scenario preset (see `repro.netmodel.preset_names()`): "
+        "default, calm, stormy, endpoint-heavy, middle-heavy, latency-heavy",
+    )
+
+
+def _scenario(args: argparse.Namespace) -> Scenario:
+    from repro.netmodel.presets import preset_scenario
+
+    return preset_scenario(args.preset, duration_s=args.weeks * WEEK_S)
+
+
+def _cmd_generate_trace(args: argparse.Namespace) -> int:
+    topology = build_reference_topology()
+    scenario = _scenario(args)
+    events = generate_events(topology, scenario, seed=args.seed)
+    write_trace(args.output, topology, scenario.duration_s, events)
+    print(
+        f"wrote {len(events)} events over {args.weeks:g} weeks to {args.output}"
+    )
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    topology = build_reference_topology()
+    service = ServiceSpec(deadline_ms=args.deadline_ms)
+    flows = reference_flows()
+    if args.trace:
+        events, timeline = load_timeline(args.trace, topology)
+        print(f"replaying {args.trace}: {len(events)} events")
+    else:
+        scenario = _scenario(args)
+        events, timeline = generate_timeline(topology, scenario, seed=args.seed)
+        print(
+            f"generated trace: {len(events)} events over {args.weeks:g} weeks "
+            f"(seed {args.seed})"
+        )
+    config = ReplayConfig(detection_delay_s=args.detection_delay_s)
+    result = run_replay(topology, timeline, flows, service, config=config)
+    print()
+    print(format_scheme_performance_table(result))
+    print()
+    print(format_cost_table(result))
+    if args.per_flow:
+        print()
+        print(format_per_flow_table(result))
+    if args.export_dir:
+        from pathlib import Path
+
+        from repro.analysis.export import (
+            export_per_flow_coverage,
+            export_scheme_performance,
+        )
+
+        directory = Path(args.export_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        export_scheme_performance(result, directory / "scheme_performance.csv")
+        export_per_flow_coverage(result, directory / "per_flow_coverage.csv")
+        print(f"\nwrote CSVs to {directory}/")
+    return 0
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    topology = build_reference_topology()
+    flows = reference_flows()
+    service = ServiceSpec()
+    if args.trace:
+        from repro.netmodel.trace import read_trace
+
+        _duration, events = read_trace(args.trace, topology)
+    else:
+        events = generate_events(topology, _scenario(args), seed=args.seed)
+    problems = classify_events_for_flows(
+        topology, flows, events, service.deadline_ms
+    )
+    from collections import Counter
+
+    counts = Counter(problem.category for problem in problems)
+    distribution = classification_distribution(problems)
+    print(format_classification_table(distribution, counts))
+    return 0
+
+
+def _cmd_graphs(args: argparse.Namespace) -> int:
+    topology = build_reference_topology()
+    source, destination = args.source, args.destination
+    deadline = args.deadline_ms
+    families = [
+        ("single path", single_path_graph(topology, source, destination)),
+        ("two disjoint paths", two_disjoint_paths_graph(topology, source, destination)),
+        (
+            "time-constrained flooding",
+            time_constrained_flooding_graph(topology, source, destination, deadline),
+        ),
+        (
+            "source-problem graph",
+            source_problem_graph(topology, source, destination, deadline_ms=deadline),
+        ),
+        (
+            "destination-problem graph",
+            destination_problem_graph(
+                topology, source, destination, deadline_ms=deadline
+            ),
+        ),
+        (
+            "robust source+destination",
+            robust_source_destination_graph(
+                topology, source, destination, deadline_ms=deadline
+            ),
+        ),
+    ]
+    for label, graph in families:
+        print(f"{label} ({graph.num_edges} edges / messages per packet):")
+        for edge in graph.sorted_edges():
+            print(f"  {edge[0]} -> {edge[1]}")
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-dgraphs",
+        description="Dissemination-graph overlay transport (ICDCS 2017 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser(
+        "generate-trace", help="synthesise a condition trace"
+    )
+    _add_trace_arguments(generate)
+    generate.add_argument("output", help="output trace file (JSONL)")
+    generate.set_defaults(handler=_cmd_generate_trace)
+
+    evaluate = subparsers.add_parser(
+        "evaluate", help="replay all routing schemes and print the tables"
+    )
+    _add_trace_arguments(evaluate)
+    evaluate.add_argument("--trace", help="replay this trace file instead")
+    evaluate.add_argument("--deadline-ms", type=float, default=65.0)
+    evaluate.add_argument("--detection-delay-s", type=float, default=1.0)
+    evaluate.add_argument(
+        "--per-flow", action="store_true", help="also print per-flow coverage"
+    )
+    evaluate.add_argument(
+        "--export-dir", help="also write the tables as CSV into this directory"
+    )
+    evaluate.set_defaults(handler=_cmd_evaluate)
+
+    classify = subparsers.add_parser(
+        "classify", help="problem-classification distribution (E1)"
+    )
+    _add_trace_arguments(classify)
+    classify.add_argument("--trace", help="classify this trace file instead")
+    classify.set_defaults(handler=_cmd_classify)
+
+    graphs = subparsers.add_parser(
+        "graphs", help="print every dissemination-graph family for one flow"
+    )
+    graphs.add_argument("source")
+    graphs.add_argument("destination")
+    graphs.add_argument("--deadline-ms", type=float, default=65.0)
+    graphs.set_defaults(handler=_cmd_graphs)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except (ValueError, FileNotFoundError) as error:
+        # Bad arguments or unreadable inputs: report, don't traceback.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

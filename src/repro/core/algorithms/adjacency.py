@@ -1,0 +1,110 @@
+"""Weighted-adjacency representation shared by the algorithm modules.
+
+An adjacency is ``dict[node, dict[neighbor, weight]]``.  Nodes are any
+hashable value: overlay node ids in normal use, synthetic ``(node, "in")``
+/ ``(node, "out")`` pairs inside the node-splitting transformations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable
+
+__all__ = [
+    "Adjacency",
+    "adjacency_from_topology",
+    "copy_adjacency",
+    "reverse_adjacency",
+    "split_nodes",
+    "unsplit_path",
+]
+
+Node = Hashable
+Adjacency = Dict[Node, Dict[Node, float]]
+
+
+def adjacency_from_topology(
+    topology,
+    weight: str = "latency",
+    exclude_edges: Iterable[tuple] = (),
+    exclude_nodes: Iterable = (),
+) -> Adjacency:
+    """Build an adjacency from a :class:`~repro.core.graph.Topology`.
+
+    ``weight`` selects the edge weight: ``"latency"`` (milliseconds),
+    ``"cost"`` (messages), or ``"hops"`` (1 per edge).  ``exclude_edges`` /
+    ``exclude_nodes`` drop degraded elements before routing, which is how
+    the dynamic schemes avoid problematic parts of the network.
+    """
+    if weight not in ("latency", "cost", "hops"):
+        raise ValueError(f"unknown weight kind {weight!r}")
+    excluded_edges = set(exclude_edges)
+    excluded_nodes = set(exclude_nodes)
+    adjacency: Adjacency = {
+        node: {} for node in topology.nodes if node not in excluded_nodes
+    }
+    for link in topology.iter_links():
+        if link.edge in excluded_edges:
+            continue
+        if link.source in excluded_nodes or link.target in excluded_nodes:
+            continue
+        if weight == "latency":
+            value = link.latency_ms
+        elif weight == "cost":
+            value = link.cost
+        else:
+            value = 1.0
+        adjacency[link.source][link.target] = value
+    return adjacency
+
+
+def copy_adjacency(adjacency: Adjacency) -> Adjacency:
+    """Deep-enough copy (the nested dicts are duplicated)."""
+    return {node: dict(neighbors) for node, neighbors in adjacency.items()}
+
+
+def reverse_adjacency(adjacency: Adjacency) -> Adjacency:
+    """Reverse every edge (weights preserved)."""
+    reversed_adjacency: Adjacency = {node: {} for node in adjacency}
+    for node, neighbors in adjacency.items():
+        for neighbor, weight in neighbors.items():
+            reversed_adjacency.setdefault(neighbor, {})[node] = weight
+    return reversed_adjacency
+
+
+def split_nodes(adjacency: Adjacency, keep_whole: Iterable[Node]) -> Adjacency:
+    """Node-splitting transformation for node-disjointness.
+
+    Every node ``v`` not in ``keep_whole`` becomes ``(v, "in")`` and
+    ``(v, "out")`` joined by a zero-weight internal edge; an original edge
+    ``u -> v`` becomes ``(u, "out") -> (v, "in")``.  Nodes in ``keep_whole``
+    (the flow endpoints) keep a single representation ``(v, "both")`` so
+    paths may share them.
+    """
+    whole = set(keep_whole)
+
+    def tail(node: Node) -> Node:
+        return (node, "both") if node in whole else (node, "out")
+
+    def head(node: Node) -> Node:
+        return (node, "both") if node in whole else (node, "in")
+
+    split: Adjacency = {}
+    for node in adjacency:
+        if node in whole:
+            split.setdefault((node, "both"), {})
+        else:
+            split.setdefault((node, "in"), {})[(node, "out")] = 0.0
+            split.setdefault((node, "out"), {})
+    for node, neighbors in adjacency.items():
+        for neighbor, weight in neighbors.items():
+            split[tail(node)][head(neighbor)] = weight
+    return split
+
+
+def unsplit_path(path: list) -> list:
+    """Collapse a path in the split graph back to original node ids."""
+    collapsed = []
+    for node, _role in path:
+        if not collapsed or collapsed[-1] != node:
+            collapsed.append(node)
+    return collapsed

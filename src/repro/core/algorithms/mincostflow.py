@@ -1,0 +1,173 @@
+"""Minimum-cost flow via successive shortest paths with potentials.
+
+Unit-capacity min-cost flow is the general formulation behind
+Suurballe's / Bhandari's disjoint-path algorithms: sending ``k`` units from
+source to sink over arcs of capacity 1 yields the minimum-total-weight set
+of ``k`` edge-disjoint paths, and node splitting extends this to
+node-disjointness.  Implementing the flow once keeps the disjoint-path
+logic small and correct in the presence of antiparallel overlay links.
+
+Costs must be non-negative when arcs are added; Johnson potentials keep
+reduced costs non-negative so every augmentation is a plain Dijkstra.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Hashable
+
+__all__ = ["MinCostFlow", "Arc"]
+
+Node = Hashable
+_INF = float("inf")
+
+
+@dataclass
+class Arc:
+    """One directed arc plus its residual twin (paired by index)."""
+
+    source: Node
+    target: Node
+    capacity: int
+    cost: float
+    flow: int = 0
+    is_reverse: bool = False
+
+    @property
+    def residual_capacity(self) -> int:
+        """Capacity still available on this arc."""
+        return self.capacity - self.flow
+
+
+class MinCostFlow:
+    """A small successive-shortest-paths min-cost-flow solver.
+
+    Arcs are added with :meth:`add_arc`; each call also creates the
+    zero-capacity reverse arc used for residual updates.  Parallel arcs are
+    supported (each ``add_arc`` is independent), which is what makes
+    antiparallel overlay links safe.
+    """
+
+    def __init__(self) -> None:
+        self._arcs: list[Arc] = []
+        self._incident: dict[Node, list[int]] = {}
+
+    def add_node(self, node: Node) -> None:
+        """Register a node with no arcs (safe to call repeatedly)."""
+        self._incident.setdefault(node, [])
+
+    def add_arc(self, source: Node, target: Node, capacity: int, cost: float) -> int:
+        """Add a forward arc and its residual twin; returns the arc index."""
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        if cost < 0:
+            raise ValueError(f"cost must be >= 0, got {cost}")
+        index = len(self._arcs)
+        self._arcs.append(Arc(source, target, capacity, cost))
+        self._arcs.append(Arc(target, source, 0, -cost, is_reverse=True))
+        self._incident.setdefault(source, []).append(index)
+        self._incident.setdefault(target, []).append(index + 1)
+        return index
+
+    # -- solving -------------------------------------------------------------
+
+    def send(self, source: Node, sink: Node, max_units: int) -> tuple[int, float]:
+        """Send up to ``max_units`` of flow; returns ``(units_sent, cost)``.
+
+        Stops early when the sink becomes unreachable (max flow reached).
+        Calling ``send`` again continues from the current flow state.
+        """
+        if source not in self._incident or sink not in self._incident:
+            raise KeyError("source or sink not present in the flow network")
+        if max_units < 0:
+            raise ValueError(f"max_units must be >= 0, got {max_units}")
+        potentials: dict[Node, float] = {node: 0.0 for node in self._incident}
+        sent = 0
+        total_cost = 0.0
+        while sent < max_units:
+            distances, predecessor_arc = self._dijkstra(source, potentials)
+            if sink not in distances:
+                break
+            for node, distance in distances.items():
+                potentials[node] += distance
+            # Unit capacities: each augmentation pushes exactly one unit.
+            path_cost = 0.0
+            node = sink
+            while node != source:
+                arc_index = predecessor_arc[node]
+                arc = self._arcs[arc_index]
+                twin = self._arcs[arc_index ^ 1]
+                arc.flow += 1
+                twin.flow -= 1
+                path_cost += arc.cost
+                node = arc.source
+            total_cost += path_cost
+            sent += 1
+        return sent, total_cost
+
+    def _dijkstra(
+        self, source: Node, potentials: dict[Node, float]
+    ) -> tuple[dict[Node, float], dict[Node, int]]:
+        distances: dict[Node, float] = {source: 0.0}
+        predecessor_arc: dict[Node, int] = {}
+        heap: list[tuple[float, int, Node]] = [(0.0, 0, source)]
+        counter = 1
+        while heap:
+            distance, _tie, node = heapq.heappop(heap)
+            if distance > distances.get(node, _INF):
+                continue
+            for arc_index in self._incident[node]:
+                arc = self._arcs[arc_index]
+                if arc.residual_capacity <= 0:
+                    continue
+                reduced = arc.cost + potentials[node] - potentials[arc.target]
+                # Reduced costs are >= 0 up to float error; clamp the noise.
+                if reduced < 0:
+                    reduced = 0.0
+                candidate = distance + reduced
+                if candidate < distances.get(arc.target, _INF) - 1e-15:
+                    distances[arc.target] = candidate
+                    predecessor_arc[arc.target] = arc_index
+                    heapq.heappush(heap, (candidate, counter, arc.target))
+                    counter += 1
+        return distances, predecessor_arc
+
+    # -- results ---------------------------------------------------------------
+
+    def flow_arcs(self) -> list[tuple[Node, Node]]:
+        """Original arcs carrying positive flow, in insertion order."""
+        return [
+            (arc.source, arc.target)
+            for arc in self._arcs
+            if not arc.is_reverse and arc.flow > 0
+        ]
+
+    def decompose_paths(self, source: Node, sink: Node) -> list[list[Node]]:
+        """Decompose the current integral flow into source->sink paths.
+
+        With unit capacities each path carries one unit.  Leftover zero-cost
+        cycles (possible only when some arcs cost 0) are ignored.
+        """
+        remaining: dict[Node, list[tuple[Node, int]]] = {}
+        for index, arc in enumerate(self._arcs):
+            if not arc.is_reverse and arc.flow > 0:
+                for _ in range(arc.flow):
+                    remaining.setdefault(arc.source, []).append((arc.target, index))
+        for successors in remaining.values():
+            successors.sort(key=lambda item: repr(item[0]))
+        paths: list[list[Node]] = []
+        while remaining.get(source):
+            path = [source]
+            node = source
+            while node != sink:
+                successors = remaining.get(node)
+                if not successors:
+                    raise RuntimeError(
+                        f"flow decomposition stuck at {node!r}; "
+                        "flow conservation violated"
+                    )
+                node, _arc_index = successors.pop(0)
+                path.append(node)
+            paths.append(path)
+        return paths

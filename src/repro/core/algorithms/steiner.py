@@ -1,0 +1,88 @@
+"""Greedy Steiner arborescence for the targeted-redundancy builders.
+
+The source-problem / destination-problem graphs must reach a *set* of
+nodes (the neighbours ringing the problematic endpoint) cheaply from the
+source side.  Optimal directed Steiner trees are NP-hard; the standard
+cheapest-path-first greedy heuristic is simple, deterministic, and at most
+a logarithmic factor off -- plenty for graphs of a dozen nodes, and it is
+what keeps the targeted graphs' *cost* low (abstract claim C6).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Hashable, Iterable
+
+from repro.core.algorithms.adjacency import Adjacency
+
+__all__ = ["steiner_arborescence"]
+
+Node = Hashable
+_INF = float("inf")
+
+
+def steiner_arborescence(
+    adjacency: Adjacency, root: Node, terminals: Iterable[Node]
+) -> set[tuple[Node, Node]]:
+    """Directed edge set connecting ``root`` to every reachable terminal.
+
+    Greedy: repeatedly attach the terminal whose cheapest path from any
+    node already in the arborescence is cheapest overall.  Unreachable
+    terminals are silently skipped (the builders handle partially
+    disconnected conditions by using whatever redundancy exists).
+    """
+    if root not in adjacency:
+        raise KeyError(f"unknown root node {root!r}")
+    pending = {t for t in terminals if t != root}
+    tree_nodes: set[Node] = {root}
+    tree_edges: set[tuple[Node, Node]] = set()
+    while pending:
+        distances, predecessor = _multi_source_dijkstra(adjacency, tree_nodes)
+        best_terminal = None
+        best_distance = _INF
+        for terminal in sorted(pending, key=repr):
+            distance = distances.get(terminal, _INF)
+            if distance < best_distance:
+                best_distance = distance
+                best_terminal = terminal
+        if best_terminal is None:
+            break  # remaining terminals unreachable
+        node = best_terminal
+        while node not in tree_nodes:
+            previous = predecessor[node]
+            tree_edges.add((previous, node))
+            node = previous
+        # Every node on the attached path joins the tree.
+        node = best_terminal
+        while node not in tree_nodes:
+            tree_nodes.add(node)
+            node = predecessor[node]
+        tree_nodes.add(best_terminal)
+        pending.discard(best_terminal)
+    return tree_edges
+
+
+def _multi_source_dijkstra(
+    adjacency: Adjacency, sources: set[Node]
+) -> tuple[dict[Node, float], dict[Node, Node]]:
+    distances: dict[Node, float] = {node: 0.0 for node in sources}
+    predecessor: dict[Node, Node] = {}
+    heap: list[tuple[float, int, Node]] = []
+    counter = 0
+    for node in sorted(sources, key=repr):
+        heapq.heappush(heap, (0.0, counter, node))
+        counter += 1
+    while heap:
+        distance, _tie, node = heapq.heappop(heap)
+        if distance > distances.get(node, _INF):
+            continue
+        neighbors = adjacency.get(node, {})
+        for neighbor in sorted(neighbors, key=repr):
+            weight = neighbors[neighbor]
+            candidate = distance + weight
+            if candidate < distances.get(neighbor, _INF):
+                distances[neighbor] = candidate
+                predecessor[neighbor] = node
+                heapq.heappush(heap, (candidate, counter, neighbor))
+                counter += 1
+    return distances, predecessor

@@ -1,0 +1,75 @@
+"""Yen's algorithm for k shortest loopless paths.
+
+The dynamic single-path scheme normally needs only the single best path,
+but Yen's algorithm gives the routing layer (and the ablation benches)
+alternatives ranked by latency -- e.g. "best path avoiding the currently
+degraded links, else next-best overall".
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Hashable
+
+from repro.core.algorithms.adjacency import Adjacency, copy_adjacency
+from repro.core.algorithms.paths import NoPathError, path_length, shortest_path
+
+__all__ = ["k_shortest_paths"]
+
+Node = Hashable
+
+
+def k_shortest_paths(
+    adjacency: Adjacency, source: Node, target: Node, k: int
+) -> list[tuple[list[Node], float]]:
+    """Return up to ``k`` loopless paths, shortest first.
+
+    Each result is ``(path, total_weight)``.  Returns fewer than ``k``
+    entries when the graph does not contain that many loopless paths, and
+    an empty list when the target is unreachable.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    try:
+        best = shortest_path(adjacency, source, target)
+    except NoPathError:
+        return []
+    accepted: list[tuple[list[Node], float]] = [best]
+    # Candidate heap entries: (weight, tie, path).  Deduplicate by tuple.
+    candidates: list[tuple[float, int, list[Node]]] = []
+    seen_paths: set[tuple[Node, ...]] = {tuple(best[0])}
+    counter = 0
+
+    while len(accepted) < k:
+        previous_path = accepted[-1][0]
+        for spur_index in range(len(previous_path) - 1):
+            spur_node = previous_path[spur_index]
+            root = previous_path[: spur_index + 1]
+            work = copy_adjacency(adjacency)
+            # Remove edges that would recreate an already-accepted path
+            # sharing this root.
+            for path, _weight in accepted:
+                if len(path) > spur_index and path[: spur_index + 1] == root:
+                    work.get(path[spur_index], {}).pop(path[spur_index + 1], None)
+            # Remove root nodes (except the spur) to keep paths loopless.
+            for node in root[:-1]:
+                work.pop(node, None)
+                for neighbors in work.values():
+                    neighbors.pop(node, None)
+            try:
+                spur_path, _spur_weight = shortest_path(work, spur_node, target)
+            except (NoPathError, KeyError):
+                continue
+            total_path = root[:-1] + spur_path
+            key = tuple(total_path)
+            if key in seen_paths:
+                continue
+            seen_paths.add(key)
+            weight = path_length(adjacency, total_path)
+            heapq.heappush(candidates, (weight, counter, total_path))
+            counter += 1
+        if not candidates:
+            break
+        weight, _tie, path = heapq.heappop(candidates)
+        accepted.append((path, weight))
+    return accepted

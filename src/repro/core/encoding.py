@@ -1,0 +1,108 @@
+"""Compact wire encoding of dissemination graphs.
+
+In the deployed system each data packet carries (or references) the
+dissemination graph it should be flooded on, so intermediate daemons can
+forward without per-flow installed state.  With the overlay's modest size
+a graph fits in a fixed-width *edge bitmask* over the topology's stable
+edge index: bit ``i`` set means "forward on edge ``i``".
+
+The encoding is: 2-byte source node index, 2-byte destination node index,
+then ``ceil(num_edges / 8)`` bytes of little-endian bitmask.  Both sides
+must share the same frozen topology (the link-state protocol keeps them
+agreeing on membership; a topology fingerprint guards against skew).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+
+from repro.core.dgraph import DisseminationGraph
+from repro.core.graph import Topology
+from repro.util.validation import require
+
+__all__ = [
+    "encode_graph",
+    "decode_graph",
+    "encoded_size",
+    "topology_fingerprint",
+]
+
+_HEADER = struct.Struct("<HH")
+
+
+def topology_fingerprint(topology: Topology) -> bytes:
+    """8-byte digest of the topology's node and edge sets.
+
+    Peers include this in hello messages; a mismatch means their views of
+    the overlay membership diverge and bitmasks must not be trusted.
+    """
+    require(topology.frozen, "fingerprint requires a frozen topology")
+    hasher = hashlib.sha256()
+    for node in topology.nodes:
+        hasher.update(node.encode("utf-8"))
+        hasher.update(b"\x00")
+    hasher.update(b"|")
+    for edge in topology.edges:
+        hasher.update(f"{edge[0]}->{edge[1]}".encode("utf-8"))
+        hasher.update(b"\x00")
+    return hasher.digest()[:8]
+
+
+def encoded_size(topology: Topology) -> int:
+    """Bytes needed to encode any dissemination graph on this topology."""
+    require(topology.frozen, "encoding requires a frozen topology")
+    return _HEADER.size + (topology.num_edges + 7) // 8
+
+
+def encode_graph(topology: Topology, graph: DisseminationGraph) -> bytes:
+    """Encode ``graph`` as a fixed-width header + edge bitmask."""
+    require(topology.frozen, "encoding requires a frozen topology")
+    nodes = topology.nodes
+    node_index = {node: index for index, node in enumerate(nodes)}
+    require(graph.source in node_index, f"source {graph.source!r} not in topology")
+    require(
+        graph.destination in node_index,
+        f"destination {graph.destination!r} not in topology",
+    )
+    edge_index = topology.edge_index
+    mask = 0
+    for edge in graph.edges:
+        index = edge_index.get(edge)
+        require(index is not None, f"edge {edge!r} not in topology")
+        mask |= 1 << index
+    header = _HEADER.pack(node_index[graph.source], node_index[graph.destination])
+    body = mask.to_bytes((topology.num_edges + 7) // 8, "little")
+    return header + body
+
+
+def decode_graph(topology: Topology, payload: bytes) -> DisseminationGraph:
+    """Inverse of :func:`encode_graph`.
+
+    Raises ``ValueError`` on truncated payloads or bits beyond the
+    topology's edge count (a sign of topology-view skew between peers).
+    """
+    require(topology.frozen, "decoding requires a frozen topology")
+    expected = encoded_size(topology)
+    if len(payload) != expected:
+        raise ValueError(
+            f"encoded graph must be {expected} bytes, got {len(payload)}"
+        )
+    source_index, destination_index = _HEADER.unpack_from(payload)
+    nodes = topology.nodes
+    if source_index >= len(nodes) or destination_index >= len(nodes):
+        raise ValueError("node index out of range for this topology")
+    mask = int.from_bytes(payload[_HEADER.size :], "little")
+    if mask >> topology.num_edges:
+        raise ValueError("bitmask has bits set beyond the topology's edges")
+    edges = []
+    edge_list = topology.edges
+    index = 0
+    while mask:
+        if mask & 1:
+            edges.append(edge_list[index])
+        mask >>= 1
+        index += 1
+    return DisseminationGraph(
+        nodes[source_index], nodes[destination_index], frozenset(edges)
+    )

@@ -1,0 +1,116 @@
+"""Problem-event types emitted by the scenario generator.
+
+An *event* (episode) is the generator's unit of ground truth: something
+went wrong somewhere for some time.  Real overlay outages are **bursty**:
+within an episode, loss comes and goes in sub-minute bursts, and the set
+of affected links shifts between bursts.  Burstiness is what separates the
+routing philosophies -- a reactive scheme re-routes only after it detects
+a burst (usually too late), while a redundant scheme is already protected
+when the next burst lands.  Each event therefore carries a sequence of
+:class:`Burst` records; each burst expands into per-edge
+:class:`~repro.netmodel.conditions.Contribution` records.
+
+Keeping events as first-class objects (rather than only their compiled
+contributions) lets the analysis layer compare per-flow classification
+against the generator's ground truth (experiment E1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.graph import Edge, NodeId
+from repro.netmodel.conditions import Contribution, LinkState
+from repro.util.validation import require
+
+__all__ = ["EventKind", "LinkDegradation", "Burst", "ProblemEvent"]
+
+
+class EventKind(enum.Enum):
+    """What kind of trouble an event models."""
+
+    NODE = "node"  # a site's connectivity degrades: loss on adjacent links
+    LINK = "link"  # a single overlay link experiences loss
+    LATENCY = "latency"  # a single overlay link's latency inflates
+    BACKGROUND = "background"  # light, sub-threshold background loss
+
+
+@dataclass(frozen=True)
+class LinkDegradation:
+    """One directed edge's conditions during one burst."""
+
+    edge: Edge
+    state: LinkState
+
+
+@dataclass(frozen=True)
+class Burst:
+    """One contiguous stretch of degradation within an event."""
+
+    start_s: float
+    duration_s: float
+    degradations: tuple[LinkDegradation, ...]
+
+    def __post_init__(self) -> None:
+        require(self.duration_s > 0, "burst duration must be positive")
+        require(self.start_s >= 0, "burst start must be >= 0")
+
+    @property
+    def end_s(self) -> float:
+        """End of the time span (start + duration)."""
+        return self.start_s + self.duration_s
+
+
+@dataclass(frozen=True)
+class ProblemEvent:
+    """One generated episode: kind, location, time span, bursts."""
+
+    kind: EventKind
+    location: NodeId | Edge
+    start_s: float
+    duration_s: float
+    bursts: tuple[Burst, ...]
+
+    def __post_init__(self) -> None:
+        require(self.duration_s > 0, "event duration must be positive")
+        require(self.start_s >= 0, "event start must be >= 0")
+        require(bool(self.bursts), "an event needs at least one burst")
+        for burst in self.bursts:
+            require(
+                self.start_s <= burst.start_s
+                and burst.end_s <= self.end_s + 1e-9,
+                "bursts must lie within the event span",
+            )
+
+    @property
+    def end_s(self) -> float:
+        """End of the time span (start + duration)."""
+        return self.start_s + self.duration_s
+
+    @property
+    def affected_edges(self) -> frozenset[Edge]:
+        """Every directed edge any burst degrades."""
+        return frozenset(
+            d.edge for burst in self.bursts for d in burst.degradations
+        )
+
+    @property
+    def affected_nodes(self) -> frozenset[NodeId]:
+        """Every node touched by an affected edge."""
+        nodes: set[NodeId] = set()
+        for edge in self.affected_edges:
+            nodes.update(edge)
+        return frozenset(nodes)
+
+    def contributions(self) -> list[Contribution]:
+        """Expand into condition-timeline contributions."""
+        return [
+            Contribution(d.edge, burst.start_s, burst.end_s, d.state)
+            for burst in self.bursts
+            for d in burst.degradations
+        ]
+
+    def overlaps(self, start_s: float, end_s: float) -> bool:
+        """Does the event intersect the half-open window ``[start, end)``?"""
+        return self.start_s < end_s and start_s < self.end_s

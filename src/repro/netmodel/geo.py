@@ -1,0 +1,68 @@
+"""Great-circle geometry and fiber propagation latency.
+
+Overlay link latencies in the reference topology are derived from site
+coordinates: light in fiber travels at roughly two thirds of c, and real
+fiber routes are longer than great circles, so we apply a route-stretch
+factor plus a small fixed per-hop overhead (forwarding, serialisation).
+The resulting city-to-city latencies land within a few milliseconds of
+published RTT measurements, which is all the reproduction needs -- the
+paper's conclusions depend on latency *structure* (east-west circa
+30-35 ms one way), not on exact values.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.util.validation import require
+
+__all__ = ["great_circle_km", "fiber_latency_ms", "EARTH_RADIUS_KM"]
+
+EARTH_RADIUS_KM = 6371.0
+
+# Speed of light in vacuum, km per millisecond.
+_LIGHT_KM_PER_MS = 299.792458
+
+# Refractive-index slowdown in fiber (~1/1.468).
+_FIBER_SPEED_FACTOR = 2.0 / 3.0
+
+# Real fiber paths follow roads/rails/sea routes, not great circles.
+_ROUTE_STRETCH = 1.2
+
+# Per-hop forwarding/serialisation overhead in milliseconds.
+_HOP_OVERHEAD_MS = 0.5
+
+
+def great_circle_km(
+    lat1_deg: float, lon1_deg: float, lat2_deg: float, lon2_deg: float
+) -> float:
+    """Haversine great-circle distance between two coordinates, in km."""
+    for name, value in (
+        ("lat1", lat1_deg),
+        ("lat2", lat2_deg),
+    ):
+        require(-90.0 <= value <= 90.0, f"{name} out of range: {value}")
+    for name, value in (
+        ("lon1", lon1_deg),
+        ("lon2", lon2_deg),
+    ):
+        require(-180.0 <= value <= 180.0, f"{name} out of range: {value}")
+    lat1 = math.radians(lat1_deg)
+    lon1 = math.radians(lon1_deg)
+    lat2 = math.radians(lat2_deg)
+    lon2 = math.radians(lon2_deg)
+    sin_dlat = math.sin((lat2 - lat1) / 2.0)
+    sin_dlon = math.sin((lon2 - lon1) / 2.0)
+    h = sin_dlat**2 + math.cos(lat1) * math.cos(lat2) * sin_dlon**2
+    return 2.0 * EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(h)))
+
+
+def fiber_latency_ms(
+    lat1_deg: float, lon1_deg: float, lat2_deg: float, lon2_deg: float
+) -> float:
+    """One-way fiber latency estimate between two coordinates, in ms."""
+    distance_km = great_circle_km(lat1_deg, lon1_deg, lat2_deg, lon2_deg)
+    propagation = (distance_km * _ROUTE_STRETCH) / (
+        _LIGHT_KM_PER_MS * _FIBER_SPEED_FACTOR
+    )
+    return round(propagation + _HOP_OVERHEAD_MS, 2)

@@ -1,0 +1,208 @@
+"""Synthetic overlay topology generation.
+
+The paper's overlay has 12 sites; to check that the dissemination-graph
+results are properties of the *approach* rather than of one topology,
+the scaling experiments generate synthetic continental overlays of
+arbitrary size: sites scattered over a bounding box with fiber-realistic
+link latencies, each site connected to its nearest neighbours, and the
+whole graph patched up to the biconnectivity every redundant routing
+scheme needs (two node-disjoint paths between any pair).
+"""
+
+from __future__ import annotations
+
+from repro.core.graph import NodeId, Topology
+from repro.netmodel.geo import fiber_latency_ms, great_circle_km
+from repro.netmodel.topology import FlowSpec
+from repro.util.rng import DeterministicStream
+from repro.util.validation import require
+
+__all__ = ["synthetic_continental_topology", "coast_to_coast_flows"]
+
+# Continental-US-ish bounding box.
+_LAT_RANGE = (29.0, 47.0)
+_LON_RANGE = (-122.0, -72.0)
+
+
+def _site_positions(
+    num_sites: int, seed: int
+) -> dict[NodeId, tuple[float, float]]:
+    """Scatter sites with a minimum separation so links are meaningful."""
+    stream = DeterministicStream(seed, "topo-gen")
+    positions: dict[NodeId, tuple[float, float]] = {}
+    min_separation_km = 250.0
+    attempt = 0
+    while len(positions) < num_sites:
+        attempt += 1
+        require(
+            attempt < num_sites * 200,
+            "could not place sites with the required separation; "
+            "reduce num_sites",
+        )
+        lat = stream.uniform_between(*_LAT_RANGE, "lat", attempt)
+        lon = stream.uniform_between(*_LON_RANGE, "lon", attempt)
+        if all(
+            great_circle_km(lat, lon, p_lat, p_lon) >= min_separation_km
+            for p_lat, p_lon in positions.values()
+        ):
+            positions[f"S{len(positions):02d}"] = (lat, lon)
+    return positions
+
+
+def _nearest_neighbors(
+    positions: dict[NodeId, tuple[float, float]], site: NodeId
+) -> list[NodeId]:
+    lat, lon = positions[site]
+    others = [other for other in positions if other != site]
+    others.sort(
+        key=lambda other: (
+            great_circle_km(lat, lon, *positions[other]),
+            other,
+        )
+    )
+    return others
+
+
+def _connected_without(
+    adjacency: dict[NodeId, set[NodeId]], removed: NodeId | None
+) -> bool:
+    nodes = [node for node in adjacency if node != removed]
+    if not nodes:
+        return True
+    seen = {nodes[0]}
+    frontier = [nodes[0]]
+    while frontier:
+        node = frontier.pop()
+        for neighbor in adjacency[node]:
+            if neighbor != removed and neighbor not in seen:
+                seen.add(neighbor)
+                frontier.append(neighbor)
+    return len(seen) == len(nodes)
+
+
+def _component_of(
+    adjacency: dict[NodeId, set[NodeId]], start: NodeId, removed: NodeId
+) -> set[NodeId]:
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        node = frontier.pop()
+        for neighbor in adjacency[node]:
+            if neighbor != removed and neighbor not in seen:
+                seen.add(neighbor)
+                frontier.append(neighbor)
+    return seen
+
+
+def synthetic_continental_topology(
+    num_sites: int = 20, seed: int = 0, min_degree: int = 3
+) -> Topology:
+    """Generate a biconnected continental overlay of ``num_sites`` sites.
+
+    Construction: nearest-neighbour links up to ``min_degree`` per site,
+    then additional shortest patch links until removing any single site
+    leaves the rest connected (node biconnectivity), which guarantees two
+    node-disjoint paths between every pair (Menger).  Deterministic in
+    ``seed``.
+    """
+    require(num_sites >= 4, f"need at least 4 sites, got {num_sites}")
+    require(min_degree >= 2, f"min_degree must be >= 2, got {min_degree}")
+    positions = _site_positions(num_sites, seed)
+    adjacency: dict[NodeId, set[NodeId]] = {site: set() for site in positions}
+
+    def add_link(a: NodeId, b: NodeId) -> None:
+        adjacency[a].add(b)
+        adjacency[b].add(a)
+
+    # Phase 1: nearest neighbours.
+    for site in sorted(positions):
+        for neighbor in _nearest_neighbors(positions, site):
+            if len(adjacency[site]) >= min_degree:
+                break
+            add_link(site, neighbor)
+
+    # Phase 2: connectivity patching -- join components with the shortest
+    # available cross link.
+    def shortest_cross_link(
+        group_a: set[NodeId], group_b: set[NodeId]
+    ) -> tuple[NodeId, NodeId]:
+        best = None
+        best_km = float("inf")
+        for a in sorted(group_a):
+            for b in sorted(group_b):
+                if b in adjacency[a]:
+                    continue
+                km = great_circle_km(*positions[a], *positions[b])
+                if km < best_km:
+                    best_km = km
+                    best = (a, b)
+        require(best is not None, "no cross link available")
+        assert best is not None
+        return best
+
+    while not _connected_without(adjacency, None):
+        start = sorted(positions)[0]
+        component = _component_of(adjacency, start, removed="\x00")
+        rest = set(positions) - component
+        add_link(*shortest_cross_link(component, rest))
+
+    # Phase 3: biconnectivity patching -- for every articulation point,
+    # bridge two of the components its removal creates.
+    changed = True
+    while changed:
+        changed = False
+        for site in sorted(positions):
+            if _connected_without(adjacency, site):
+                continue
+            remaining = sorted(set(positions) - {site})
+            first = _component_of(adjacency, remaining[0], removed=site)
+            rest = set(remaining) - first
+            add_link(*shortest_cross_link(first, rest))
+            changed = True
+            break
+
+    topology = Topology(name=f"synthetic-{num_sites}-seed{seed}")
+    for site, (lat, lon) in positions.items():
+        topology.add_node(site, lat=lat, lon=lon)
+    added: set[frozenset[NodeId]] = set()
+    for site in sorted(adjacency):
+        for neighbor in sorted(adjacency[site]):
+            key = frozenset((site, neighbor))
+            if key in added:
+                continue
+            added.add(key)
+            topology.add_link(
+                site,
+                neighbor,
+                fiber_latency_ms(*positions[site], *positions[neighbor]),
+            )
+    topology.freeze()
+    topology.validate()
+    return topology
+
+
+def coast_to_coast_flows(topology: Topology, count: int = 8) -> tuple[FlowSpec, ...]:
+    """East-to-west flows between the extreme sites of a topology.
+
+    Picks the ``count/2``-ish eastern-most sources and western-most
+    destinations by longitude and pairs them round-robin.
+    """
+    require(count >= 1, "count must be >= 1")
+    by_longitude = sorted(
+        topology.nodes, key=lambda node: topology.node_attributes(node)["lon"]
+    )
+    half = max(1, min(len(by_longitude) // 2, (count + 1) // 2))
+    west = by_longitude[:half]
+    east = by_longitude[-half:]
+    flows = []
+    index = 0
+    while len(flows) < count and index < count * 4:
+        source = east[index % len(east)]
+        destination = west[(index // len(east)) % len(west)]
+        index += 1
+        if source == destination:
+            continue
+        flow = FlowSpec(source, destination)
+        if flow not in flows:
+            flows.append(flow)
+    return tuple(flows[:count])

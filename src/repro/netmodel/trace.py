@@ -1,0 +1,156 @@
+"""JSONL persistence for condition traces.
+
+A trace file is a header line followed by one JSON object per problem
+event.  Storing *events* (rather than compiled per-edge segments) keeps
+the ground truth available to the analysis layer; the condition timeline
+is recompiled on load.  The format is line-oriented so multi-week traces
+can be streamed and inspected with standard tools.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.core.graph import Topology
+from repro.netmodel.conditions import ConditionTimeline, LinkState
+from repro.netmodel.events import Burst, EventKind, LinkDegradation, ProblemEvent
+from repro.util.validation import require
+
+__all__ = ["write_trace", "read_trace", "load_timeline", "TRACE_FORMAT_VERSION"]
+
+TRACE_FORMAT_VERSION = 1
+
+
+def _event_to_json(event: ProblemEvent) -> dict:
+    location = (
+        list(event.location) if isinstance(event.location, tuple) else event.location
+    )
+    return {
+        "kind": event.kind.value,
+        "location": location,
+        "start_s": event.start_s,
+        "duration_s": event.duration_s,
+        "bursts": [
+            {
+                "start_s": burst.start_s,
+                "duration_s": burst.duration_s,
+                "degradations": [
+                    {
+                        "edge": list(d.edge),
+                        "loss_rate": d.state.loss_rate,
+                        "extra_latency_ms": d.state.extra_latency_ms,
+                    }
+                    for d in burst.degradations
+                ],
+            }
+            for burst in event.bursts
+        ],
+    }
+
+
+def _event_from_json(payload: dict) -> ProblemEvent:
+    location = payload["location"]
+    if isinstance(location, list):
+        location = tuple(location)
+    bursts = tuple(
+        Burst(
+            burst["start_s"],
+            burst["duration_s"],
+            tuple(
+                LinkDegradation(
+                    tuple(item["edge"]),
+                    LinkState(
+                        loss_rate=item["loss_rate"],
+                        extra_latency_ms=item["extra_latency_ms"],
+                    ),
+                )
+                for item in burst["degradations"]
+            ),
+        )
+        for burst in payload["bursts"]
+    )
+    return ProblemEvent(
+        EventKind(payload["kind"]),
+        location,
+        payload["start_s"],
+        payload["duration_s"],
+        bursts,
+    )
+
+
+def write_trace(
+    path: str | Path,
+    topology: Topology,
+    duration_s: float,
+    events: Iterable[ProblemEvent],
+) -> None:
+    """Write a trace file (header + one event per line)."""
+    require(duration_s > 0, "duration must be positive")
+    header = {
+        "format": "repro-dgraphs-trace",
+        "version": TRACE_FORMAT_VERSION,
+        "topology": topology.name,
+        "nodes": list(topology.nodes),
+        "duration_s": duration_s,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(header) + "\n")
+        for event in events:
+            handle.write(json.dumps(_event_to_json(event)) + "\n")
+
+
+def read_trace(
+    path: str | Path, topology: Topology
+) -> tuple[float, list[ProblemEvent]]:
+    """Read a trace file, validating it against ``topology``.
+
+    Returns ``(duration_s, events)``.  Raises ``ValueError`` on format or
+    topology mismatches rather than silently replaying the wrong network.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        header_line = handle.readline()
+        if not header_line:
+            raise ValueError(f"trace file {path} is empty")
+        header = json.loads(header_line)
+        if header.get("format") != "repro-dgraphs-trace":
+            raise ValueError(f"{path} is not a repro-dgraphs trace file")
+        if header.get("version") != TRACE_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported trace version {header.get('version')!r}; "
+                f"this build reads version {TRACE_FORMAT_VERSION}"
+            )
+        if header.get("nodes") != list(topology.nodes):
+            raise ValueError(
+                "trace was recorded on a different topology "
+                f"({header.get('topology')!r}); refusing to replay"
+            )
+        duration_s = float(header["duration_s"])
+        events = []
+        for line_number, line in enumerate(handle, start=2):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(_event_from_json(json.loads(line)))
+            except (KeyError, ValueError) as error:
+                raise ValueError(
+                    f"{path}:{line_number}: malformed event record: {error}"
+                ) from error
+    for event in events:
+        for edge in event.affected_edges:
+            if not topology.has_edge(*edge):
+                raise ValueError(
+                    f"trace references edge {edge!r} absent from the topology"
+                )
+    return duration_s, events
+
+
+def load_timeline(
+    path: str | Path, topology: Topology
+) -> tuple[list[ProblemEvent], ConditionTimeline]:
+    """Read a trace and compile its condition timeline."""
+    duration_s, events = read_trace(path, topology)
+    contributions = [c for event in events for c in event.contributions()]
+    return events, ConditionTimeline(topology, duration_s, contributions)

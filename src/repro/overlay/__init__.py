@@ -1,0 +1,46 @@
+"""Message-level overlay-network substrate (the Spines-like system).
+
+The paper's transport service runs on an overlay of daemons deployed at
+data-center sites.  This package implements that system as a discrete-
+event simulation at full protocol fidelity -- every hello, link-state
+update, data packet copy and ack is an individual message subject to the
+current link conditions:
+
+* :mod:`repro.overlay.kernel` -- the discrete-event core;
+* :mod:`repro.overlay.messages` -- the protocol message types;
+* :mod:`repro.overlay.network` -- the lossy, delaying message fabric
+  driven by a :class:`~repro.netmodel.conditions.ConditionTimeline`;
+* :mod:`repro.overlay.node` -- the overlay daemon: hello-based link
+  monitoring, link-state flooding, dissemination-graph forwarding with
+  duplicate suppression, optional hop-by-hop recovery;
+* :mod:`repro.overlay.daemon` -- the per-flow routing daemon that turns
+  the link-state database into dissemination-graph decisions;
+* :mod:`repro.overlay.transport` -- sending/receiving applications with
+  deadline accounting;
+* :mod:`repro.overlay.harness` -- one-call assembly of a whole overlay.
+
+The trace-replay engines (:mod:`repro.simulation`) answer the paper's
+quantitative questions cheaply; this substrate exists to demonstrate that
+the *protocols* -- monitoring, flooding, graph switching -- actually work
+end to end, and is exercised by the integration tests and examples.
+"""
+
+from repro.overlay.collect import TraceCollector, collect_measured_trace
+from repro.overlay.harness import OverlayHarness, build_overlay
+from repro.overlay.runner import ProtocolRunResult, run_protocol_evaluation
+from repro.overlay.kernel import EventKernel
+from repro.overlay.network import SimNetwork
+from repro.overlay.node import NodeConfig, OverlayNode
+
+__all__ = [
+    "EventKernel",
+    "ProtocolRunResult",
+    "TraceCollector",
+    "collect_measured_trace",
+    "run_protocol_evaluation",
+    "NodeConfig",
+    "OverlayHarness",
+    "OverlayNode",
+    "SimNetwork",
+    "build_overlay",
+]

@@ -1,0 +1,84 @@
+"""Protocol message types exchanged by overlay daemons.
+
+Messages are small frozen dataclasses; the only wire-format machinery in
+the repo is the dissemination-graph bitmask
+(:mod:`repro.core.encoding`), which :class:`DataPacket` carries so that
+intermediate daemons can forward without per-flow installed state --
+exactly the stateless-forwarding property the paper's framework enables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.graph import Edge, NodeId
+
+__all__ = [
+    "Hello",
+    "HelloAck",
+    "LinkStateUpdate",
+    "DataPacket",
+    "LinkAck",
+]
+
+
+@dataclass(frozen=True)
+class Hello:
+    """Periodic probe on one overlay link (also measures it)."""
+
+    sender: NodeId
+    sequence: int
+    sent_at_s: float
+
+
+@dataclass(frozen=True)
+class HelloAck:
+    """Echo of a hello; lets the prober estimate loss and RTT."""
+
+    sender: NodeId
+    hello_sequence: int
+    hello_sent_at_s: float
+
+
+@dataclass(frozen=True)
+class LinkStateUpdate:
+    """One link's condition estimate, flooded network-wide.
+
+    ``originator`` + ``sequence`` provide the classic link-state ordering:
+    a daemon re-floods an update only the first time it sees a given
+    (originator, sequence), and newer sequences supersede older ones.
+    """
+
+    originator: NodeId
+    sequence: int
+    edge: Edge
+    loss_rate: float
+    latency_ms: float
+    originated_at_s: float
+
+
+@dataclass(frozen=True)
+class DataPacket:
+    """An application packet travelling on its dissemination graph.
+
+    ``graph_encoding`` is the bitmask wire form of the dissemination
+    graph (:func:`repro.core.encoding.encode_graph`); every daemon decodes
+    it to learn its own forwarding set.  ``flow`` + ``sequence`` key the
+    duplicate-suppression cache.
+    """
+
+    flow: str
+    source: NodeId
+    destination: NodeId
+    sequence: int
+    sent_at_s: float
+    graph_encoding: bytes
+
+
+@dataclass(frozen=True)
+class LinkAck:
+    """Per-link acknowledgement of a data packet (hop-by-hop recovery)."""
+
+    sender: NodeId
+    flow: str
+    sequence: int

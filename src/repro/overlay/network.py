@@ -1,0 +1,101 @@
+"""The lossy, delaying message fabric between overlay daemons.
+
+``SimNetwork`` owns the mapping from the abstract condition timeline to
+individual message fates: each transmission on an overlay link is dropped
+with the link's current loss rate and otherwise delivered after the
+link's current effective latency plus a small keyed jitter.  Drops are
+drawn from a :class:`~repro.util.rng.DeterministicStream` keyed by
+(edge, message id), so a seeded run is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+from repro.core.graph import Edge, NodeId, Topology
+from repro.netmodel.conditions import ConditionTimeline
+from repro.overlay.kernel import EventKernel
+from repro.util.rng import DeterministicStream
+from repro.util.validation import require
+
+__all__ = ["SimNetwork", "MessageSink"]
+
+
+class MessageSink(Protocol):
+    """What the network delivers messages to (an overlay node)."""
+
+    def receive(self, from_node: NodeId, message: object) -> None:
+        """Handle one delivered message from a neighbouring daemon."""
+
+
+class SimNetwork:
+    """Delivers messages between neighbouring overlay daemons."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        timeline: ConditionTimeline,
+        kernel: EventKernel,
+        seed: int = 0,
+        jitter_ms: float = 0.3,
+    ) -> None:
+        require(topology.frozen, "network requires a frozen topology")
+        self.topology = topology
+        self.timeline = timeline
+        self.kernel = kernel
+        self.jitter_ms = jitter_ms
+        self._stream = DeterministicStream(seed, "overlay-net")
+        self._sinks: dict[NodeId, MessageSink] = {}
+        self._message_counter = 0
+        # Statistics, per directed edge.
+        self.sent: dict[Edge, int] = {}
+        self.dropped: dict[Edge, int] = {}
+
+    def register(self, node_id: NodeId, sink: MessageSink) -> None:
+        """Attach the message sink (daemon) for ``node_id``."""
+        require(self.topology.has_node(node_id), f"unknown node {node_id!r}")
+        require(node_id not in self._sinks, f"node {node_id!r} already registered")
+        self._sinks[node_id] = sink
+
+    def send(self, from_node: NodeId, to_node: NodeId, message: object) -> None:
+        """Transmit one message on the directed overlay link.
+
+        Sending on a non-existent link is a programming error (daemons
+        only talk to neighbours); sending to an unregistered node silently
+        drops (models a crashed daemon).
+        """
+        edge = (from_node, to_node)
+        require(
+            self.topology.has_edge(*edge),
+            f"no overlay link {from_node!r} -> {to_node!r}",
+        )
+        self._message_counter += 1
+        message_id = self._message_counter
+        self.sent[edge] = self.sent.get(edge, 0) + 1
+        now = self.kernel.now
+        state = self.timeline.state_at(edge, min(now, self.timeline.duration_s))
+        if state.loss_rate > 0.0 and self._stream.bernoulli(
+            state.loss_rate, "drop", edge, message_id
+        ):
+            self.dropped[edge] = self.dropped.get(edge, 0) + 1
+            return
+        latency_ms = self.topology.latency(*edge) + state.extra_latency_ms
+        if self.jitter_ms > 0.0:
+            latency_ms += self.jitter_ms * self._stream.uniform(
+                "jitter", edge, message_id
+            )
+        sink = self._sinks.get(to_node)
+        if sink is None:
+            return
+        deliver: Callable[[], None] = lambda: sink.receive(from_node, message)
+        self.kernel.schedule(latency_ms / 1000.0, deliver)
+
+    # -- stats -------------------------------------------------------------------
+
+    def total_sent(self) -> int:
+        """Total messages transmitted on all links."""
+        return sum(self.sent.values())
+
+    def total_dropped(self) -> int:
+        """Total messages dropped by lossy links."""
+        return sum(self.dropped.values())

@@ -1,0 +1,392 @@
+"""The overlay daemon: monitoring, link-state flooding, forwarding.
+
+Each :class:`OverlayNode` is one site's daemon.  It runs three protocol
+machines, all message-driven through the simulated network:
+
+**Link monitoring.**  The daemon probes each outgoing overlay link with
+periodic hellos; the neighbour echoes an ack.  A sliding window over the
+most recent probes yields a loss estimate, and acked round trips yield a
+smoothed latency estimate.  (Probing measures the round trip, so loss is
+attributed to the probed direction -- the same simplification deployed
+overlay monitors make; real problems usually hit both directions.)
+
+**Link-state flooding.**  When a link's estimate moves materially, the
+daemon originates a :class:`~repro.overlay.messages.LinkStateUpdate` and
+floods it.  Daemons keep a link-state database (LSDB) ordered by
+(originator, sequence) and re-flood only first sightings -- the classic
+reliable-flooding discipline.  The LSDB is what the per-flow routing
+daemon consumes as its *observed* network view.
+
+**Data forwarding.**  A data packet carries its dissemination graph as an
+edge bitmask.  The first time a daemon sees a (flow, sequence) it
+forwards a copy on every outgoing edge of the graph and delivers locally
+if it is the destination; duplicates are suppressed.  With hop-by-hop
+recovery enabled, each copy is acked per link and retransmitted once on
+timeout -- the overlay's latency budget allows a single local recovery
+where an end-to-end retransmission would blow the deadline.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.dgraph import DisseminationGraph
+from repro.core.encoding import decode_graph
+from repro.core.graph import Edge, NodeId, Topology
+from repro.netmodel.conditions import LinkState
+from repro.overlay.kernel import EventKernel
+from repro.overlay.messages import (
+    DataPacket,
+    Hello,
+    HelloAck,
+    LinkAck,
+    LinkStateUpdate,
+)
+from repro.overlay.network import SimNetwork
+from repro.util.validation import require
+
+__all__ = ["NodeConfig", "OverlayNode"]
+
+
+@dataclass(frozen=True)
+class NodeConfig:
+    """Tunables of one overlay daemon."""
+
+    hello_interval_s: float = 0.2
+    hello_window: int = 25  # probes per loss estimate
+    hello_timeout_s: float = 1.0  # unacked past this counts as lost
+    loss_report_delta: float = 0.05  # re-advertise when estimate moves this much
+    latency_report_delta_ms: float = 5.0
+    latency_smoothing: float = 0.3  # EWMA weight of a new RTT sample
+    dedup_window: int = 8192  # per-flow duplicate-suppression memory
+    enable_recovery: bool = False
+    recovery_timeout_s: float = 0.05  # per-link retransmit timer
+    max_recovery_attempts: int = 1
+
+    def __post_init__(self) -> None:
+        require(self.hello_interval_s > 0, "hello_interval_s must be positive")
+        require(self.hello_window >= 1, "hello_window must be >= 1")
+        require(self.hello_timeout_s > 0, "hello_timeout_s must be positive")
+        require(0 < self.latency_smoothing <= 1, "latency_smoothing in (0, 1]")
+        require(self.dedup_window >= 16, "dedup_window must be >= 16")
+
+
+@dataclass
+class _LinkMonitor:
+    """Probe bookkeeping for one outgoing link."""
+
+    next_sequence: int = 0
+    outstanding: dict[int, float] = field(default_factory=dict)  # seq -> sent at
+    outcomes: deque = field(default_factory=deque)  # recent (seq, acked) pairs
+    latency_estimate_ms: float | None = None
+    advertised_loss: float = 0.0
+    advertised_latency_ms: float | None = None
+
+
+class OverlayNode:
+    """One overlay daemon."""
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        topology: Topology,
+        network: SimNetwork,
+        kernel: EventKernel,
+        config: NodeConfig = NodeConfig(),
+    ) -> None:
+        require(topology.has_node(node_id), f"unknown node {node_id!r}")
+        self.node_id = node_id
+        self.topology = topology
+        self.network = network
+        self.kernel = kernel
+        self.config = config
+        self._neighbors = topology.out_neighbors(node_id)
+        self._monitors: dict[NodeId, _LinkMonitor] = {
+            neighbor: _LinkMonitor() for neighbor in self._neighbors
+        }
+        self._lsa_sequence = 0
+        # LSDB: (originator, edge) -> LinkStateUpdate
+        self._lsdb: dict[tuple[NodeId, Edge], LinkStateUpdate] = {}
+        # Duplicate suppression: flow -> (max sequence seen, seen set)
+        self._seen: dict[str, tuple[int, set[int]]] = {}
+        self._graph_cache: dict[bytes, DisseminationGraph] = {}
+        self._delivery_callbacks: dict[str, Callable[[DataPacket, float], None]] = {}
+        # Hop-by-hop recovery bookkeeping: (flow, seq, neighbor) -> attempts
+        self._pending_acks: dict[tuple[str, int, NodeId], int] = {}
+        self._running = False
+        # Counters (inspected by tests and the harness report).
+        self.stats: dict[str, int] = {
+            "hellos_sent": 0,
+            "lsas_originated": 0,
+            "lsas_forwarded": 0,
+            "data_forwarded": 0,
+            "data_delivered": 0,
+            "duplicates_suppressed": 0,
+            "recoveries": 0,
+        }
+        network.register(node_id, self)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin probing; idempotent."""
+        if self._running:
+            return
+        self._running = True
+        for offset, neighbor in enumerate(self._neighbors):
+            # Stagger first hellos so daemons do not phase-lock.
+            delay = self.config.hello_interval_s * (offset + 1) / (
+                len(self._neighbors) + 1
+            )
+            self.kernel.schedule(delay, lambda n=neighbor: self._hello_tick(n))
+
+    def stop(self) -> None:
+        """Crash the daemon: stop probing and ignore everything received.
+
+        Models a site failure at the process level (as opposed to link
+        failures, which the condition timeline models): hellos stop, so
+        neighbours' loss estimates on links toward this node rise to 100%
+        within a probe window, link-state floods route everyone around it,
+        and packets forwarded to it vanish.  ``start`` restarts the daemon
+        with its protocol state intact (a warm restart).
+        """
+        self._running = False
+
+    def register_delivery(
+        self, flow: str, callback: Callable[[DataPacket, float], None]
+    ) -> None:
+        """Ask to be handed packets of ``flow`` addressed to this node."""
+        self._delivery_callbacks[flow] = callback
+
+    # -- link monitoring -----------------------------------------------------------
+
+    def _hello_tick(self, neighbor: NodeId) -> None:
+        if not self._running:
+            return
+        monitor = self._monitors[neighbor]
+        sequence = monitor.next_sequence
+        monitor.next_sequence += 1
+        monitor.outstanding[sequence] = self.kernel.now
+        self.network.send(
+            self.node_id, neighbor, Hello(self.node_id, sequence, self.kernel.now)
+        )
+        self.stats["hellos_sent"] += 1
+        self._expire_hellos(neighbor)
+        self.kernel.schedule(
+            self.config.hello_interval_s, lambda: self._hello_tick(neighbor)
+        )
+
+    def _expire_hellos(self, neighbor: NodeId) -> None:
+        """Declare old unacked probes lost and refresh the estimate."""
+        monitor = self._monitors[neighbor]
+        deadline = self.kernel.now - self.config.hello_timeout_s
+        expired = [
+            seq for seq, sent in monitor.outstanding.items() if sent <= deadline
+        ]
+        for sequence in expired:
+            del monitor.outstanding[sequence]
+            self._record_outcome(neighbor, sequence, acked=False)
+
+    def _record_outcome(self, neighbor: NodeId, sequence: int, acked: bool) -> None:
+        monitor = self._monitors[neighbor]
+        monitor.outcomes.append((sequence, acked))
+        while len(monitor.outcomes) > self.config.hello_window:
+            monitor.outcomes.popleft()
+        self._maybe_advertise(neighbor)
+
+    def loss_estimate(self, neighbor: NodeId) -> float:
+        """Current loss estimate for the outgoing link to ``neighbor``."""
+        monitor = self._monitors[neighbor]
+        if not monitor.outcomes:
+            return 0.0
+        lost = sum(1 for _seq, acked in monitor.outcomes if not acked)
+        return lost / len(monitor.outcomes)
+
+    def latency_estimate_ms(self, neighbor: NodeId) -> float:
+        """Current one-way latency estimate for the outgoing link."""
+        monitor = self._monitors[neighbor]
+        if monitor.latency_estimate_ms is None:
+            return self.topology.latency(self.node_id, neighbor)
+        return monitor.latency_estimate_ms
+
+    def _maybe_advertise(self, neighbor: NodeId) -> None:
+        """Originate an LSA when the estimate moved materially."""
+        monitor = self._monitors[neighbor]
+        loss = self.loss_estimate(neighbor)
+        latency = self.latency_estimate_ms(neighbor)
+        previous_latency = (
+            monitor.advertised_latency_ms
+            if monitor.advertised_latency_ms is not None
+            else self.topology.latency(self.node_id, neighbor)
+        )
+        loss_moved = abs(loss - monitor.advertised_loss) >= self.config.loss_report_delta
+        latency_moved = (
+            abs(latency - previous_latency) >= self.config.latency_report_delta_ms
+        )
+        if not loss_moved and not latency_moved:
+            return
+        monitor.advertised_loss = loss
+        monitor.advertised_latency_ms = latency
+        self._lsa_sequence += 1
+        update = LinkStateUpdate(
+            originator=self.node_id,
+            sequence=self._lsa_sequence,
+            edge=(self.node_id, neighbor),
+            loss_rate=loss,
+            latency_ms=latency,
+            originated_at_s=self.kernel.now,
+        )
+        self.stats["lsas_originated"] += 1
+        self._accept_lsa(update, flood_from=None)
+
+    # -- link-state flooding ---------------------------------------------------------
+
+    def _accept_lsa(self, update: LinkStateUpdate, flood_from: NodeId | None) -> None:
+        key = (update.originator, update.edge)
+        existing = self._lsdb.get(key)
+        if existing is not None and existing.sequence >= update.sequence:
+            return  # old news
+        self._lsdb[key] = update
+        for neighbor in self._neighbors:
+            if neighbor == flood_from:
+                continue
+            self.network.send(self.node_id, neighbor, update)
+            if flood_from is not None:
+                self.stats["lsas_forwarded"] += 1
+
+    def observed_view(self) -> dict[Edge, LinkState]:
+        """The degraded-edge view this daemon currently believes.
+
+        This is what the routing daemon feeds to its policy: for every
+        LSDB entry that deviates from clean, the loss rate and the latency
+        inflation over the topology's base latency.
+        """
+        view: dict[Edge, LinkState] = {}
+        for (_originator, edge), update in self._lsdb.items():
+            base = self.topology.latency(*edge)
+            extra = max(0.0, update.latency_ms - base)
+            if extra < 1.0:
+                extra = 0.0  # measurement jitter, not congestion
+            if update.loss_rate <= 0.0 and extra <= 0.0:
+                continue
+            view[edge] = LinkState(
+                loss_rate=min(1.0, max(0.0, update.loss_rate)),
+                extra_latency_ms=extra,
+            )
+        return view
+
+    # -- data plane ---------------------------------------------------------------------
+
+    def originate(self, packet: DataPacket) -> None:
+        """Inject a locally generated packet (called by the sending app)."""
+        require(packet.source == self.node_id, "originate() at the wrong node")
+        self._handle_data(packet, from_node=None)
+
+    def _first_sighting(self, flow: str, sequence: int) -> bool:
+        max_seen, seen = self._seen.get(flow, (-1, set()))
+        if sequence in seen:
+            return False
+        seen.add(sequence)
+        max_seen = max(max_seen, sequence)
+        # Bound memory: forget sequences far behind the newest.
+        if len(seen) > self.config.dedup_window:
+            horizon = max_seen - self.config.dedup_window
+            seen = {s for s in seen if s > horizon}
+        self._seen[flow] = (max_seen, seen)
+        return True
+
+    def _decode(self, encoding: bytes) -> DisseminationGraph:
+        graph = self._graph_cache.get(encoding)
+        if graph is None:
+            graph = decode_graph(self.topology, encoding)
+            self._graph_cache[encoding] = graph
+        return graph
+
+    def _handle_data(self, packet: DataPacket, from_node: NodeId | None) -> None:
+        if from_node is not None and self.config.enable_recovery:
+            # Ack every received copy, duplicate or not -- the sender's
+            # retransmission may be what finally got through.
+            self.network.send(
+                self.node_id, from_node, LinkAck(self.node_id, packet.flow, packet.sequence)
+            )
+        if not self._first_sighting(packet.flow, packet.sequence):
+            self.stats["duplicates_suppressed"] += 1
+            return
+        if packet.destination == self.node_id:
+            self.stats["data_delivered"] += 1
+            callback = self._delivery_callbacks.get(packet.flow)
+            if callback is not None:
+                callback(packet, self.kernel.now)
+            # The destination still forwards if the graph says so (it may
+            # relay toward other branches), though pruned graphs never do.
+        graph = self._decode(packet.graph_encoding)
+        for neighbor in graph.out_neighbors(self.node_id):
+            self._transmit_copy(packet, neighbor, attempt=0)
+
+    def _transmit_copy(self, packet: DataPacket, neighbor: NodeId, attempt: int) -> None:
+        self.network.send(self.node_id, neighbor, packet)
+        self.stats["data_forwarded"] += 1
+        if not self.config.enable_recovery:
+            return
+        key = (packet.flow, packet.sequence, neighbor)
+        self._pending_acks[key] = attempt
+        self.kernel.schedule(
+            self.config.recovery_timeout_s,
+            lambda: self._maybe_retransmit(packet, neighbor, attempt),
+        )
+
+    def _maybe_retransmit(
+        self, packet: DataPacket, neighbor: NodeId, attempt: int
+    ) -> None:
+        key = (packet.flow, packet.sequence, neighbor)
+        pending = self._pending_acks.get(key)
+        if pending is None or pending != attempt:
+            return  # acked, or a newer attempt owns the timer
+        if attempt + 1 > self.config.max_recovery_attempts:
+            del self._pending_acks[key]
+            return
+        self.stats["recoveries"] += 1
+        self._transmit_copy(packet, neighbor, attempt + 1)
+
+    # -- message dispatch ------------------------------------------------------------------
+
+    def receive(self, from_node: NodeId, message: object) -> None:
+        """Entry point for every message the network delivers to us."""
+        if not self._running:
+            return  # crashed daemon: everything sent to us is lost
+        if isinstance(message, Hello):
+            self.network.send(
+                self.node_id,
+                from_node,
+                HelloAck(self.node_id, message.sequence, message.sent_at_s),
+            )
+        elif isinstance(message, HelloAck):
+            self._handle_hello_ack(from_node, message)
+        elif isinstance(message, LinkStateUpdate):
+            self._accept_lsa(message, flood_from=from_node)
+        elif isinstance(message, DataPacket):
+            self._handle_data(message, from_node=from_node)
+        elif isinstance(message, LinkAck):
+            self._pending_acks.pop(
+                (message.flow, message.sequence, from_node), None
+            )
+        else:  # pragma: no cover - no other message types exist
+            raise TypeError(f"unknown message type {type(message).__name__}")
+
+    def _handle_hello_ack(self, from_node: NodeId, ack: HelloAck) -> None:
+        monitor = self._monitors.get(from_node)
+        if monitor is None or ack.hello_sequence not in monitor.outstanding:
+            return  # late ack for an already-expired probe
+        del monitor.outstanding[ack.hello_sequence]
+        rtt_s = self.kernel.now - ack.hello_sent_at_s
+        one_way_ms = rtt_s * 1000.0 / 2.0
+        if monitor.latency_estimate_ms is None:
+            monitor.latency_estimate_ms = one_way_ms
+        else:
+            w = self.config.latency_smoothing
+            monitor.latency_estimate_ms = (
+                w * one_way_ms + (1 - w) * monitor.latency_estimate_ms
+            )
+        self._record_outcome(from_node, ack.hello_sequence, acked=True)

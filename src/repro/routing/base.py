@@ -1,0 +1,204 @@
+"""Routing-policy interface and shared helpers.
+
+A policy's lifecycle is: construct with its parameters, :meth:`attach` to
+a (topology, flow, service) triple, then receive :meth:`update` calls with
+monotonically non-decreasing timestamps and the *observed* network view --
+the conditions as the source's daemon currently believes them to be (the
+replay engine applies the detection/propagation delay before calling).
+``update`` returns the dissemination graph in effect from that instant.
+
+Policies must be deterministic: the same sequence of updates yields the
+same graphs.  That, together with the common-random-number loss draws,
+makes whole multi-week replays exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Mapping
+
+from repro.core.dgraph import DisseminationGraph
+from repro.core.graph import Edge, NodeId, Topology
+from repro.netmodel.conditions import LinkState
+from repro.netmodel.topology import FlowSpec, ServiceSpec
+from repro.util.validation import require
+
+__all__ = [
+    "RoutingPolicy",
+    "observed_adjacency",
+    "degraded_edge_set",
+    "on_time_edges",
+]
+
+# Weight surcharge applied to a degraded edge when routing cannot avoid it
+# entirely: a full blackout counts like an extra second of latency, so any
+# clean alternative -- however long -- wins, but among unavoidable lossy
+# edges the least-lossy is chosen.
+LOSS_PENALTY_MS_PER_UNIT = 1000.0
+
+
+class RoutingPolicy(abc.ABC):
+    """Base class for all routing schemes."""
+
+    #: Human-readable scheme identifier (stable; used in reports).
+    name: str = "abstract"
+
+    #: Whether the scheme reacts to network conditions at all.  Static
+    #: schemes are never re-invoked after their first update, which lets
+    #: the replay engine skip per-segment work for them.
+    is_dynamic: bool = True
+
+    def __init__(self) -> None:
+        self._topology: Topology | None = None
+        self._flow: FlowSpec | None = None
+        self._service: ServiceSpec | None = None
+        self._last_update_s = float("-inf")
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def attach(
+        self, topology: Topology, flow: FlowSpec, service: ServiceSpec
+    ) -> "RoutingPolicy":
+        """Bind the policy to a flow; must be called exactly once."""
+        require(self._topology is None, f"policy {self.name} is already attached")
+        require(topology.frozen, "policies require a frozen topology")
+        require(topology.has_node(flow.source), f"unknown source {flow.source!r}")
+        require(
+            topology.has_node(flow.destination),
+            f"unknown destination {flow.destination!r}",
+        )
+        self._topology = topology
+        self._flow = flow
+        self._service = service
+        self._on_attach()
+        return self
+
+    def _on_attach(self) -> None:
+        """Hook for subclasses to precompute graphs."""
+
+    @property
+    def topology(self) -> Topology:
+        """The attached topology (raises if unattached)."""
+        require(self._topology is not None, f"policy {self.name} is not attached")
+        assert self._topology is not None
+        return self._topology
+
+    @property
+    def flow(self) -> FlowSpec:
+        """The attached flow (raises if unattached)."""
+        require(self._flow is not None, f"policy {self.name} is not attached")
+        assert self._flow is not None
+        return self._flow
+
+    @property
+    def service(self) -> ServiceSpec:
+        """The attached service spec (raises if unattached)."""
+        require(self._service is not None, f"policy {self.name} is not attached")
+        assert self._service is not None
+        return self._service
+
+    # -- decisions ------------------------------------------------------------
+
+    def update(
+        self, now_s: float, observed: Mapping[Edge, LinkState]
+    ) -> DisseminationGraph:
+        """Return the graph in effect from ``now_s`` given the observed view.
+
+        ``observed`` maps degraded edges to their (believed) state; edges
+        absent from the mapping are believed clean.
+        """
+        require(self._topology is not None, f"policy {self.name} is not attached")
+        require(
+            now_s >= self._last_update_s,
+            f"policy updates must move forward in time "
+            f"({now_s} < {self._last_update_s})",
+        )
+        self._last_update_s = now_s
+        return self._decide(now_s, observed)
+
+    @abc.abstractmethod
+    def _decide(
+        self, now_s: float, observed: Mapping[Edge, LinkState]
+    ) -> DisseminationGraph:
+        """Scheme-specific decision; timestamps already validated."""
+
+    def reset(self) -> None:
+        """Clear temporal state so the policy can replay another trace."""
+        self._last_update_s = float("-inf")
+
+
+def degraded_edge_set(
+    observed: Mapping[Edge, LinkState], loss_threshold: float
+) -> frozenset[Edge]:
+    """Edges whose observed loss rate meets the degradation threshold."""
+    return frozenset(
+        edge
+        for edge, state in observed.items()
+        if state.loss_rate >= loss_threshold
+    )
+
+
+def on_time_edges(
+    topology: Topology,
+    observed: Mapping[Edge, LinkState],
+    source: NodeId,
+    destination: NodeId,
+    deadline_ms: float,
+) -> frozenset[Edge]:
+    """Edges still usable within the deadline at *observed* latencies.
+
+    The time-constrained-flooding criterion applied to the live view: edge
+    ``(u, v)`` is usable iff ``dist(source, u) + lat(u, v) +
+    dist(v, destination) <= deadline``.  Timely re-routing restricts its
+    search to this set so it never installs a path that cannot possibly
+    deliver on time.
+    """
+    from repro.core.algorithms import single_source_distances
+    from repro.core.algorithms.adjacency import reverse_adjacency
+
+    adjacency = observed_adjacency(topology, observed)
+    from_source = single_source_distances(adjacency, source)
+    to_destination = single_source_distances(
+        reverse_adjacency(adjacency), destination
+    )
+    usable = set()
+    for node, neighbors in adjacency.items():
+        head = from_source.get(node)
+        if head is None:
+            continue
+        for neighbor, weight in neighbors.items():
+            tail = to_destination.get(neighbor)
+            if tail is None:
+                continue
+            if head + weight + tail <= deadline_ms:
+                usable.add((node, neighbor))
+    return frozenset(usable)
+
+
+def observed_adjacency(
+    topology: Topology,
+    observed: Mapping[Edge, LinkState],
+    exclude: frozenset[Edge] = frozenset(),
+    penalize_loss: bool = False,
+) -> dict[NodeId, dict[NodeId, float]]:
+    """Adjacency weighted by *observed* effective latency.
+
+    ``exclude`` drops edges outright (the normal way dynamic schemes avoid
+    degraded links).  With ``penalize_loss`` the lossy edges stay but carry
+    a large latency surcharge proportional to loss -- the fallback when
+    exclusion would disconnect the flow.
+    """
+    adjacency: dict[NodeId, dict[NodeId, float]] = {
+        node: {} for node in topology.nodes
+    }
+    for link in topology.iter_links():
+        if link.edge in exclude:
+            continue
+        state = observed.get(link.edge)
+        weight = link.latency_ms
+        if state is not None:
+            weight += state.extra_latency_ms
+            if penalize_loss:
+                weight += state.loss_rate * LOSS_PENALTY_MS_PER_UNIT
+        adjacency[link.source][link.target] = weight
+    return adjacency

@@ -1,0 +1,54 @@
+"""Time-constrained flooding: the optimal (and most expensive) scheme.
+
+Floods every packet on every edge that could still contribute an on-time
+copy.  By construction, if *any* dissemination graph could deliver a
+packet within the deadline, this one does -- so its unavailability is the
+lower bound every other scheme's "gap coverage" is measured against.
+The graph depends only on base latencies and the deadline, so it is
+static at attach time.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.builders import time_constrained_flooding_graph
+from repro.core.dgraph import DisseminationGraph
+from repro.core.graph import Edge
+from repro.netmodel.conditions import LinkState
+from repro.routing.base import RoutingPolicy
+
+__all__ = ["TimeConstrainedFloodingPolicy"]
+
+
+class TimeConstrainedFloodingPolicy(RoutingPolicy):
+    """Flood on all edges usable within the service deadline."""
+
+    name = "flooding"
+    is_dynamic = False
+
+    def __init__(self, deadline_ms: float | None = None) -> None:
+        """``deadline_ms`` defaults to the attached service's deadline."""
+        super().__init__()
+        self._deadline_override_ms = deadline_ms
+        self._graph: DisseminationGraph | None = None
+
+    def _on_attach(self) -> None:
+        deadline = (
+            self._deadline_override_ms
+            if self._deadline_override_ms is not None
+            else self.service.deadline_ms
+        )
+        self._graph = time_constrained_flooding_graph(
+            self.topology,
+            self.flow.source,
+            self.flow.destination,
+            deadline_ms=deadline,
+            name=self.name,
+        )
+
+    def _decide(
+        self, now_s: float, observed: Mapping[Edge, LinkState]
+    ) -> DisseminationGraph:
+        assert self._graph is not None
+        return self._graph

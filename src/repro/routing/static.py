@@ -1,0 +1,71 @@
+"""Static schemes: graphs fixed at attach time.
+
+These are the traditional baselines: a single pre-provisioned path
+(``static-single``) and a pre-provisioned pair of node-disjoint paths
+(``static-two-disjoint``).  They never react to conditions, which is
+exactly why the paper finds they leave most of the reliability gap open.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.builders import k_disjoint_paths_graph, single_path_graph
+from repro.core.dgraph import DisseminationGraph
+from repro.core.graph import Edge
+from repro.netmodel.conditions import LinkState
+from repro.routing.base import RoutingPolicy
+from repro.util.validation import require
+
+__all__ = ["StaticSinglePathPolicy", "StaticKDisjointPolicy"]
+
+
+class StaticSinglePathPolicy(RoutingPolicy):
+    """One lowest-latency path, chosen once from the base topology."""
+
+    name = "static-single"
+    is_dynamic = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._graph: DisseminationGraph | None = None
+
+    def _on_attach(self) -> None:
+        self._graph = single_path_graph(
+            self.topology, self.flow.source, self.flow.destination, name=self.name
+        )
+
+    def _decide(
+        self, now_s: float, observed: Mapping[Edge, LinkState]
+    ) -> DisseminationGraph:
+        assert self._graph is not None
+        return self._graph
+
+
+class StaticKDisjointPolicy(RoutingPolicy):
+    """A fixed set of ``k`` node-disjoint paths (k=2 is the paper's baseline)."""
+
+    is_dynamic = False
+
+    def __init__(self, k: int = 2) -> None:
+        super().__init__()
+        require(k >= 1, f"k must be >= 1, got {k}")
+        self.k = k
+        words = {2: "two", 3: "three"}
+        self.name = f"static-{words.get(k, k)}-disjoint"
+        self._graph: DisseminationGraph | None = None
+
+    def _on_attach(self) -> None:
+        self._graph = k_disjoint_paths_graph(
+            self.topology,
+            self.flow.source,
+            self.flow.destination,
+            k=self.k,
+            name=self.name,
+        )
+
+    def _decide(
+        self, now_s: float, observed: Mapping[Edge, LinkState]
+    ) -> DisseminationGraph:
+        assert self._graph is not None
+        return self._graph

@@ -1,0 +1,247 @@
+"""The paper's contribution: targeted-redundancy dissemination graphs.
+
+Normal operation uses the two node-disjoint paths (cheap, good enough in
+most cases -- claim C3).  When the detector classifies a problem:
+
+* **middle problem** -- re-route: recompute two disjoint paths avoiding
+  the degraded links (redundancy would not help; path selection does);
+* **source problem** -- switch to the *precomputed* source-problem graph
+  (packets leave the source over all its adjacent links);
+* **destination problem** -- switch to the precomputed destination-problem
+  graph (packets enter the destination over all its adjacent links);
+* **both** -- the precomputed robust source+destination graph.
+
+Problem graphs are precomputed at attach time so switching costs nothing
+at detection time, exactly as the paper argues a deployable system must.
+A hold-down keeps a problem graph installed briefly after the pattern
+clears, riding out the bursty gaps within one underlying outage.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.algorithms import NoPathError, disjoint_paths
+from repro.core.builders import (
+    destination_problem_graph,
+    k_disjoint_paths_graph,
+    robust_source_destination_graph,
+    source_problem_graph,
+)
+from repro.core.detection import ProblemClassifier, ProblemDetector, ProblemType
+from repro.core.dgraph import DisseminationGraph
+from repro.core.graph import Edge
+from repro.netmodel.conditions import LinkState
+from repro.routing.base import (
+    RoutingPolicy,
+    degraded_edge_set,
+    observed_adjacency,
+    on_time_edges,
+)
+from repro.util.validation import require, require_non_negative
+
+__all__ = ["TargetedRedundancyPolicy"]
+
+
+class TargetedRedundancyPolicy(RoutingPolicy):
+    """Two disjoint paths plus targeted redundancy on endpoint problems."""
+
+    name = "targeted"
+
+    def __init__(
+        self,
+        loss_threshold: float = 0.02,
+        endpoint_link_threshold: int = 2,
+        hold_down_s: float = 10.0,
+        max_entry_links: int | None = None,
+        max_exit_links: int | None = None,
+    ) -> None:
+        super().__init__()
+        require_non_negative(hold_down_s, "hold_down_s")
+        require(
+            max_entry_links is None or max_entry_links >= 1,
+            "max_entry_links must be None or >= 1",
+        )
+        require(
+            max_exit_links is None or max_exit_links >= 1,
+            "max_exit_links must be None or >= 1",
+        )
+        self.loss_threshold = loss_threshold
+        self.endpoint_link_threshold = endpoint_link_threshold
+        self.hold_down_s = hold_down_s
+        self.max_entry_links = max_entry_links
+        self.max_exit_links = max_exit_links
+        self._detector: ProblemDetector | None = None
+        self._base_graph: DisseminationGraph | None = None
+        self._problem_graphs: dict[ProblemType, DisseminationGraph] = {}
+        self._middle_cache_key: object = None
+        self._middle_cache_graph: DisseminationGraph | None = None
+        # Sticky memory of recently degraded edges: edge -> last time seen
+        # degraded.  Bursty outages flap faster than they heal; a link seen
+        # lossy within the hold-down stays excluded from re-routing even
+        # while it momentarily looks clean.
+        self._recently_degraded: dict[Edge, float] = {}
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def _on_attach(self) -> None:
+        source, destination = self.flow.source, self.flow.destination
+        self._base_graph = k_disjoint_paths_graph(
+            self.topology, source, destination, k=2, name=f"{self.name}/base"
+        )
+        deadline = self.service.deadline_ms
+        self._problem_graphs = {
+            ProblemType.SOURCE: source_problem_graph(
+                self.topology,
+                source,
+                destination,
+                max_exit_links=self.max_exit_links,
+                deadline_ms=deadline,
+                name=f"{self.name}/source-problem",
+            ),
+            ProblemType.DESTINATION: destination_problem_graph(
+                self.topology,
+                source,
+                destination,
+                max_entry_links=self.max_entry_links,
+                deadline_ms=deadline,
+                name=f"{self.name}/destination-problem",
+            ),
+            ProblemType.SOURCE_AND_DESTINATION: robust_source_destination_graph(
+                self.topology,
+                source,
+                destination,
+                max_entry_links=self.max_entry_links,
+                max_exit_links=self.max_exit_links,
+                deadline_ms=deadline,
+                name=f"{self.name}/robust",
+            ),
+        }
+        self._detector = ProblemDetector(
+            self.topology,
+            source,
+            destination,
+            classifier=ProblemClassifier(
+                loss_threshold=self.loss_threshold,
+                endpoint_link_threshold=self.endpoint_link_threshold,
+            ),
+            hold_down_s=self.hold_down_s,
+        )
+
+    def reset(self) -> None:
+        """Rebuild detector and caches for a fresh replay."""
+        super().reset()
+        if self._topology is not None:
+            self._on_attach()  # rebuild detector state; graphs are pure
+        self._middle_cache_key = None
+        self._middle_cache_graph = None
+        self._recently_degraded = {}
+
+    # -- decisions ----------------------------------------------------------------
+
+    @property
+    def problem_graphs(self) -> dict[ProblemType, DisseminationGraph]:
+        """The precomputed problem graphs (exposed for inspection/benches)."""
+        return dict(self._problem_graphs)
+
+    def _decide(
+        self, now_s: float, observed: Mapping[Edge, LinkState]
+    ) -> DisseminationGraph:
+        assert self._detector is not None and self._base_graph is not None
+        loss_rates = {
+            edge: state.loss_rate
+            for edge, state in observed.items()
+            if state.loss_rate > 0.0
+        }
+        for edge in degraded_edge_set(observed, self.loss_threshold):
+            self._recently_degraded[edge] = now_s
+        problem = self._detector.update(now_s, loss_rates)
+        if problem in self._problem_graphs:
+            graph = self._problem_graphs[problem]
+            # An endpoint problem can coincide with trouble in the middle
+            # of the network.  The precomputed problem graph reaches each
+            # endpoint-adjacent link over a single upstream path; if one of
+            # those paths is itself degraded (or latency-inflated), union
+            # in the timely re-route so copies also travel around the
+            # middle trouble.  Rare, so the cost impact is negligible.
+            sticky = self._sticky_degraded(now_s)
+            source, destination = self.flow.source, self.flow.destination
+            middle_trouble = {
+                edge
+                for edge in graph.edges
+                if source not in edge and destination not in edge
+            }
+            inflated = {
+                edge
+                for edge, state in observed.items()
+                if state.extra_latency_ms > 0.0
+            }
+            if middle_trouble & (sticky | inflated):
+                reroute = self._middle_reroute(now_s, observed)
+                graph = graph.union(reroute, name=graph.name)
+            return graph
+        if problem is ProblemType.MIDDLE:
+            return self._middle_reroute(now_s, observed)
+        return self._base_graph
+
+    def _sticky_degraded(self, now_s: float) -> frozenset[Edge]:
+        """Edges seen degraded within the hold-down window."""
+        horizon = now_s - self.hold_down_s
+        stale = [e for e, seen in self._recently_degraded.items() if seen < horizon]
+        for edge in stale:
+            del self._recently_degraded[edge]
+        return frozenset(self._recently_degraded)
+
+    def _middle_reroute(
+        self, now_s: float, observed: Mapping[Edge, LinkState]
+    ) -> DisseminationGraph:
+        """Two disjoint *timely* paths avoiding recently degraded links.
+
+        Unlike the plain dynamic scheme, the exclusion set is sticky (a
+        link seen lossy during this episode stays excluded through the
+        burst gaps) and the search is restricted to edges that can still
+        meet the deadline at observed latencies.
+        """
+        degraded = self._sticky_degraded(now_s)
+        timely = on_time_edges(
+            self.topology,
+            observed,
+            self.flow.source,
+            self.flow.destination,
+            self.service.deadline_ms,
+        )
+        inflated = tuple(
+            sorted(
+                (edge, state.extra_latency_ms)
+                for edge, state in observed.items()
+                if state.extra_latency_ms > 0.0
+            )
+        )
+        cache_key = (degraded, timely, inflated)
+        if cache_key == self._middle_cache_key and self._middle_cache_graph:
+            return self._middle_cache_graph
+        source, destination = self.flow.source, self.flow.destination
+        not_timely = frozenset(self.topology.edges) - timely
+        adjacency = observed_adjacency(
+            self.topology, observed, exclude=degraded | not_timely
+        )
+        paths = disjoint_paths(adjacency, source, destination, k=2)
+        if len(paths) < 2 and not_timely:
+            # No clean timely pair: re-admit lossy-but-timely edges with a
+            # loss surcharge so the pairing maximises cleanliness.
+            penalized = observed_adjacency(
+                self.topology, observed, exclude=not_timely, penalize_loss=True
+            )
+            paths = disjoint_paths(penalized, source, destination, k=2)
+        if len(paths) < 2:
+            # Deadline unmeetable on two paths: best effort over everything.
+            penalized = observed_adjacency(
+                self.topology, observed, penalize_loss=True
+            )
+            paths = disjoint_paths(penalized, source, destination, k=2)
+        if not paths:  # pragma: no cover - topology is connected by contract
+            raise NoPathError(source, destination)
+        graph = DisseminationGraph.from_paths(paths, name=f"{self.name}/reroute")
+        self._middle_cache_key = cache_key
+        self._middle_cache_graph = graph
+        return graph

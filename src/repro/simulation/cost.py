@@ -1,0 +1,55 @@
+"""Cost accounting across schemes (experiment E3).
+
+Cost is measured as the paper does: messages sent per packet, i.e. the
+number of edges of the installed dissemination graph, time-averaged over
+the replay.  The targeted scheme's headline property (claim C6) is that
+its *average* cost stays within a couple of percent of two disjoint paths,
+because the expensive problem graphs are installed only during the rare
+problem intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simulation.results import ReplayResult
+from repro.util.validation import require
+
+__all__ = ["SchemeCost", "cost_comparison"]
+
+
+@dataclass(frozen=True)
+class SchemeCost:
+    """One scheme's message cost, absolute and relative to a baseline."""
+
+    scheme: str
+    average_messages_per_packet: float
+    overhead_vs_baseline: float  # e.g. 0.02 == +2% over the baseline
+
+    @property
+    def overhead_percent(self) -> float:
+        """Overhead as a percentage (+2.0 == two percent more)."""
+        return 100.0 * self.overhead_vs_baseline
+
+
+def cost_comparison(
+    result: ReplayResult, baseline_scheme: str = "static-two-disjoint"
+) -> list[SchemeCost]:
+    """Per-scheme average cost, with overhead relative to ``baseline_scheme``."""
+    require(
+        baseline_scheme in result.schemes,
+        f"baseline scheme {baseline_scheme!r} not in results",
+    )
+    baseline_cost = result.totals(baseline_scheme).average_cost_messages
+    require(baseline_cost > 0, "baseline scheme has zero cost")
+    comparison = []
+    for scheme in result.schemes:
+        average = result.totals(scheme).average_cost_messages
+        comparison.append(
+            SchemeCost(
+                scheme=scheme,
+                average_messages_per_packet=average,
+                overhead_vs_baseline=(average - baseline_cost) / baseline_cost,
+            )
+        )
+    return comparison

@@ -1,0 +1,269 @@
+"""The analytic interval replay engine.
+
+Replays a whole condition trace against routing policies without touching
+individual packets: within every window where (a) all link conditions and
+(b) every scheme's installed graph are constant, the per-packet outcome
+distribution is identical for every packet, so one exact probability
+computation (:mod:`repro.simulation.reliability`) covers the window.
+
+Two layers of reuse keep multi-week replays fast:
+
+* the merged boundary list and per-boundary observed views are computed
+  once per replay and shared across all (flow, scheme) pairs;
+* probability computations are memoised on ``(graph edge set, relevant
+  conditions)`` -- the same outage evaluated for the same graph across
+  adjacent windows (or different flows) is computed once.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.dgraph import DisseminationGraph
+from repro.core.graph import Edge, Topology
+from repro.netmodel.conditions import ConditionTimeline, LinkState
+from repro.netmodel.topology import FlowSpec, ServiceSpec
+from repro.routing.base import RoutingPolicy
+from repro.routing.registry import STANDARD_SCHEME_NAMES, make_policy
+from repro.simulation.reliability import (
+    DeliveryProbabilities,
+    ReliabilityLimitError,
+    delivery_probabilities,
+    delivery_probabilities_with_recovery,
+)
+from repro.simulation.results import FlowSchemeStats, ReplayConfig, ReplayResult
+from repro.simulation.timeline import (
+    DecisionSpan,
+    build_decision_timeline,
+    decision_boundaries,
+    observed_view,
+)
+from repro.util.validation import require
+
+__all__ = ["replay_flow", "run_replay"]
+
+
+class _ProbabilityCache:
+    """Memoises delivery probabilities across windows, flows and schemes."""
+
+    def __init__(
+        self,
+        deadline_ms: float,
+        max_lossy_edges: int,
+        hop_recovery: bool = False,
+        recovery_extra_ms: float = 10.0,
+        max_recovery_lossy_edges: int = 11,
+    ) -> None:
+        self.deadline_ms = deadline_ms
+        self.max_lossy_edges = max_lossy_edges
+        self.hop_recovery = hop_recovery
+        self.recovery_extra_ms = recovery_extra_ms
+        self.max_recovery_lossy_edges = max_recovery_lossy_edges
+        self._cache: dict[object, DeliveryProbabilities] = {}
+        self._clean_cache: dict[object, DeliveryProbabilities] = {}
+        self.hits = 0
+        self.misses = 0
+        self.recovery_fallbacks = 0
+
+    def _clean_probabilities(
+        self, topology: Topology, graph: DisseminationGraph
+    ) -> DeliveryProbabilities:
+        """Outcome under base conditions (no loss, base latencies)."""
+        key = (graph.edges, graph.source, graph.destination)
+        cached = self._clean_cache.get(key)
+        if cached is None:
+            cached = delivery_probabilities(
+                graph,
+                self.deadline_ms,
+                lambda edge: topology.latency(*edge),
+                lambda edge: 0.0,
+                max_lossy_edges=self.max_lossy_edges,
+            )
+            self._clean_cache[key] = cached
+        return cached
+
+    def probabilities(
+        self,
+        topology: Topology,
+        graph: DisseminationGraph,
+        degraded: dict[Edge, LinkState],
+    ) -> DeliveryProbabilities:
+        """Delivery probabilities for ``graph`` under ``degraded`` conditions."""
+        relevant = tuple(
+            (edge, degraded[edge]) for edge in graph.sorted_edges() if edge in degraded
+        )
+        if not relevant:
+            # Clean graph: outcome depends only on base latencies.
+            return self._clean_probabilities(topology, graph)
+        key = (graph.edges, graph.source, graph.destination, relevant)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+
+        def latency_of(edge: Edge) -> float:
+            state = degraded.get(edge)
+            extra = state.extra_latency_ms if state is not None else 0.0
+            return topology.latency(*edge) + extra
+
+        def loss_of(edge: Edge) -> float:
+            state = degraded.get(edge)
+            return state.loss_rate if state is not None else 0.0
+
+        if self.hop_recovery:
+
+            def recovery_latency_of(edge: Edge) -> float:
+                # Ack timeout (~2x link latency + slack) + retransmission
+                # flight time.
+                return 3.0 * latency_of(edge) + self.recovery_extra_ms
+
+            try:
+                result = delivery_probabilities_with_recovery(
+                    graph,
+                    self.deadline_ms,
+                    latency_of,
+                    loss_of,
+                    recovery_latency_of,
+                    max_lossy_edges=self.max_recovery_lossy_edges,
+                )
+            except ReliabilityLimitError:
+                # Too many simultaneously lossy edges for ternary
+                # enumeration: fall back to the no-recovery computation,
+                # a conservative lower bound on delivery.
+                self.recovery_fallbacks += 1
+                result = delivery_probabilities(
+                    graph,
+                    self.deadline_ms,
+                    latency_of,
+                    loss_of,
+                    max_lossy_edges=self.max_lossy_edges,
+                )
+        else:
+            result = delivery_probabilities(
+                graph,
+                self.deadline_ms,
+                latency_of,
+                loss_of,
+                max_lossy_edges=self.max_lossy_edges,
+            )
+        self._cache[key] = result
+        return result
+
+
+def _iter_windows(
+    boundaries: Sequence[float], spans: Sequence[DecisionSpan]
+) -> Iterable[tuple[float, float, DisseminationGraph]]:
+    """Intersect boundary windows with (merged) decision spans."""
+    span_index = 0
+    for start, end in zip(boundaries, boundaries[1:]):
+        if end <= start:
+            continue
+        while spans[span_index].end_s <= start:
+            span_index += 1
+        span = spans[span_index]
+        assert span.start_s <= start and end <= span.end_s + 1e-9
+        yield start, end, span.graph
+
+
+def replay_flow(
+    topology: Topology,
+    timeline: ConditionTimeline,
+    flow: FlowSpec,
+    service: ServiceSpec,
+    policy: RoutingPolicy,
+    config: ReplayConfig = ReplayConfig(),
+    boundaries: Sequence[float] | None = None,
+    observed_views: Sequence[dict] | None = None,
+    actual_views: Sequence[dict] | None = None,
+    cache: _ProbabilityCache | None = None,
+) -> FlowSchemeStats:
+    """Replay one flow under one policy over the whole trace."""
+    if boundaries is None:
+        boundaries = decision_boundaries(timeline, config.detection_delay_s)
+    if observed_views is None:
+        observed_views = [
+            observed_view(timeline, b, config.detection_delay_s)
+            for b in boundaries[:-1]
+        ]
+    if actual_views is None:
+        actual_views = [timeline.degraded_at(b) for b in boundaries[:-1]]
+    if cache is None:
+        cache = _ProbabilityCache(
+            service.deadline_ms,
+            config.max_lossy_edges,
+            hop_recovery=config.hop_recovery,
+            recovery_extra_ms=config.recovery_extra_ms,
+            max_recovery_lossy_edges=config.max_recovery_lossy_edges,
+        )
+    spans = build_decision_timeline(
+        topology,
+        timeline,
+        flow,
+        service,
+        policy,
+        detection_delay_s=config.detection_delay_s,
+        boundaries=list(boundaries),
+        observed_views=list(observed_views),
+    )
+    stats = FlowSchemeStats(flow=flow, scheme=policy.name)
+    stats.decision_changes = len(spans) - 1
+    for index, (start, end, graph) in enumerate(
+        _iter_windows(boundaries, spans)
+    ):
+        degraded = actual_views[index]
+        probabilities = cache.probabilities(topology, graph, degraded)
+        stats.add_window(
+            start,
+            end,
+            graph.name,
+            graph.num_edges,
+            probabilities.on_time,
+            probabilities.lost,
+            probabilities.late,
+            collect=config.collect_windows,
+        )
+    return stats
+
+
+def run_replay(
+    topology: Topology,
+    timeline: ConditionTimeline,
+    flows: Sequence[FlowSpec],
+    service: ServiceSpec,
+    scheme_names: Sequence[str] = STANDARD_SCHEME_NAMES,
+    config: ReplayConfig = ReplayConfig(),
+) -> ReplayResult:
+    """Replay every flow under every scheme; the evaluation workhorse."""
+    require(bool(flows), "need at least one flow")
+    require(bool(scheme_names), "need at least one scheme")
+    boundaries = decision_boundaries(timeline, config.detection_delay_s)
+    observed_views = [
+        observed_view(timeline, b, config.detection_delay_s) for b in boundaries[:-1]
+    ]
+    actual_views = [timeline.degraded_at(b) for b in boundaries[:-1]]
+    cache = _ProbabilityCache(
+        service.deadline_ms,
+        config.max_lossy_edges,
+        hop_recovery=config.hop_recovery,
+        recovery_extra_ms=config.recovery_extra_ms,
+        max_recovery_lossy_edges=config.max_recovery_lossy_edges,
+    )
+    result = ReplayResult(service, config)
+    for scheme_name in scheme_names:
+        for flow in flows:
+            policy = make_policy(scheme_name)
+            stats = replay_flow(
+                topology,
+                timeline,
+                flow,
+                service,
+                policy,
+                config,
+                boundaries=boundaries,
+                observed_views=observed_views,
+                actual_views=actual_views,
+                cache=cache,
+            )
+            result.add(stats)
+    return result

@@ -1,0 +1,126 @@
+"""Per-flow decision timelines: which graph is installed when.
+
+A routing policy's decisions depend on its *observed* view of the network,
+which lags reality by the detection delay (loss-rate estimation windows
+plus link-state propagation).  Conditions change at the trace's change
+times; the policy's view therefore changes at those times *shifted* by the
+delay.  Between consecutive boundaries of the merged set, both the real
+conditions and every scheme's installed graph are constant -- the unit of
+work for the analytic engine, and the schedule the packet engine follows.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+
+from repro.core.dgraph import DisseminationGraph
+from repro.core.graph import Topology
+from repro.netmodel.conditions import ConditionTimeline, LinkState
+from repro.netmodel.topology import FlowSpec, ServiceSpec
+from repro.routing.base import RoutingPolicy
+from repro.util.validation import require, require_non_negative
+
+__all__ = ["DecisionSpan", "build_decision_timeline", "decision_boundaries"]
+
+
+@dataclass(frozen=True)
+class DecisionSpan:
+    """One interval during which a scheme keeps one graph installed."""
+
+    start_s: float
+    end_s: float
+    graph: DisseminationGraph
+
+    def __post_init__(self) -> None:
+        require(self.end_s > self.start_s, "span must have positive length")
+
+    @property
+    def duration_s(self) -> float:
+        """Span length in seconds."""
+        return self.end_s - self.start_s
+
+
+def decision_boundaries(
+    timeline: ConditionTimeline, detection_delay_s: float
+) -> list[float]:
+    """Merged boundary set: condition changes and their delayed echoes."""
+    require_non_negative(detection_delay_s, "detection_delay_s")
+    boundaries = set(timeline.change_times)
+    if detection_delay_s > 0:
+        for change in timeline.change_times:
+            echoed = change + detection_delay_s
+            if echoed < timeline.duration_s:
+                boundaries.add(echoed)
+    boundaries.add(0.0)
+    boundaries.add(timeline.duration_s)
+    return sorted(b for b in boundaries if 0.0 <= b <= timeline.duration_s)
+
+
+def observed_view(
+    timeline: ConditionTimeline, now_s: float, detection_delay_s: float
+) -> dict:
+    """The network view a daemon holds at ``now_s``: reality at ``now - delay``."""
+    observed_time = now_s - detection_delay_s
+    if observed_time < 0.0:
+        return {}
+    return timeline.degraded_at(observed_time)
+
+
+def build_decision_timeline(
+    topology: Topology,
+    timeline: ConditionTimeline,
+    flow: FlowSpec,
+    service: ServiceSpec,
+    policy: RoutingPolicy,
+    detection_delay_s: float = 1.0,
+    boundaries: list[float] | None = None,
+    observed_views: list[dict] | None = None,
+) -> list[DecisionSpan]:
+    """Step ``policy`` through the trace; return its installed-graph spans.
+
+    The policy must be attached to ``(topology, flow, service)`` already,
+    or unattached (it will be attached here).  Consecutive spans with the
+    same graph are merged, so static schemes yield a single span.
+
+    ``boundaries``/``observed_views`` let callers precompute the merged
+    boundary list and the per-boundary observed views once and share them
+    across the many (flow, scheme) pairs of a full replay.
+    """
+    if policy._topology is None:  # noqa: SLF001 - attach-once convenience
+        policy.attach(topology, flow, service)
+    if boundaries is None:
+        boundaries = decision_boundaries(timeline, detection_delay_s)
+    if observed_views is None:
+        observed_views = [
+            observed_view(timeline, b, detection_delay_s) for b in boundaries[:-1]
+        ]
+    require(
+        len(observed_views) == len(boundaries) - 1,
+        "observed_views must align with boundaries",
+    )
+    spans: list[DecisionSpan] = []
+    for index in range(len(boundaries) - 1):
+        start, end = boundaries[index], boundaries[index + 1]
+        if end <= start:
+            continue
+        graph = policy.update(start, observed_views[index])
+        if spans and spans[-1].graph == graph:
+            spans[-1] = DecisionSpan(spans[-1].start_s, end, graph)
+        else:
+            spans.append(DecisionSpan(start, end, graph))
+    return spans
+
+
+def graph_at(spans: list[DecisionSpan], time_s: float) -> DisseminationGraph:
+    """The graph installed at ``time_s`` (spans must be contiguous)."""
+    require(bool(spans), "empty decision timeline")
+    starts = [span.start_s for span in spans]
+    index = bisect_right(starts, time_s) - 1
+    index = max(0, index)
+    span = spans[index]
+    require(
+        span.start_s <= time_s < span.end_s or time_s == spans[-1].end_s,
+        f"time {time_s} outside decision timeline",
+    )
+    return span.graph

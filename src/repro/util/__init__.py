@@ -1,0 +1,16 @@
+"""Shared low-level utilities.
+
+This subpackage deliberately has no dependencies on the rest of
+:mod:`repro` so that every other subpackage may use it freely.
+"""
+
+from repro.util.rng import DeterministicStream, hash_uniform
+from repro.util.tables import render_table
+from repro.util.validation import require
+
+__all__ = [
+    "DeterministicStream",
+    "hash_uniform",
+    "render_table",
+    "require",
+]

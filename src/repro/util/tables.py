@@ -1,0 +1,68 @@
+"""Plain-text table rendering for reports and benchmark output.
+
+The evaluation harness reproduces the paper's tables as aligned ASCII so
+that bench output can be compared side by side with the paper.  Keeping the
+renderer here (rather than in :mod:`repro.analysis`) lets the CLI and the
+benches share it without pulling in analysis code.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["render_table", "format_cell"]
+
+
+def format_cell(value: object, float_digits: int = 3) -> str:
+    """Format a single table cell.
+
+    Floats are fixed-point with ``float_digits`` digits; ints and strings
+    pass through; ``None`` renders as ``-``.
+    """
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{float_digits}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+    float_digits: int = 3,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table.
+
+    The first column is left-aligned (labels); remaining columns are
+    right-aligned (numbers), matching typical paper tables.
+    """
+    formatted = [[format_cell(cell, float_digits) for cell in row] for row in rows]
+    for row in formatted:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row!r}"
+            )
+    widths = [len(header) for header in headers]
+    for row in formatted:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        parts = []
+        for index, cell in enumerate(cells):
+            if index == 0:
+                parts.append(cell.ljust(widths[index]))
+            else:
+                parts.append(cell.rjust(widths[index]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(list(headers)))
+    lines.append("  ".join("-" * width for width in widths))
+    lines.extend(render_row(row) for row in formatted)
+    return "\n".join(lines)

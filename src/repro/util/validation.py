@@ -1,0 +1,43 @@
+"""Small argument-validation helpers used across the library."""
+
+from __future__ import annotations
+
+from typing import NoReturn
+
+
+class ValidationError(ValueError):
+    """Raised when a caller supplies an argument that violates a contract."""
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValidationError` with ``message`` unless ``condition``.
+
+    This is used for *caller* errors (bad arguments), never for internal
+    invariants -- internal invariants use ``assert`` so they can be compiled
+    out and so that their failure clearly indicates a library bug.
+    """
+    if not condition:
+        raise ValidationError(message)
+
+
+def fail(message: str) -> NoReturn:
+    """Unconditionally raise :class:`ValidationError`."""
+    raise ValidationError(message)
+
+
+def require_probability(value: float, name: str) -> float:
+    """Validate that ``value`` is a probability in ``[0, 1]`` and return it."""
+    require(0.0 <= value <= 1.0, f"{name} must be in [0, 1], got {value!r}")
+    return float(value)
+
+
+def require_positive(value: float, name: str) -> float:
+    """Validate that ``value`` is strictly positive and return it."""
+    require(value > 0, f"{name} must be > 0, got {value!r}")
+    return float(value)
+
+
+def require_non_negative(value: float, name: str) -> float:
+    """Validate that ``value`` is >= 0 and return it."""
+    require(value >= 0, f"{name} must be >= 0, got {value!r}")
+    return float(value)

@@ -1,0 +1,129 @@
+"""Outage-episode extraction and summaries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.availability import outage_episodes, summarize_outages
+from repro.netmodel.topology import FlowSpec, ServiceSpec
+from repro.simulation.results import FlowSchemeStats, ReplayConfig, ReplayResult
+
+FLOW = FlowSpec("S", "T")
+
+
+def stats_with_windows(pattern, scheme="x"):
+    """``pattern``: list of (duration, on_time_probability)."""
+    stats = FlowSchemeStats(flow=FLOW, scheme=scheme)
+    clock = 0.0
+    for duration, on_time in pattern:
+        lost = 1.0 - on_time
+        stats.add_window(
+            clock, clock + duration, "g", 2, on_time, lost, 0.0, collect=True
+        )
+        clock += duration
+    return stats
+
+
+class TestEpisodeExtraction:
+    def test_no_outage(self):
+        stats = stats_with_windows([(100.0, 1.0)])
+        assert outage_episodes(stats) == []
+
+    def test_single_episode(self):
+        stats = stats_with_windows([(40.0, 1.0), (10.0, 0.5), (50.0, 1.0)])
+        episodes = outage_episodes(stats)
+        assert len(episodes) == 1
+        episode = episodes[0]
+        assert episode.start_s == 40.0
+        assert episode.end_s == 50.0
+        assert episode.duration_s == 10.0
+        assert episode.worst_on_time_probability == 0.5
+        assert episode.unavailable_s == pytest.approx(5.0)
+
+    def test_adjacent_degraded_windows_merge(self):
+        stats = stats_with_windows(
+            [(40.0, 1.0), (5.0, 0.5), (5.0, 0.8), (50.0, 1.0)]
+        )
+        episodes = outage_episodes(stats)
+        assert len(episodes) == 1
+        assert episodes[0].duration_s == 10.0
+        assert episodes[0].worst_on_time_probability == 0.5
+
+    def test_separate_episodes(self):
+        stats = stats_with_windows(
+            [(10.0, 1.0), (5.0, 0.0), (10.0, 1.0), (5.0, 0.2), (10.0, 1.0)]
+        )
+        episodes = outage_episodes(stats)
+        assert len(episodes) == 2
+
+    def test_trailing_episode_closed(self):
+        stats = stats_with_windows([(10.0, 1.0), (5.0, 0.0)])
+        episodes = outage_episodes(stats)
+        assert len(episodes) == 1
+        assert episodes[0].end_s == 15.0
+
+    def test_threshold(self):
+        stats = stats_with_windows([(10.0, 0.9995)])
+        assert outage_episodes(stats, threshold=0.999) == []
+        assert len(outage_episodes(stats, threshold=0.9999)) == 1
+
+    def test_requires_windows(self):
+        stats = FlowSchemeStats(flow=FLOW, scheme="x")
+        with pytest.raises(Exception):
+            outage_episodes(stats)
+
+
+class TestSummaries:
+    def build_result(self):
+        result = ReplayResult(ServiceSpec(), ReplayConfig(collect_windows=True))
+        result.add(
+            stats_with_windows(
+                [(10.0, 1.0), (5.0, 0.0), (10.0, 1.0), (20.0, 0.5), (10.0, 1.0)],
+                scheme="bursty",
+            )
+        )
+        clean = stats_with_windows([(55.0, 1.0)], scheme="clean")
+        result.add(clean)
+        return result
+
+    def test_summary_statistics(self):
+        summaries = {s.scheme: s for s in summarize_outages(self.build_result())}
+        bursty = summaries["bursty"]
+        assert bursty.episodes == 2
+        assert bursty.max_duration_s == 20.0
+        assert bursty.mean_duration_s == pytest.approx(12.5)
+        assert bursty.total_unavailable_s == pytest.approx(5.0 + 10.0)
+
+    def test_clean_scheme_zeroes(self):
+        summaries = {s.scheme: s for s in summarize_outages(self.build_result())}
+        assert summaries["clean"].episodes == 0
+        assert summaries["clean"].max_duration_s == 0.0
+
+    def test_integration_with_replay(self, diamond):
+        from repro.netmodel.conditions import (
+            ConditionTimeline,
+            Contribution,
+            LinkState,
+        )
+        from repro.routing.registry import make_policy
+        from repro.simulation.interval import replay_flow
+
+        timeline = ConditionTimeline(
+            diamond,
+            200.0,
+            [
+                Contribution(("S", "A"), 50.0, 80.0, LinkState(loss_rate=1.0)),
+                Contribution(("S", "A"), 120.0, 130.0, LinkState(loss_rate=1.0)),
+            ],
+        )
+        service = ServiceSpec(
+            deadline_ms=15.0, send_interval_ms=10.0, rtt_budget_ms=30.0
+        )
+        stats = replay_flow(
+            diamond, timeline, FLOW, service, make_policy("static-single"),
+            ReplayConfig(collect_windows=True),
+        )
+        episodes = outage_episodes(stats)
+        assert len(episodes) == 2
+        assert episodes[0].duration_s == pytest.approx(30.0)
+        assert episodes[1].duration_s == pytest.approx(10.0)

@@ -1,0 +1,122 @@
+"""Case-study machinery (experiment E4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.casestudy import bucketed_delivery, find_episode, run_case_study
+from repro.netmodel.conditions import ConditionTimeline, LinkState
+from repro.netmodel.events import Burst, EventKind, LinkDegradation, ProblemEvent
+from repro.netmodel.topology import FlowSpec, ServiceSpec
+
+FLOW = FlowSpec("NYC", "SJC")
+
+
+def destination_event(topology, start=60.0, duration=90.0):
+    degradations = tuple(
+        LinkDegradation(edge, LinkState(loss_rate=0.7))
+        for edge in topology.adjacent_edges("SJC")
+    )
+    return ProblemEvent(
+        EventKind.NODE, "SJC", start, duration, (Burst(start, duration, degradations),)
+    )
+
+
+class TestFindEpisode:
+    def test_finds_destination_event(self, reference_topology, flows):
+        event = destination_event(reference_topology)
+        found = find_episode([event], flows, at="destination")
+        assert found is not None
+        episode, flow = found
+        assert episode is event
+        assert flow.destination == "SJC"
+
+    def test_respects_min_duration(self, reference_topology, flows):
+        event = destination_event(reference_topology, duration=10.0)
+        assert find_episode([event], flows, min_duration_s=60.0) is None
+
+    def test_source_selector(self, reference_topology, flows):
+        degradations = tuple(
+            LinkDegradation(edge, LinkState(loss_rate=0.7))
+            for edge in reference_topology.adjacent_edges("NYC")
+        )
+        event = ProblemEvent(
+            EventKind.NODE, "NYC", 10.0, 90.0, (Burst(10.0, 90.0, degradations),)
+        )
+        found = find_episode([event], flows, at="source")
+        assert found is not None
+        assert found[1].source == "NYC"
+
+    def test_bad_selector(self, reference_topology, flows):
+        with pytest.raises(Exception):
+            find_episode([], flows, at="sideways")
+
+
+class TestRunCaseStudy:
+    def test_schemes_ranked_during_event(self, reference_topology):
+        event = destination_event(reference_topology)
+        timeline = ConditionTimeline(
+            reference_topology, 240.0, event.contributions()
+        )
+        study = run_case_study(
+            reference_topology,
+            timeline,
+            FLOW,
+            event,
+            ServiceSpec(),
+            scheme_names=("static-single", "static-two-disjoint", "targeted", "flooding"),
+            seed=2,
+        )
+        fractions = {
+            name: outcome.on_time_fraction for name, outcome in study.outcomes.items()
+        }
+        assert fractions["static-single"] < fractions["static-two-disjoint"]
+        assert fractions["static-two-disjoint"] < fractions["targeted"]
+        assert fractions["targeted"] <= fractions["flooding"] + 1e-9
+
+    def test_window_brackets_event(self, reference_topology):
+        event = destination_event(reference_topology)
+        timeline = ConditionTimeline(
+            reference_topology, 240.0, event.contributions()
+        )
+        study = run_case_study(
+            reference_topology,
+            timeline,
+            FLOW,
+            event,
+            ServiceSpec(),
+            scheme_names=("flooding",),
+            lead_s=30.0,
+            tail_s=30.0,
+        )
+        assert study.window_start_s == pytest.approx(30.0)
+        assert study.window_end_s == pytest.approx(180.0)
+
+
+class TestBucketedDelivery:
+    def test_buckets_cover_window(self, reference_topology):
+        event = destination_event(reference_topology)
+        timeline = ConditionTimeline(
+            reference_topology, 240.0, event.contributions()
+        )
+        study = run_case_study(
+            reference_topology,
+            timeline,
+            FLOW,
+            event,
+            ServiceSpec(),
+            scheme_names=("flooding",),
+        )
+        series = bucketed_delivery(study.outcomes["flooding"], bucket_s=10.0)
+        assert series
+        assert all(0.0 <= rate <= 1.0 for _t, rate in series)
+        # Pre-event buckets are perfect; in-event buckets are degraded.
+        pre_event = [rate for t, rate in series if t < 50.0]
+        in_event = [rate for t, rate in series if 60.0 <= t < 140.0]
+        assert all(rate == 1.0 for rate in pre_event)
+        assert all(rate < 1.0 for rate in in_event)
+
+    def test_empty_outcome(self):
+        from repro.simulation.packet_sim import PacketSimOutcome
+
+        assert bucketed_delivery(PacketSimOutcome(FLOW, "x", [])) == []

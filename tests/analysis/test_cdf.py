@@ -1,0 +1,66 @@
+"""Latency profiles and CDFs (experiment E6 machinery)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.cdf import cdf_at, latency_profile
+from repro.netmodel.topology import FlowSpec
+from repro.simulation.packet_sim import PacketRecord, PacketSimOutcome
+
+FLOW = FlowSpec("S", "T")
+
+
+def record(seq, arrival, deadline=15.0, messages=2):
+    on_time = arrival is not None and arrival <= deadline
+    return PacketRecord(seq, seq * 0.01, arrival, on_time, messages, "g")
+
+
+def outcome(arrivals):
+    records = [record(i, arrival) for i, arrival in enumerate(arrivals)]
+    return PacketSimOutcome(FLOW, "scheme-x", records)
+
+
+class TestLatencyProfile:
+    def test_basic_stats(self):
+        profile = latency_profile(outcome([10.0, 12.0, 14.0, None]))
+        assert profile.packets == 4
+        assert profile.delivered == 3
+        assert profile.lost_fraction == pytest.approx(0.25)
+        assert profile.p50_ms == pytest.approx(12.0)
+        assert profile.max_ms == 14.0
+        assert profile.on_time_fraction == pytest.approx(0.75)
+
+    def test_all_lost(self):
+        profile = latency_profile(outcome([None, None]))
+        assert profile.delivered == 0
+        assert profile.lost_fraction == 1.0
+        assert math.isnan(profile.p50_ms)
+
+    def test_empty(self):
+        profile = latency_profile(outcome([]))
+        assert profile.packets == 0
+        assert profile.on_time_fraction == 1.0
+
+    def test_cdf_monotone(self):
+        profile = latency_profile(outcome([5.0, 1.0, 3.0, 3.0]))
+        fractions = [fraction for _value, fraction in profile.cdf]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == 1.0
+
+
+class TestCdfAt:
+    def test_lookup(self):
+        profile = latency_profile(outcome([10.0, 20.0, 30.0, 40.0]))
+        assert cdf_at(profile, 5.0) == 0.0
+        assert cdf_at(profile, 20.0) == pytest.approx(0.5)
+        assert cdf_at(profile, 100.0) == 1.0
+
+    def test_outcome_properties(self):
+        o = outcome([10.0, 20.0, None])
+        assert o.delivered_on_time == 1
+        assert o.late == 1
+        assert o.lost == 1
+        assert o.latencies_ms() == [10.0, 20.0]

@@ -1,0 +1,188 @@
+"""Problem classification analyses (experiment E1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.classify import (
+    attribute_unavailability,
+    classification_distribution,
+    classifier_verdicts,
+    classify_events_for_flows,
+)
+from repro.core.detection import ProblemType
+from repro.netmodel.conditions import ConditionTimeline, LinkState
+from repro.netmodel.events import Burst, EventKind, LinkDegradation, ProblemEvent
+from repro.netmodel.topology import FlowSpec
+from repro.routing.registry import make_policy
+from repro.simulation.interval import run_replay
+from repro.simulation.results import ReplayConfig
+from repro.netmodel.topology import ServiceSpec
+
+FLOW = FlowSpec("NYC", "SJC")
+DEADLINE = 65.0
+
+
+def node_event(topology, node, start=10.0, duration=30.0, rate=0.6):
+    degradations = tuple(
+        LinkDegradation(edge, LinkState(loss_rate=rate))
+        for edge in topology.adjacent_edges(node)
+    )
+    return ProblemEvent(
+        EventKind.NODE,
+        node,
+        start,
+        duration,
+        (Burst(start, duration, degradations),),
+    )
+
+
+def link_event(edge, start=10.0, duration=30.0, rate=0.6):
+    return ProblemEvent(
+        EventKind.LINK,
+        edge,
+        start,
+        duration,
+        (Burst(start, duration, (LinkDegradation(edge, LinkState(loss_rate=rate)),)),),
+    )
+
+
+class TestGroundTruthClassification:
+    def test_destination_node_event(self, reference_topology):
+        events = [node_event(reference_topology, "SJC")]
+        problems = classify_events_for_flows(
+            reference_topology, [FLOW], events, DEADLINE
+        )
+        assert len(problems) == 1
+        assert problems[0].category == "destination"
+
+    def test_source_node_event(self, reference_topology):
+        events = [node_event(reference_topology, "NYC")]
+        problems = classify_events_for_flows(
+            reference_topology, [FLOW], events, DEADLINE
+        )
+        assert problems[0].category == "source"
+
+    def test_middle_node_event(self, reference_topology):
+        events = [node_event(reference_topology, "CHI")]
+        problems = classify_events_for_flows(
+            reference_topology, [FLOW], events, DEADLINE
+        )
+        assert problems[0].category == "middle"
+
+    def test_middle_link_event(self, reference_topology):
+        events = [link_event(("CHI", "DEN"))]
+        problems = classify_events_for_flows(
+            reference_topology, [FLOW], events, DEADLINE
+        )
+        assert problems[0].category == "middle"
+
+    def test_endpoint_adjacent_link_event(self, reference_topology):
+        events = [link_event(("DEN", "SJC"))]
+        problems = classify_events_for_flows(
+            reference_topology, [FLOW], events, DEADLINE
+        )
+        assert problems[0].category == "destination"
+
+    def test_irrelevant_event_skipped(self, reference_topology):
+        # Trans-Atlantic link cannot carry a timely NYC->SJC route.
+        events = [link_event(("LON", "FRA"))]
+        problems = classify_events_for_flows(
+            reference_topology, [FLOW], events, DEADLINE
+        )
+        assert problems == []
+
+    def test_latency_events_not_problems(self, reference_topology):
+        burst = Burst(
+            10.0,
+            30.0,
+            (
+                LinkDegradation(
+                    ("CHI", "DEN"), LinkState(extra_latency_ms=50.0)
+                ),
+            ),
+        )
+        events = [
+            ProblemEvent(EventKind.LATENCY, ("CHI", "DEN"), 10.0, 30.0, (burst,))
+        ]
+        assert (
+            classify_events_for_flows(reference_topology, [FLOW], events, DEADLINE)
+            == []
+        )
+
+    def test_distribution_sums_to_one(self, reference_topology):
+        events = [
+            node_event(reference_topology, "SJC"),
+            node_event(reference_topology, "NYC"),
+            link_event(("CHI", "DEN")),
+        ]
+        problems = classify_events_for_flows(
+            reference_topology, [FLOW], events, DEADLINE
+        )
+        distribution = classification_distribution(problems)
+        assert sum(distribution.values()) == pytest.approx(1.0)
+
+    def test_empty_distribution(self):
+        distribution = classification_distribution([])
+        assert all(value == 0.0 for value in distribution.values())
+
+
+class TestOnlineVerdicts:
+    def test_agrees_with_ground_truth_on_node_events(self, reference_topology):
+        events = [
+            node_event(reference_topology, "SJC"),
+            node_event(reference_topology, "NYC", start=100.0),
+        ]
+        contributions = [c for e in events for c in e.contributions()]
+        timeline = ConditionTimeline(reference_topology, 200.0, contributions)
+        problems = classify_events_for_flows(
+            reference_topology, [FLOW], events, DEADLINE
+        )
+        verdicts = classifier_verdicts(reference_topology, timeline, problems)
+        expected = {
+            "destination": ProblemType.DESTINATION,
+            "source": ProblemType.SOURCE,
+        }
+        for problem, verdict in verdicts:
+            assert verdict == expected[problem.category]
+
+
+class TestUnavailabilityAttribution:
+    def test_endpoint_concentration(self, reference_topology):
+        """Claim C3 in miniature: a destination event plus a middle link
+        event -- two-disjoint unavailability must concentrate at the
+        destination (the middle event is routed around for free)."""
+        events = [
+            node_event(reference_topology, "SJC", start=10.0, duration=50.0, rate=0.7),
+            link_event(("CHI", "DEN"), start=100.0, duration=50.0, rate=0.9),
+        ]
+        contributions = [c for e in events for c in e.contributions()]
+        timeline = ConditionTimeline(reference_topology, 300.0, contributions)
+        result = run_replay(
+            reference_topology,
+            timeline,
+            [FLOW],
+            ServiceSpec(),
+            scheme_names=("static-two-disjoint",),
+            config=ReplayConfig(collect_windows=True),
+        )
+        attribution = attribute_unavailability(
+            reference_topology, timeline, result
+        )
+        assert attribution["destination"] > 0.0
+        assert attribution["middle"] == 0.0  # one middle link never breaks a pair
+        total = sum(attribution.values())
+        assert attribution["destination"] / total > 0.99
+
+    def test_requires_windows(self, reference_topology):
+        timeline = ConditionTimeline(reference_topology, 10.0)
+        result = run_replay(
+            reference_topology,
+            timeline,
+            [FLOW],
+            ServiceSpec(),
+            scheme_names=("static-two-disjoint",),
+            config=ReplayConfig(collect_windows=False),
+        )
+        with pytest.raises(ValueError, match="collect_windows"):
+            attribute_unavailability(reference_topology, timeline, result)

@@ -1,0 +1,78 @@
+"""Report rendering (sanity: tables contain the right rows/columns)."""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import (
+    format_classification_table,
+    format_cost_table,
+    format_per_flow_table,
+    format_scheme_performance_table,
+)
+from repro.netmodel.topology import FlowSpec, ServiceSpec
+from repro.simulation.results import FlowSchemeStats, ReplayConfig, ReplayResult
+
+FLOW = FlowSpec("S", "T")
+
+
+def build_result():
+    result = ReplayResult(ServiceSpec(), ReplayConfig())
+    for scheme, unavailable, edges in (
+        ("dynamic-single", 100.0, 2),
+        ("static-two-disjoint", 60.0, 6),
+        ("targeted", 22.0, 7),
+        ("flooding", 20.0, 30),
+    ):
+        entry = FlowSchemeStats(flow=FLOW, scheme=scheme)
+        entry.add_window(0.0, 1000.0 - unavailable, "g", edges, 1.0, 0.0, 0.0)
+        entry.add_window(1000.0 - unavailable, 1000.0, "g", edges, 0.0, 1.0, 0.0)
+        result.add(entry)
+    return result
+
+
+class TestPerformanceTable:
+    def test_contains_all_schemes(self):
+        table = format_scheme_performance_table(build_result())
+        for scheme in ("dynamic-single", "targeted", "flooding"):
+            assert scheme in table
+
+    def test_gap_coverage_column(self):
+        table = format_scheme_performance_table(build_result())
+        # targeted covers (100-22)/(100-20) = 97.5% of the gap.
+        assert "97.5" in table
+
+    def test_custom_baseline(self):
+        table = format_scheme_performance_table(
+            build_result(), baseline="static-two-disjoint"
+        )
+        assert "static-two-disjoint" in table
+
+
+class TestCostTable:
+    def test_overhead_column(self):
+        table = format_cost_table(build_result())
+        assert "+16.7%" in table  # 7 vs 6 edges
+        assert "flooding" in table
+
+
+class TestClassificationTable:
+    def test_categories_rendered(self):
+        table = format_classification_table(
+            {"destination": 0.6, "source": 0.3, "middle": 0.1},
+            counts={"destination": 6, "source": 3, "middle": 1},
+        )
+        assert "destination" in table
+        assert "60.0%" in table
+        assert "6" in table
+
+    def test_without_counts(self):
+        table = format_classification_table({"destination": 1.0})
+        assert "events" not in table
+
+
+class TestPerFlowTable:
+    def test_one_row_per_flow(self):
+        table = format_per_flow_table(
+            build_result(), schemes=("static-two-disjoint", "targeted")
+        )
+        assert "S->T" in table
+        assert "targeted" in table

@@ -1,0 +1,66 @@
+"""Multi-seed robustness machinery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.robustness import run_seed_sweep, summarize
+from repro.netmodel.scenarios import DAY_S, Scenario
+from repro.netmodel.topology import ServiceSpec, reference_flows
+
+
+@pytest.fixture(scope="module")
+def sweep(reference_topology):
+    return run_seed_sweep(
+        reference_topology,
+        Scenario(duration_s=1 * DAY_S),
+        reference_flows()[:4],
+        ServiceSpec(),
+        seeds=(7, 8),
+    )
+
+
+class TestSeedSweep:
+    def test_one_outcome_per_seed(self, sweep):
+        assert [outcome.seed for outcome in sweep] == [7, 8]
+
+    def test_coverage_for_non_anchor_schemes(self, sweep):
+        for outcome in sweep:
+            assert set(outcome.gap_coverage) == {
+                "static-single",
+                "static-two-disjoint",
+                "dynamic-two-disjoint",
+                "targeted",
+            }
+
+    def test_targeted_leads_each_seed(self, sweep):
+        for outcome in sweep:
+            assert outcome.gap_coverage["targeted"] == max(
+                outcome.gap_coverage.values()
+            )
+
+    def test_cost_overhead_recorded(self, sweep):
+        for outcome in sweep:
+            assert -0.01 < outcome.cost_overhead_targeted < 0.2
+
+    def test_empty_seeds_rejected(self, reference_topology):
+        with pytest.raises(Exception):
+            run_seed_sweep(
+                reference_topology,
+                Scenario(duration_s=DAY_S),
+                reference_flows()[:1],
+                ServiceSpec(),
+                seeds=(),
+            )
+
+
+class TestSummarize:
+    def test_aggregates(self, sweep):
+        summaries = {s.scheme: s for s in summarize(sweep)}
+        targeted = summaries["targeted"]
+        assert targeted.seeds == 2
+        assert targeted.min_coverage <= targeted.mean_coverage <= targeted.max_coverage
+
+    def test_empty_rejected(self):
+        with pytest.raises(Exception):
+            summarize([])

@@ -1,0 +1,79 @@
+"""Shared fixtures: topologies, flows, and service specs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.graph import Topology
+from repro.netmodel.topology import (
+    FlowSpec,
+    ServiceSpec,
+    build_reference_topology,
+    reference_flows,
+)
+
+
+@pytest.fixture(scope="session")
+def reference_topology() -> Topology:
+    """The paper's 12-node overlay (frozen, shared across tests)."""
+    return build_reference_topology()
+
+
+@pytest.fixture(scope="session")
+def flows() -> tuple[FlowSpec, ...]:
+    return reference_flows()
+
+
+@pytest.fixture()
+def service() -> ServiceSpec:
+    return ServiceSpec()
+
+
+@pytest.fixture()
+def diamond() -> Topology:
+    """A 4-node diamond: two node-disjoint S->T paths of different length.
+
+        S -> A -> T   (total 2 + 2 = 4)
+        S -> B -> T   (total 3 + 3 = 6)
+    """
+    topology = Topology("diamond")
+    for node in ("S", "A", "B", "T"):
+        topology.add_node(node)
+    topology.add_link("S", "A", 2.0)
+    topology.add_link("A", "T", 2.0)
+    topology.add_link("S", "B", 3.0)
+    topology.add_link("B", "T", 3.0)
+    return topology.freeze()
+
+
+@pytest.fixture()
+def braided() -> Topology:
+    """A 6-node graph with rich path structure for algorithm tests.
+
+        S - A - B - T
+        S - C - D - T
+        A - C,  B - D   (cross links)
+    """
+    topology = Topology("braided")
+    for node in ("S", "A", "B", "C", "D", "T"):
+        topology.add_node(node)
+    topology.add_link("S", "A", 1.0)
+    topology.add_link("A", "B", 1.0)
+    topology.add_link("B", "T", 1.0)
+    topology.add_link("S", "C", 2.0)
+    topology.add_link("C", "D", 2.0)
+    topology.add_link("D", "T", 2.0)
+    topology.add_link("A", "C", 1.0)
+    topology.add_link("B", "D", 1.0)
+    return topology.freeze()
+
+
+@pytest.fixture()
+def line() -> Topology:
+    """A 3-node line: exactly one path, no redundancy available."""
+    topology = Topology("line")
+    for node in ("S", "M", "T"):
+        topology.add_node(node)
+    topology.add_link("S", "M", 1.0)
+    topology.add_link("M", "T", 1.0)
+    return topology.freeze()

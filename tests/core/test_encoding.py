@@ -1,0 +1,127 @@
+"""Wire encoding of dissemination graphs."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.builders import (
+    single_path_graph,
+    time_constrained_flooding_graph,
+    two_disjoint_paths_graph,
+)
+from repro.core.dgraph import DisseminationGraph
+from repro.core.encoding import (
+    decode_graph,
+    encode_graph,
+    encoded_size,
+    topology_fingerprint,
+)
+from repro.core.graph import Topology
+from repro.util.validation import ValidationError
+
+
+class TestRoundTrip:
+    def test_single_path(self, reference_topology):
+        graph = single_path_graph(reference_topology, "NYC", "SJC")
+        decoded = decode_graph(
+            reference_topology, encode_graph(reference_topology, graph)
+        )
+        assert decoded.edges == graph.edges
+        assert decoded.source == graph.source
+        assert decoded.destination == graph.destination
+
+    def test_flooding_graph(self, reference_topology):
+        graph = time_constrained_flooding_graph(
+            reference_topology, "WAS", "SEA", 65.0
+        )
+        decoded = decode_graph(
+            reference_topology, encode_graph(reference_topology, graph)
+        )
+        assert decoded.edges == graph.edges
+
+    def test_empty_graph(self, reference_topology):
+        graph = DisseminationGraph.empty("NYC", "SJC")
+        decoded = decode_graph(
+            reference_topology, encode_graph(reference_topology, graph)
+        )
+        assert decoded.num_edges == 0
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_arbitrary_edge_subsets(self, reference_topology, data):
+        edges = data.draw(
+            st.sets(st.sampled_from(sorted(reference_topology.edges)), max_size=20)
+        )
+        graph = DisseminationGraph("NYC", "SJC", frozenset(edges))
+        decoded = decode_graph(
+            reference_topology, encode_graph(reference_topology, graph)
+        )
+        assert decoded.edges == graph.edges
+
+
+class TestSizes:
+    def test_fixed_width(self, reference_topology):
+        size = encoded_size(reference_topology)
+        assert size == 4 + (reference_topology.num_edges + 7) // 8
+        one = encode_graph(
+            reference_topology, single_path_graph(reference_topology, "NYC", "SJC")
+        )
+        two = encode_graph(
+            reference_topology,
+            two_disjoint_paths_graph(reference_topology, "NYC", "SJC"),
+        )
+        assert len(one) == len(two) == size
+
+    def test_compact(self, reference_topology):
+        # 44 edges -> 6 bitmask bytes + 4 header bytes.
+        assert encoded_size(reference_topology) == 10
+
+
+class TestErrors:
+    def test_truncated_payload(self, reference_topology):
+        graph = single_path_graph(reference_topology, "NYC", "SJC")
+        payload = encode_graph(reference_topology, graph)
+        with pytest.raises(ValueError):
+            decode_graph(reference_topology, payload[:-1])
+
+    def test_foreign_edge_rejected(self, reference_topology):
+        graph = DisseminationGraph("NYC", "SJC", frozenset({("NYC", "SJC")}))
+        with pytest.raises(ValidationError):
+            encode_graph(reference_topology, graph)
+
+    def test_requires_frozen(self):
+        topology = Topology()
+        topology.add_node("A")
+        topology.add_node("B")
+        topology.add_link("A", "B", 1.0)
+        with pytest.raises(ValidationError):
+            encoded_size(topology)
+
+    def test_excess_bits_rejected(self, reference_topology):
+        payload = bytearray(encoded_size(reference_topology))
+        payload[-1] = 0xFF  # bits beyond num_edges
+        with pytest.raises(ValueError):
+            decode_graph(reference_topology, bytes(payload))
+
+    def test_node_index_out_of_range(self, reference_topology):
+        payload = bytearray(encoded_size(reference_topology))
+        payload[0] = 0xFF  # source index 255
+        with pytest.raises(ValueError):
+            decode_graph(reference_topology, bytes(payload))
+
+
+class TestFingerprint:
+    def test_stable(self, reference_topology):
+        assert topology_fingerprint(reference_topology) == topology_fingerprint(
+            reference_topology
+        )
+
+    def test_differs_across_topologies(self, reference_topology, diamond):
+        assert topology_fingerprint(reference_topology) != topology_fingerprint(
+            diamond
+        )
+
+    def test_eight_bytes(self, reference_topology):
+        assert len(topology_fingerprint(reference_topology)) == 8

@@ -1,0 +1,156 @@
+"""Shortest-path primitives, cross-validated against networkx."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+
+from repro.core.algorithms.adjacency import adjacency_from_topology
+from repro.core.algorithms.paths import (
+    NoPathError,
+    bellman_ford,
+    path_length,
+    shortest_path,
+    single_source_distances,
+)
+from tests.core.graphutil import endpoints, random_adjacency, to_networkx
+
+
+SIMPLE = {
+    "S": {"A": 1.0, "B": 4.0},
+    "A": {"B": 1.0, "T": 5.0},
+    "B": {"T": 1.0},
+    "T": {},
+}
+
+
+class TestShortestPath:
+    def test_simple(self):
+        path, weight = shortest_path(SIMPLE, "S", "T")
+        assert path == ["S", "A", "B", "T"]
+        assert weight == 3.0
+
+    def test_direct_vs_indirect(self):
+        adjacency = {"S": {"T": 10.0, "A": 1.0}, "A": {"T": 1.0}, "T": {}}
+        path, weight = shortest_path(adjacency, "S", "T")
+        assert path == ["S", "A", "T"]
+        assert weight == 2.0
+
+    def test_source_equals_target(self):
+        path, weight = shortest_path(SIMPLE, "S", "S")
+        assert path == ["S"]
+        assert weight == 0.0
+
+    def test_no_path(self):
+        adjacency = {"S": {}, "T": {}}
+        with pytest.raises(NoPathError):
+            shortest_path(adjacency, "S", "T")
+
+    def test_unknown_nodes(self):
+        with pytest.raises(KeyError):
+            shortest_path(SIMPLE, "Z", "T")
+        with pytest.raises(KeyError):
+            shortest_path(SIMPLE, "S", "Z")
+
+    def test_negative_weight_rejected(self):
+        adjacency = {"S": {"T": -1.0}, "T": {}}
+        with pytest.raises(ValueError):
+            shortest_path(adjacency, "S", "T")
+
+    def test_deterministic_tie_break(self):
+        adjacency = {"S": {"A": 1.0, "B": 1.0}, "A": {"T": 1.0}, "B": {"T": 1.0}, "T": {}}
+        paths = {tuple(shortest_path(adjacency, "S", "T")[0]) for _ in range(10)}
+        assert len(paths) == 1
+
+    def test_on_reference_topology(self, reference_topology):
+        adjacency = adjacency_from_topology(reference_topology)
+        path, weight = shortest_path(adjacency, "NYC", "SJC")
+        assert path[0] == "NYC" and path[-1] == "SJC"
+        assert 20.0 < weight < 40.0  # coast-to-coast fiber latency
+
+    @given(random_adjacency())
+    @settings(max_examples=60, deadline=None)
+    def test_matches_networkx(self, adjacency):
+        source, target = endpoints(adjacency)
+        graph = to_networkx(adjacency)
+        try:
+            expected = nx.shortest_path_length(
+                graph, source, target, weight="weight"
+            )
+        except nx.NetworkXNoPath:
+            with pytest.raises(NoPathError):
+                shortest_path(adjacency, source, target)
+            return
+        path, weight = shortest_path(adjacency, source, target)
+        assert weight == pytest.approx(expected)
+        assert path_length(adjacency, path) == pytest.approx(weight)
+
+
+class TestSingleSourceDistances:
+    def test_all_reachable(self):
+        distances = single_source_distances(SIMPLE, "S")
+        assert distances == {"S": 0.0, "A": 1.0, "B": 2.0, "T": 3.0}
+
+    def test_unreachable_missing(self):
+        adjacency = {"S": {"A": 1.0}, "A": {}, "X": {}}
+        distances = single_source_distances(adjacency, "S")
+        assert "X" not in distances
+
+    def test_unknown_source(self):
+        with pytest.raises(KeyError):
+            single_source_distances(SIMPLE, "Z")
+
+    @given(random_adjacency())
+    @settings(max_examples=40, deadline=None)
+    def test_matches_networkx(self, adjacency):
+        source = sorted(adjacency)[0]
+        expected = nx.single_source_dijkstra_path_length(
+            to_networkx(adjacency), source, weight="weight"
+        )
+        distances = single_source_distances(adjacency, source)
+        assert set(distances) == set(expected)
+        for node, value in expected.items():
+            assert distances[node] == pytest.approx(value)
+
+
+class TestBellmanFord:
+    def test_agrees_with_dijkstra_on_positive(self):
+        for target in ("A", "B", "T"):
+            dijkstra = shortest_path(SIMPLE, "S", target)
+            bellman = bellman_ford(SIMPLE, "S", target)
+            assert bellman[1] == pytest.approx(dijkstra[1])
+
+    def test_handles_negative_edges(self):
+        adjacency = {"S": {"A": 5.0, "B": 2.0}, "A": {"T": 1.0}, "B": {"A": -4.0}, "T": {}}
+        path, weight = bellman_ford(adjacency, "S", "T")
+        assert path == ["S", "B", "A", "T"]
+        assert weight == pytest.approx(-1.0)
+
+    def test_negative_cycle_detected(self):
+        adjacency = {"S": {"A": 1.0}, "A": {"B": -2.0}, "B": {"A": 1.0, "T": 1.0}, "T": {}}
+        with pytest.raises(ValueError, match="negative cycle"):
+            bellman_ford(adjacency, "S", "T")
+
+    def test_no_path(self):
+        with pytest.raises(NoPathError):
+            bellman_ford({"S": {}, "T": {}}, "S", "T")
+
+    def test_unreachable_negative_cycle_ignored(self):
+        adjacency = {
+            "S": {"T": 1.0},
+            "T": {},
+            "X": {"Y": -2.0},
+            "Y": {"X": 1.0},
+        }
+        path, weight = bellman_ford(adjacency, "S", "T")
+        assert path == ["S", "T"]
+
+
+class TestPathLength:
+    def test_missing_edge_raises(self):
+        with pytest.raises(KeyError):
+            path_length(SIMPLE, ["S", "T"])
+
+    def test_sums_weights(self):
+        assert path_length(SIMPLE, ["S", "A", "T"]) == 6.0

@@ -1,0 +1,81 @@
+"""Greedy Steiner arborescence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.algorithms.adjacency import adjacency_from_topology
+from repro.core.algorithms.steiner import steiner_arborescence
+
+
+def reachable_from(edges, root):
+    adjacency = {}
+    for u, v in edges:
+        adjacency.setdefault(u, []).append(v)
+    seen = {root}
+    frontier = [root]
+    while frontier:
+        node = frontier.pop()
+        for neighbor in adjacency.get(node, ()):
+            if neighbor not in seen:
+                seen.add(neighbor)
+                frontier.append(neighbor)
+    return seen
+
+
+class TestSteinerArborescence:
+    def test_covers_all_terminals(self, reference_topology):
+        adjacency = adjacency_from_topology(reference_topology)
+        terminals = {"SJC", "SEA", "LAX"}
+        edges = steiner_arborescence(adjacency, "NYC", terminals)
+        reached = reachable_from(edges, "NYC")
+        assert terminals <= reached
+
+    def test_root_only_terminal_is_empty(self):
+        adjacency = {"R": {"A": 1.0}, "A": {}}
+        assert steiner_arborescence(adjacency, "R", {"R"}) == set()
+
+    def test_no_terminals(self):
+        adjacency = {"R": {"A": 1.0}, "A": {}}
+        assert steiner_arborescence(adjacency, "R", set()) == set()
+
+    def test_unreachable_terminal_skipped(self):
+        adjacency = {"R": {"A": 1.0}, "A": {}, "X": {}}
+        edges = steiner_arborescence(adjacency, "R", {"A", "X"})
+        assert edges == {("R", "A")}
+
+    def test_unknown_root(self):
+        with pytest.raises(KeyError):
+            steiner_arborescence({"A": {}}, "Z", {"A"})
+
+    def test_shares_prefix(self):
+        """Terminals behind a common relay share the relay edge."""
+        adjacency = {
+            "R": {"M": 1.0},
+            "M": {"A": 1.0, "B": 1.0},
+            "A": {},
+            "B": {},
+        }
+        edges = steiner_arborescence(adjacency, "R", {"A", "B"})
+        assert edges == {("R", "M"), ("M", "A"), ("M", "B")}
+
+    def test_cheaper_than_independent_paths(self, reference_topology):
+        """The tree never costs more than separate shortest paths."""
+        from repro.core.algorithms.paths import shortest_path
+
+        adjacency = adjacency_from_topology(reference_topology)
+        terminals = ["DEN", "LAX", "SJC", "SEA"]
+        edges = steiner_arborescence(adjacency, "ATL", set(terminals))
+        tree_cost = sum(adjacency[u][v] for u, v in edges)
+        independent = sum(
+            shortest_path(adjacency, "ATL", terminal)[1] for terminal in terminals
+        )
+        assert tree_cost <= independent + 1e-9
+
+    def test_deterministic(self, reference_topology):
+        adjacency = adjacency_from_topology(reference_topology)
+        runs = {
+            frozenset(steiner_arborescence(adjacency, "WAS", {"SJC", "SEA"}))
+            for _ in range(5)
+        }
+        assert len(runs) == 1

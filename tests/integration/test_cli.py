@@ -1,0 +1,75 @@
+"""Command-line interface end to end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        for command in ("generate-trace", "evaluate", "classify", "graphs"):
+            args = {
+                "generate-trace": ["generate-trace", "out.jsonl"],
+                "evaluate": ["evaluate"],
+                "classify": ["classify"],
+                "graphs": ["graphs", "NYC", "SJC"],
+            }[command]
+            parsed = parser.parse_args(args)
+            assert parsed.command == command
+
+
+class TestGraphsCommand:
+    def test_prints_all_families(self, capsys):
+        assert main(["graphs", "NYC", "SJC"]) == 0
+        output = capsys.readouterr().out
+        for family in (
+            "single path",
+            "two disjoint paths",
+            "time-constrained flooding",
+            "source-problem graph",
+            "destination-problem graph",
+            "robust source+destination",
+        ):
+            assert family in output
+
+    def test_deadline_flag(self, capsys):
+        assert main(["graphs", "NYC", "SJC", "--deadline-ms", "40"]) == 0
+        narrow = capsys.readouterr().out
+        main(["graphs", "NYC", "SJC", "--deadline-ms", "100"])
+        wide = capsys.readouterr().out
+        assert len(wide) > len(narrow)
+
+
+class TestTraceCommands:
+    def test_generate_then_classify(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        assert main(
+            ["generate-trace", str(trace), "--weeks", "0.1", "--seed", "3"]
+        ) == 0
+        assert trace.exists()
+        capsys.readouterr()
+        assert main(["classify", "--trace", str(trace)]) == 0
+        output = capsys.readouterr().out
+        assert "destination" in output
+
+    def test_evaluate_from_trace(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        main(["generate-trace", str(trace), "--weeks", "0.05", "--seed", "3"])
+        capsys.readouterr()
+        assert main(["evaluate", "--trace", str(trace)]) == 0
+        output = capsys.readouterr().out
+        assert "targeted" in output
+        assert "gap cov %" in output
+        assert "msgs/pkt" in output
+
+    def test_evaluate_generates_when_no_trace(self, capsys):
+        assert main(["evaluate", "--weeks", "0.02", "--seed", "5"]) == 0
+        output = capsys.readouterr().out
+        assert "flooding" in output

@@ -1,0 +1,30 @@
+"""CLI error handling: bad inputs fail with messages, not tracebacks."""
+
+from __future__ import annotations
+
+from repro.cli import main
+
+
+class TestGracefulErrors:
+    def test_unknown_node_in_graphs(self, capsys):
+        code = main(["graphs", "NYC", "NOWHERE"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_preset(self, capsys):
+        code = main(["evaluate", "--weeks", "0.01", "--preset", "apocalypse"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown scenario preset" in err
+
+    def test_missing_trace_file(self, capsys):
+        code = main(["classify", "--trace", "/nonexistent/trace.jsonl"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_malformed_trace_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"format": "something-else"}\n')
+        code = main(["evaluate", "--trace", str(bad)])
+        assert code == 2
+        assert "not a repro-dgraphs" in capsys.readouterr().err

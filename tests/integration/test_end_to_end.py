@@ -1,0 +1,121 @@
+"""End-to-end integration: the paper's claims at reduced scale.
+
+These tests run the full pipeline (scenario generation -> trace -> replay
+-> metrics) on short traces so they stay fast; the full 4-week headline
+numbers live in the benches and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    ReplayConfig,
+    Scenario,
+    ServiceSpec,
+    build_reference_topology,
+    generate_timeline,
+    reference_flows,
+    run_replay,
+)
+from repro.analysis.metrics import gap_coverage
+from repro.netmodel.scenarios import DAY_S
+from repro.simulation.cost import cost_comparison
+
+pytestmark = pytest.mark.integration
+
+
+@pytest.fixture(scope="module")
+def replay_result():
+    topology = build_reference_topology()
+    scenario = Scenario(duration_s=2 * DAY_S)
+    _events, timeline = generate_timeline(topology, scenario, seed=7)
+    return run_replay(
+        topology,
+        timeline,
+        reference_flows(),
+        ServiceSpec(),
+        config=ReplayConfig(detection_delay_s=1.0),
+    )
+
+
+class TestSchemeOrdering:
+    """The qualitative ordering the paper establishes must hold on any
+    reasonably sized trace: single < two disjoint < targeted <= flooding."""
+
+    def test_flooding_is_best(self, replay_result):
+        flooding = replay_result.totals("flooding").unavailable_s
+        for scheme in replay_result.schemes:
+            assert flooding <= replay_result.totals(scheme).unavailable_s + 1e-6
+
+    def test_static_single_is_worst(self, replay_result):
+        worst = replay_result.totals("static-single").unavailable_s
+        for scheme in replay_result.schemes:
+            assert replay_result.totals(scheme).unavailable_s <= worst + 1e-6
+
+    def test_redundancy_beats_single(self, replay_result):
+        assert (
+            replay_result.totals("static-two-disjoint").unavailable_s
+            < replay_result.totals("static-single").unavailable_s
+        )
+
+    def test_targeted_beats_two_disjoint(self, replay_result):
+        assert (
+            replay_result.totals("targeted").unavailable_s
+            < replay_result.totals("dynamic-two-disjoint").unavailable_s
+        )
+
+    def test_targeted_close_to_flooding(self, replay_result):
+        """Claim C4 qualitatively: targeted covers most of the gap."""
+        coverage = gap_coverage(replay_result, "targeted")
+        assert coverage > 0.9
+
+    def test_everyone_highly_available(self, replay_result):
+        """Claim C1: even the worst scheme keeps multi-nines availability."""
+        for scheme in replay_result.schemes:
+            assert replay_result.totals(scheme).availability > 0.99
+
+
+class TestCostClaim:
+    def test_targeted_cost_within_a_few_percent(self, replay_result):
+        """Claim C6: targeted costs ~2% more than two disjoint paths."""
+        comparison = {c.scheme: c for c in cost_comparison(replay_result)}
+        overhead = comparison["targeted"].overhead_vs_baseline
+        assert 0.0 < overhead < 0.08
+
+    def test_flooding_cost_prohibitive(self, replay_result):
+        comparison = {c.scheme: c for c in cost_comparison(replay_result)}
+        assert comparison["flooding"].overhead_vs_baseline > 3.0
+
+    def test_single_path_cheapest(self, replay_result):
+        costs = {
+            scheme: replay_result.totals(scheme).average_cost_messages
+            for scheme in replay_result.schemes
+        }
+        assert min(costs, key=costs.get) in ("static-single", "dynamic-single")
+
+
+class TestTracePersistenceIntegration:
+    def test_replay_from_file_matches_in_memory(self, tmp_path):
+        from repro.netmodel.scenarios import generate_events
+        from repro.netmodel.trace import load_timeline, write_trace
+
+        topology = build_reference_topology()
+        scenario = Scenario(duration_s=0.5 * DAY_S)
+        events = generate_events(topology, scenario, seed=13)
+        path = tmp_path / "trace.jsonl"
+        write_trace(path, topology, scenario.duration_s, events)
+        _loaded, timeline = load_timeline(path, topology)
+
+        _fresh_events, fresh_timeline = generate_timeline(topology, scenario, seed=13)
+        flows = reference_flows()[:4]
+        service = ServiceSpec()
+        from_file = run_replay(
+            topology, timeline, flows, service, scheme_names=("targeted",)
+        )
+        in_memory = run_replay(
+            topology, fresh_timeline, flows, service, scheme_names=("targeted",)
+        )
+        assert from_file.totals("targeted").unavailable_s == pytest.approx(
+            in_memory.totals("targeted").unavailable_s
+        )

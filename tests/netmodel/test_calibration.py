@@ -1,0 +1,75 @@
+"""Calibration machinery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netmodel.calibration import (
+    PAPER_TARGET,
+    CalibrationPoint,
+    CalibrationTarget,
+    evaluate_scenario,
+    fit_error,
+)
+from repro.netmodel.scenarios import DAY_S, Scenario
+from repro.netmodel.topology import ServiceSpec, reference_flows
+
+
+class TestFitError:
+    def test_inside_band_is_zero(self):
+        point = CalibrationPoint(0.45, 0.70, 0.995, 0.025, seeds=1)
+        assert fit_error(point) == pytest.approx(0.0)
+
+    def test_band_deviation_counts(self):
+        point = CalibrationPoint(0.55, 0.70, 0.995, 0.025, seeds=1)
+        assert fit_error(point) == pytest.approx(0.10)
+
+    def test_one_sided_bounds(self):
+        # Better-than-minimum targeted coverage is free...
+        good = CalibrationPoint(0.45, 0.70, 1.0, 0.0, seeds=1)
+        assert fit_error(good) == pytest.approx(0.0)
+        # ...but violating it costs.
+        bad = CalibrationPoint(0.45, 0.70, 0.90, 0.0, seeds=1)
+        assert fit_error(bad) == pytest.approx(0.09)
+
+    def test_cost_overhead_bound(self):
+        expensive = CalibrationPoint(0.45, 0.70, 0.995, 0.10, seeds=1)
+        assert fit_error(expensive) == pytest.approx(0.06)
+
+    def test_custom_target(self):
+        target = CalibrationTarget(0.5, 0.5, 0.5, 0.5)
+        point = CalibrationPoint(0.5, 0.5, 0.6, 0.1, seeds=1)
+        assert fit_error(point, target) == 0.0
+
+
+class TestEvaluateScenario:
+    def test_measures_default_scenario(self, reference_topology):
+        """A short sanity run: metrics are well-formed and ordered."""
+        point = evaluate_scenario(
+            reference_topology,
+            Scenario(duration_s=1.0 * DAY_S),
+            reference_flows()[:6],
+            ServiceSpec(),
+            seeds=(7,),
+        )
+        assert point.seeds == 1
+        assert point.static_two_coverage <= point.targeted_coverage
+        assert point.dynamic_two_coverage <= point.targeted_coverage
+        assert -0.05 < point.targeted_cost_overhead < 0.25
+        percentages = point.as_percentages()
+        assert set(percentages) == {
+            "static-two-disjoint",
+            "dynamic-two-disjoint",
+            "targeted",
+            "cost-overhead",
+        }
+
+    def test_empty_seeds_rejected(self, reference_topology):
+        with pytest.raises(Exception):
+            evaluate_scenario(
+                reference_topology,
+                Scenario(duration_s=DAY_S),
+                reference_flows()[:1],
+                ServiceSpec(),
+                seeds=(),
+            )

@@ -1,0 +1,55 @@
+"""Geography and fiber-latency model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netmodel.geo import fiber_latency_ms, great_circle_km
+from repro.util.validation import ValidationError
+
+NYC = (40.71, -74.01)
+LAX = (34.05, -118.24)
+LON = (51.51, -0.13)
+
+
+class TestGreatCircle:
+    def test_zero_distance(self):
+        assert great_circle_km(*NYC, *NYC) == 0.0
+
+    def test_nyc_lax(self):
+        distance = great_circle_km(*NYC, *LAX)
+        assert 3900 < distance < 4000  # ~3,940 km
+
+    def test_nyc_london(self):
+        distance = great_circle_km(*NYC, *LON)
+        assert 5500 < distance < 5650  # ~5,570 km
+
+    def test_symmetric(self):
+        assert great_circle_km(*NYC, *LAX) == pytest.approx(
+            great_circle_km(*LAX, *NYC)
+        )
+
+    def test_latitude_bounds(self):
+        with pytest.raises(ValidationError):
+            great_circle_km(91.0, 0.0, 0.0, 0.0)
+
+    def test_longitude_bounds(self):
+        with pytest.raises(ValidationError):
+            great_circle_km(0.0, 181.0, 0.0, 0.0)
+
+
+class TestFiberLatency:
+    def test_transcontinental_one_way(self):
+        latency = fiber_latency_ms(*NYC, *LAX)
+        # Published NYC<->LA RTTs are ~60-70 ms; one way ~30-35 ms.
+        assert 20.0 < latency < 30.0
+
+    def test_transatlantic(self):
+        latency = fiber_latency_ms(*NYC, *LON)
+        assert 28.0 < latency < 40.0
+
+    def test_includes_hop_overhead(self):
+        assert fiber_latency_ms(*NYC, *NYC) == 0.5
+
+    def test_monotone_in_distance(self):
+        assert fiber_latency_ms(*NYC, *LON) > fiber_latency_ms(*NYC, *LAX) * 0.9

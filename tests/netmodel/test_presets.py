@@ -1,0 +1,59 @@
+"""Scenario presets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netmodel.presets import (
+    SCENARIO_PRESETS,
+    preset_names,
+    preset_scenario,
+)
+from repro.netmodel.scenarios import WEEK_S, generate_events
+from repro.netmodel.events import EventKind
+from repro.util.validation import ValidationError
+
+
+class TestPresetLookup:
+    def test_all_names_resolve(self):
+        for name in preset_names():
+            assert preset_scenario(name).duration_s == 4 * WEEK_S
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValidationError, match="unknown scenario preset"):
+            preset_scenario("hurricane")
+
+    def test_duration_override(self):
+        scenario = preset_scenario("calm", duration_s=WEEK_S)
+        assert scenario.duration_s == WEEK_S
+        # Preset-specific knobs survive the rebuild.
+        assert scenario.node_event_rate_per_day == SCENARIO_PRESETS[
+            "calm"
+        ].node_event_rate_per_day
+
+    def test_expected_presets_exist(self):
+        assert {"default", "calm", "stormy", "endpoint-heavy", "middle-heavy"} <= set(
+            preset_names()
+        )
+
+
+class TestPresetCharacter:
+    def count(self, reference_topology, name, kind):
+        scenario = preset_scenario(name, duration_s=WEEK_S)
+        events = generate_events(reference_topology, scenario, seed=5)
+        return sum(1 for event in events if event.kind is kind)
+
+    def test_stormy_busier_than_calm(self, reference_topology):
+        stormy = self.count(reference_topology, "stormy", EventKind.NODE)
+        calm = self.count(reference_topology, "calm", EventKind.NODE)
+        assert stormy > 2 * calm
+
+    def test_endpoint_heavy_mix(self, reference_topology):
+        nodes = self.count(reference_topology, "endpoint-heavy", EventKind.NODE)
+        links = self.count(reference_topology, "endpoint-heavy", EventKind.LINK)
+        assert nodes > 3 * links
+
+    def test_middle_heavy_mix(self, reference_topology):
+        nodes = self.count(reference_topology, "middle-heavy", EventKind.NODE)
+        links = self.count(reference_topology, "middle-heavy", EventKind.LINK)
+        assert links > 3 * nodes

@@ -1,0 +1,192 @@
+"""Scenario generation: determinism, structure, calibration knobs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netmodel.events import EventKind
+from repro.netmodel.scenarios import DAY_S, Scenario, generate_events, generate_timeline
+from repro.util.validation import ValidationError
+
+SHORT = Scenario(duration_s=2 * DAY_S)
+
+
+class TestDeterminism:
+    def test_same_seed_same_events(self, reference_topology):
+        a = generate_events(reference_topology, SHORT, seed=3)
+        b = generate_events(reference_topology, SHORT, seed=3)
+        assert a == b
+
+    def test_different_seed_differs(self, reference_topology):
+        a = generate_events(reference_topology, SHORT, seed=3)
+        b = generate_events(reference_topology, SHORT, seed=4)
+        assert a != b
+
+
+class TestStructure:
+    def test_events_sorted_and_in_range(self, reference_topology):
+        events = generate_events(reference_topology, SHORT, seed=1)
+        starts = [event.start_s for event in events]
+        assert starts == sorted(starts)
+        for event in events:
+            assert 0.0 <= event.start_s < SHORT.duration_s
+
+    def test_all_kinds_present(self, reference_topology):
+        events = generate_events(
+            reference_topology, Scenario(duration_s=7 * DAY_S), seed=1
+        )
+        kinds = {event.kind for event in events}
+        assert kinds == {
+            EventKind.NODE,
+            EventKind.LINK,
+            EventKind.LATENCY,
+            EventKind.BACKGROUND,
+        }
+
+    def test_bursts_within_event_span(self, reference_topology):
+        events = generate_events(reference_topology, SHORT, seed=2)
+        for event in events:
+            for burst in event.bursts:
+                assert event.start_s <= burst.start_s
+                assert burst.end_s <= event.end_s + 1e-9
+
+    def test_node_event_edges_adjacent(self, reference_topology):
+        events = generate_events(reference_topology, SHORT, seed=2)
+        for event in events:
+            if event.kind is EventKind.NODE:
+                for edge in event.affected_edges:
+                    assert event.location in edge
+
+    def test_link_event_single_physical_link(self, reference_topology):
+        events = generate_events(reference_topology, SHORT, seed=2)
+        for event in events:
+            if event.kind is EventKind.LINK:
+                physical = {frozenset(edge) for edge in event.affected_edges}
+                assert len(physical) == 1
+
+    def test_latency_events_inflate_not_lose(self, reference_topology):
+        events = generate_events(reference_topology, SHORT, seed=2)
+        for event in events:
+            if event.kind is EventKind.LATENCY:
+                for burst in event.bursts:
+                    for degradation in burst.degradations:
+                        assert degradation.state.loss_rate == 0.0
+                        assert degradation.state.extra_latency_ms > 0.0
+
+    def test_background_below_detection_threshold(self, reference_topology):
+        events = generate_events(reference_topology, SHORT, seed=2)
+        for event in events:
+            if event.kind is EventKind.BACKGROUND:
+                for burst in event.bursts:
+                    for degradation in burst.degradations:
+                        assert degradation.state.loss_rate < 0.02
+
+    def test_durations_capped(self, reference_topology):
+        scenario = Scenario(duration_s=7 * DAY_S, event_duration_cap_s=300.0)
+        events = generate_events(reference_topology, scenario, seed=5)
+        assert all(event.duration_s <= 300.0 for event in events)
+
+
+class TestRates:
+    def test_rate_scales_event_count(self, reference_topology):
+        low = Scenario(duration_s=14 * DAY_S, node_event_rate_per_day=1.0)
+        high = Scenario(duration_s=14 * DAY_S, node_event_rate_per_day=10.0)
+        count = lambda scenario: sum(
+            1
+            for event in generate_events(reference_topology, scenario, seed=6)
+            if event.kind is EventKind.NODE
+        )
+        assert count(high) > count(low) * 3
+
+    def test_zero_rates_empty(self, reference_topology):
+        scenario = Scenario(
+            duration_s=DAY_S,
+            node_event_rate_per_day=0.0,
+            link_event_rate_per_day=0.0,
+            latency_event_rate_per_day=0.0,
+            background_event_rate_per_day=0.0,
+        )
+        assert generate_events(reference_topology, scenario, seed=1) == []
+
+    def test_poisson_count_roughly_matches_rate(self, reference_topology):
+        scenario = Scenario(duration_s=28 * DAY_S, link_event_rate_per_day=6.0)
+        events = [
+            e
+            for e in generate_events(reference_topology, scenario, seed=8)
+            if e.kind is EventKind.LINK
+        ]
+        expected = 6.0 * 28
+        assert 0.6 * expected < len(events) < 1.4 * expected
+
+
+class TestSustainedMode:
+    def test_sustained_hits_all_links(self, reference_topology):
+        scenario = Scenario(
+            duration_s=14 * DAY_S,
+            node_sustained_probability=1.0,
+            sustained_edge_clean_probability=0.0,
+        )
+        events = [
+            e
+            for e in generate_events(reference_topology, scenario, seed=9)
+            if e.kind is EventKind.NODE
+        ]
+        assert events
+        for event in events:
+            adjacent = set(reference_topology.adjacent_edges(event.location))
+            for burst in event.bursts:
+                assert {d.edge for d in burst.degradations} == adjacent
+
+    def test_sustained_phases_contiguous(self, reference_topology):
+        scenario = Scenario(duration_s=7 * DAY_S, node_sustained_probability=1.0)
+        events = [
+            e
+            for e in generate_events(reference_topology, scenario, seed=9)
+            if e.kind is EventKind.NODE
+        ]
+        for event in events:
+            for first, second in zip(event.bursts, event.bursts[1:]):
+                assert second.start_s == pytest.approx(first.end_s)
+
+
+class TestValidation:
+    def test_bad_duration(self):
+        with pytest.raises(ValidationError):
+            Scenario(duration_s=0.0)
+
+    def test_bad_rate(self):
+        with pytest.raises(ValidationError):
+            Scenario(node_event_rate_per_day=-1.0)
+
+    def test_bad_loss_range(self):
+        with pytest.raises(ValidationError):
+            Scenario(partial_loss_low=0.9, partial_loss_high=0.5)
+
+    def test_requires_frozen_topology(self):
+        from repro.core.graph import Topology
+
+        topology = Topology()
+        topology.add_node("A")
+        topology.add_node("B")
+        topology.add_link("A", "B", 1.0)
+        with pytest.raises(ValidationError):
+            generate_events(topology, SHORT, seed=1)
+
+
+class TestTimelineCompilation:
+    def test_timeline_contains_event_conditions(self, reference_topology):
+        events, tl = generate_timeline(reference_topology, SHORT, seed=10)
+        loss_events = [
+            e for e in events if e.kind in (EventKind.NODE, EventKind.LINK)
+        ]
+        assert loss_events
+        event = loss_events[0]
+        burst = event.bursts[0]
+        probe = burst.start_s + burst.duration_s / 2
+        degraded = tl.degraded_at(probe)
+        for degradation in burst.degradations:
+            assert degradation.edge in degraded
+
+    def test_duration_matches_scenario(self, reference_topology):
+        _events, tl = generate_timeline(reference_topology, SHORT, seed=10)
+        assert tl.duration_s == SHORT.duration_s

@@ -1,0 +1,107 @@
+"""Trace persistence: JSONL round trips and validation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.netmodel.scenarios import DAY_S, Scenario, generate_events
+from repro.netmodel.trace import load_timeline, read_trace, write_trace
+
+SHORT = Scenario(duration_s=DAY_S)
+
+
+@pytest.fixture()
+def events(reference_topology):
+    return generate_events(reference_topology, SHORT, seed=21)
+
+
+class TestRoundTrip:
+    def test_events_identical(self, tmp_path, reference_topology, events):
+        path = tmp_path / "trace.jsonl"
+        write_trace(path, reference_topology, SHORT.duration_s, events)
+        duration, loaded = read_trace(path, reference_topology)
+        assert duration == SHORT.duration_s
+        assert loaded == events
+
+    def test_timeline_rebuilds(self, tmp_path, reference_topology, events):
+        path = tmp_path / "trace.jsonl"
+        write_trace(path, reference_topology, SHORT.duration_s, events)
+        loaded_events, timeline = load_timeline(path, reference_topology)
+        assert loaded_events == events
+        assert timeline.duration_s == SHORT.duration_s
+
+    def test_empty_trace(self, tmp_path, reference_topology):
+        path = tmp_path / "empty.jsonl"
+        write_trace(path, reference_topology, 100.0, [])
+        duration, loaded = read_trace(path, reference_topology)
+        assert duration == 100.0
+        assert loaded == []
+
+    def test_file_is_line_oriented_json(self, tmp_path, reference_topology, events):
+        path = tmp_path / "trace.jsonl"
+        write_trace(path, reference_topology, SHORT.duration_s, events)
+        with open(path) as handle:
+            for line in handle:
+                json.loads(line)
+
+
+class TestValidation:
+    def test_wrong_topology_rejected(self, tmp_path, reference_topology, diamond, events):
+        path = tmp_path / "trace.jsonl"
+        write_trace(path, reference_topology, SHORT.duration_s, events)
+        with pytest.raises(ValueError, match="different topology"):
+            read_trace(path, diamond)
+
+    def test_empty_file_rejected(self, tmp_path, reference_topology):
+        path = tmp_path / "empty"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            read_trace(path, reference_topology)
+
+    def test_wrong_format_rejected(self, tmp_path, reference_topology):
+        path = tmp_path / "other"
+        path.write_text('{"format": "something-else"}\n')
+        with pytest.raises(ValueError, match="not a repro-dgraphs"):
+            read_trace(path, reference_topology)
+
+    def test_wrong_version_rejected(self, tmp_path, reference_topology):
+        header = {
+            "format": "repro-dgraphs-trace",
+            "version": 999,
+            "topology": "x",
+            "nodes": list(reference_topology.nodes),
+            "duration_s": 1.0,
+        }
+        path = tmp_path / "v999"
+        path.write_text(json.dumps(header) + "\n")
+        with pytest.raises(ValueError, match="version"):
+            read_trace(path, reference_topology)
+
+    def test_malformed_event_line(self, tmp_path, reference_topology):
+        header = {
+            "format": "repro-dgraphs-trace",
+            "version": 1,
+            "topology": reference_topology.name,
+            "nodes": list(reference_topology.nodes),
+            "duration_s": 10.0,
+        }
+        path = tmp_path / "bad"
+        path.write_text(json.dumps(header) + "\n" + '{"kind": "node"}\n')
+        with pytest.raises(ValueError, match="malformed"):
+            read_trace(path, reference_topology)
+
+    def test_bad_duration_rejected_on_write(self, tmp_path, reference_topology):
+        from repro.util.validation import ValidationError
+
+        with pytest.raises(ValidationError):
+            write_trace(tmp_path / "x", reference_topology, 0.0, [])
+
+    def test_blank_lines_skipped(self, tmp_path, reference_topology, events):
+        path = tmp_path / "trace.jsonl"
+        write_trace(path, reference_topology, SHORT.duration_s, events[:2])
+        with open(path, "a") as handle:
+            handle.write("\n")
+        _duration, loaded = read_trace(path, reference_topology)
+        assert loaded == events[:2]

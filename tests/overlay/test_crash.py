@@ -1,0 +1,98 @@
+"""Daemon crash modeling: site failure at the process level."""
+
+from __future__ import annotations
+
+from repro.core.builders import single_path_graph, two_disjoint_paths_graph
+from repro.core.encoding import encode_graph
+from repro.netmodel.conditions import ConditionTimeline
+from repro.netmodel.topology import FlowSpec, ServiceSpec
+from repro.overlay.harness import build_overlay
+from repro.overlay.messages import DataPacket
+
+FLOW = FlowSpec("S", "T")
+SERVICE = ServiceSpec(deadline_ms=15.0, send_interval_ms=10.0, rtt_budget_ms=30.0)
+
+
+def packet(topology, graph, sequence=0, sent_at=0.0):
+    return DataPacket(
+        flow="f",
+        source=graph.source,
+        destination=graph.destination,
+        sequence=sequence,
+        sent_at_s=sent_at,
+        graph_encoding=encode_graph(topology, graph),
+    )
+
+
+def harness_for(diamond, seed=1):
+    timeline = ConditionTimeline(diamond, 120.0)
+    harness = build_overlay(diamond, timeline, flows=(), seed=seed)
+    for node in harness.nodes.values():
+        node.start()
+    return harness
+
+
+class TestCrash:
+    def test_crashed_relay_blackholes_single_path(self, diamond):
+        harness = harness_for(diamond)
+        harness.run(2.0)
+        graph = single_path_graph(diamond, "S", "T")  # S -> A -> T
+        delivered = []
+        harness.nodes["T"].register_delivery("f", lambda p, at: delivered.append(p))
+        harness.nodes["A"].stop()
+        harness.nodes["S"].originate(packet(diamond, graph, sent_at=harness.kernel.now))
+        harness.run(2.0)
+        assert delivered == []
+
+    def test_redundancy_survives_crashed_relay(self, diamond):
+        harness = harness_for(diamond)
+        harness.run(2.0)
+        graph = two_disjoint_paths_graph(diamond, "S", "T")
+        delivered = []
+        harness.nodes["T"].register_delivery("f", lambda p, at: delivered.append(p))
+        harness.nodes["A"].stop()
+        harness.nodes["S"].originate(packet(diamond, graph, sent_at=harness.kernel.now))
+        harness.run(2.0)
+        assert len(delivered) == 1  # via B
+
+    def test_neighbors_detect_crash(self, diamond):
+        harness = harness_for(diamond)
+        harness.run(5.0)
+        assert harness.nodes["S"].loss_estimate("A") == 0.0
+        harness.nodes["A"].stop()
+        harness.run(15.0)
+        # Unanswered hellos drive the estimate toward 100% loss.
+        assert harness.nodes["S"].loss_estimate("A") > 0.8
+        # The crash is flooded network-wide: T learns of S->A trouble.
+        assert ("S", "A") in harness.nodes["T"].observed_view()
+
+    def test_warm_restart_recovers(self, diamond):
+        harness = harness_for(diamond)
+        harness.run(5.0)
+        harness.nodes["A"].stop()
+        harness.run(15.0)
+        harness.nodes["A"].start()
+        harness.run(30.0)
+        assert harness.nodes["S"].loss_estimate("A") < 0.2
+
+    def test_dynamic_routing_avoids_crashed_node(self, diamond):
+        timeline = ConditionTimeline(diamond, 120.0)
+        harness = build_overlay(
+            diamond,
+            timeline,
+            flows=[FLOW],
+            service=SERVICE,
+            scheme="dynamic-single",
+            seed=3,
+            update_interval_s=0.25,
+        )
+        harness.start()
+        harness.run(5.0)
+        daemon = harness.daemons[FLOW.name]
+        assert "A" in daemon.current_graph.nodes  # shortest path via A
+        harness.nodes["A"].stop()
+        harness.run(20.0)
+        assert "A" not in daemon.current_graph.nodes  # rerouted via B
+        report = harness.reports[FLOW.name]
+        # Traffic kept flowing after the reroute.
+        assert report.on_time > 0

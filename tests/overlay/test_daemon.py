@@ -1,0 +1,82 @@
+"""Per-flow routing daemon."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.encoding import decode_graph
+from repro.netmodel.conditions import ConditionTimeline, Contribution, LinkState
+from repro.netmodel.topology import FlowSpec, ServiceSpec
+from repro.overlay.daemon import FlowRoutingDaemon
+from repro.overlay.kernel import EventKernel
+from repro.overlay.network import SimNetwork
+from repro.overlay.node import OverlayNode
+from repro.routing.registry import make_policy
+from repro.util.validation import ValidationError
+
+FLOW = FlowSpec("S", "T")
+SERVICE = ServiceSpec(deadline_ms=15.0, send_interval_ms=10.0, rtt_budget_ms=30.0)
+
+
+def deploy(diamond, *contributions, duration=200.0):
+    kernel = EventKernel()
+    timeline = ConditionTimeline(diamond, duration, contributions)
+    network = SimNetwork(diamond, timeline, kernel, seed=2)
+    nodes = {
+        node_id: OverlayNode(node_id, diamond, network, kernel)
+        for node_id in diamond.nodes
+    }
+    for node in nodes.values():
+        node.start()
+    return kernel, nodes
+
+
+class TestDaemon:
+    def test_initial_graph_installed_immediately(self, diamond):
+        _kernel, nodes = deploy(diamond)
+        daemon = FlowRoutingDaemon(nodes["S"], FLOW, SERVICE, make_policy("targeted"))
+        assert daemon.current_graph.connects()
+        # The wire encoding round-trips to the same graph.
+        decoded = decode_graph(diamond, daemon.current_encoding)
+        assert decoded.edges == daemon.current_graph.edges
+
+    def test_must_run_at_source(self, diamond):
+        _kernel, nodes = deploy(diamond)
+        with pytest.raises(ValidationError):
+            FlowRoutingDaemon(nodes["A"], FLOW, SERVICE, make_policy("targeted"))
+
+    def test_switches_on_observed_problem(self, diamond):
+        kernel, nodes = deploy(
+            diamond,
+            Contribution(("S", "A"), 10.0, 100.0, LinkState(loss_rate=1.0)),
+        )
+        daemon = FlowRoutingDaemon(
+            nodes["S"], FLOW, SERVICE, make_policy("dynamic-single"),
+            update_interval_s=0.25,
+        )
+        daemon.start()
+        initial = daemon.current_graph
+        assert ("S", "A") in initial.edges
+        kernel.run_until(30.0)
+        assert ("S", "A") not in daemon.current_graph.edges
+        assert daemon.graph_switches >= 1
+
+    def test_static_scheme_never_switches(self, diamond):
+        kernel, nodes = deploy(
+            diamond,
+            Contribution(("S", "A"), 10.0, 100.0, LinkState(loss_rate=1.0)),
+        )
+        daemon = FlowRoutingDaemon(
+            nodes["S"], FLOW, SERVICE, make_policy("static-single")
+        )
+        daemon.start()
+        kernel.run_until(60.0)
+        assert daemon.graph_switches == 0
+
+    def test_update_interval_validated(self, diamond):
+        _kernel, nodes = deploy(diamond)
+        with pytest.raises(ValidationError):
+            FlowRoutingDaemon(
+                nodes["S"], FLOW, SERVICE, make_policy("targeted"),
+                update_interval_s=0.0,
+            )

@@ -1,0 +1,97 @@
+"""Whole-overlay harness: daemons, apps, and live graph switching."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netmodel.conditions import ConditionTimeline, Contribution, LinkState
+from repro.netmodel.topology import FlowSpec, ServiceSpec
+from repro.overlay.harness import build_overlay
+from repro.util.validation import ValidationError
+
+FLOW = FlowSpec("S", "T")
+SERVICE = ServiceSpec(deadline_ms=15.0, send_interval_ms=10.0, rtt_budget_ms=30.0)
+
+
+def harness_for(diamond, *contributions, duration=120.0, scheme="targeted", seed=1):
+    timeline = ConditionTimeline(diamond, duration, contributions)
+    harness = build_overlay(
+        diamond,
+        timeline,
+        flows=[FLOW],
+        service=SERVICE,
+        scheme=scheme,
+        seed=seed,
+        update_interval_s=0.25,
+    )
+    harness.start()
+    return harness
+
+
+class TestCleanOperation:
+    def test_every_packet_on_time(self, diamond):
+        harness = harness_for(diamond)
+        harness.run(10.0)
+        harness.stop_traffic()
+        harness.run(1.0)  # drain in-flight packets
+        report = harness.reports[FLOW.name]
+        assert report.sent == 1001
+        assert report.on_time == report.sent
+        assert report.lost == 0
+
+    def test_summary_shape(self, diamond):
+        harness = harness_for(diamond)
+        harness.run(2.0)
+        summary = harness.summary()
+        assert FLOW.name in summary
+        assert summary[FLOW.name]["sent"] > 0
+
+    def test_duplicate_flow_rejected(self, diamond):
+        harness = harness_for(diamond)
+        with pytest.raises(ValidationError):
+            harness.add_flow(FLOW, SERVICE, "targeted")
+
+
+class TestProblemReaction:
+    def test_daemon_switches_and_recovers_delivery(self, diamond):
+        # Blackout of S->A from t=20 to t=60.
+        harness = harness_for(
+            diamond,
+            Contribution(("S", "A"), 20.0, 60.0, LinkState(loss_rate=1.0)),
+            scheme="dynamic-single",
+        )
+        daemon = harness.daemons[FLOW.name]
+        harness.run(19.0)
+        assert ("S", "A") in daemon.current_graph.edges
+        harness.run(20.0)  # now at t=39, problem detected long ago
+        assert ("S", "A") not in daemon.current_graph.edges
+        assert daemon.graph_switches >= 1
+        harness.run(61.0)  # now at t=100, problem over and estimate clean
+        assert ("S", "A") in daemon.current_graph.edges
+
+    def test_targeted_beats_single_under_destination_problem(self, diamond):
+        contributions = [
+            Contribution(edge, 20.0, 100.0, LinkState(loss_rate=0.6))
+            for edge in diamond.adjacent_edges("T")
+        ]
+        reports = {}
+        for scheme in ("static-single", "targeted"):
+            harness = harness_for(diamond, *contributions, scheme=scheme, seed=5)
+            harness.run(110.0)
+            reports[scheme] = harness.reports[FLOW.name]
+        assert reports["targeted"].on_time > reports["static-single"].on_time
+
+    def test_cost_rises_only_during_problem(self, diamond):
+        harness = harness_for(
+            diamond,
+            Contribution(("S", "A"), 20.0, 40.0, LinkState(loss_rate=0.9)),
+            scheme="targeted",
+        )
+        network = harness.network
+        harness.run(19.0)
+        sent_before = network.total_sent()
+        harness.run(100.0)
+        sent_after = network.total_sent()
+        # Sanity: traffic flowed in both phases.
+        assert sent_before > 0
+        assert sent_after > sent_before

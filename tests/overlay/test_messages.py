@@ -1,0 +1,53 @@
+"""Protocol message types and their invariants."""
+
+from __future__ import annotations
+
+from repro.core.builders import single_path_graph
+from repro.core.encoding import encode_graph, encoded_size
+from repro.overlay.messages import (
+    DataPacket,
+    Hello,
+    HelloAck,
+    LinkAck,
+    LinkStateUpdate,
+)
+
+
+class TestMessageTypes:
+    def test_messages_hashable_and_frozen(self):
+        hello = Hello("NYC", 1, 0.5)
+        assert hash(hello) == hash(Hello("NYC", 1, 0.5))
+
+    def test_hello_ack_echoes_fields(self):
+        ack = HelloAck("CHI", hello_sequence=7, hello_sent_at_s=1.25)
+        assert ack.hello_sequence == 7
+        assert ack.hello_sent_at_s == 1.25
+
+    def test_lsa_ordering_fields(self):
+        update = LinkStateUpdate(
+            originator="NYC",
+            sequence=3,
+            edge=("NYC", "CHI"),
+            loss_rate=0.4,
+            latency_ms=8.0,
+            originated_at_s=10.0,
+        )
+        assert update.sequence == 3
+        assert update.edge == ("NYC", "CHI")
+
+    def test_data_packet_carries_wire_graph(self, reference_topology):
+        graph = single_path_graph(reference_topology, "NYC", "SJC")
+        encoding = encode_graph(reference_topology, graph)
+        packet = DataPacket(
+            flow="f",
+            source="NYC",
+            destination="SJC",
+            sequence=0,
+            sent_at_s=0.0,
+            graph_encoding=encoding,
+        )
+        assert len(packet.graph_encoding) == encoded_size(reference_topology)
+
+    def test_link_ack_key_fields(self):
+        ack = LinkAck("CHI", "f", 42)
+        assert (ack.flow, ack.sequence) == ("f", 42)

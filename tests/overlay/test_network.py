@@ -1,0 +1,110 @@
+"""Simulated message fabric."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netmodel.conditions import ConditionTimeline, Contribution, LinkState
+from repro.overlay.kernel import EventKernel
+from repro.overlay.network import SimNetwork
+from repro.util.validation import ValidationError
+
+
+class Recorder:
+    def __init__(self):
+        self.received = []
+
+    def receive(self, from_node, message):
+        self.received.append((from_node, message))
+
+
+def build(diamond, *contributions, duration=100.0, seed=0):
+    kernel = EventKernel()
+    timeline = ConditionTimeline(diamond, duration, contributions)
+    network = SimNetwork(diamond, timeline, kernel, seed=seed)
+    sinks = {}
+    for node in diamond.nodes:
+        sinks[node] = Recorder()
+        network.register(node, sinks[node])
+    return kernel, network, sinks
+
+
+class TestDelivery:
+    def test_clean_link_delivers_after_latency(self, diamond):
+        kernel, network, sinks = build(diamond)
+        network.send("S", "A", "hello")
+        kernel.run_until(0.001)
+        assert sinks["A"].received == []  # 2 ms latency not yet elapsed
+        kernel.run_until(0.01)
+        assert sinks["A"].received == [("S", "hello")]
+
+    def test_lossy_link_drops(self, diamond):
+        kernel, network, _sinks = build(
+            diamond,
+            Contribution(("S", "A"), 0.0, 100.0, LinkState(loss_rate=1.0)),
+        )
+        for _ in range(20):
+            network.send("S", "A", "x")
+        kernel.run_until(1.0)
+        assert network.dropped[("S", "A")] == 20
+
+    def test_partial_loss_rate(self, diamond):
+        kernel, network, sinks = build(
+            diamond,
+            Contribution(("S", "A"), 0.0, 1000.0, LinkState(loss_rate=0.4)),
+            duration=1000.0,
+        )
+        for _ in range(2000):
+            network.send("S", "A", "x")
+        kernel.run_until(10.0)
+        delivered = len(sinks["A"].received)
+        assert 0.55 * 2000 < delivered < 0.65 * 2000
+
+    def test_non_neighbor_send_rejected(self, diamond):
+        _kernel, network, _sinks = build(diamond)
+        with pytest.raises(ValidationError):
+            network.send("S", "T", "x")  # S and T are not adjacent
+
+    def test_unregistered_sink_silently_drops(self, diamond):
+        kernel = EventKernel()
+        timeline = ConditionTimeline(diamond, 10.0)
+        network = SimNetwork(diamond, timeline, kernel)
+        network.send("S", "A", "x")  # nobody registered: models a crash
+        kernel.run_until(1.0)
+
+    def test_latency_inflation_delays(self, diamond):
+        kernel, network, sinks = build(
+            diamond,
+            Contribution(("S", "A"), 0.0, 100.0, LinkState(extra_latency_ms=50.0)),
+        )
+        network.send("S", "A", "slow")
+        kernel.run_until(0.05)
+        assert sinks["A"].received == []
+        kernel.run_until(0.06)
+        assert len(sinks["A"].received) == 1
+
+    def test_deterministic_for_seed(self, diamond):
+        outcomes = []
+        for _ in range(2):
+            kernel, network, sinks = build(
+                diamond,
+                Contribution(("S", "A"), 0.0, 100.0, LinkState(loss_rate=0.5)),
+                seed=7,
+            )
+            for _i in range(100):
+                network.send("S", "A", "x")
+            kernel.run_until(1.0)
+            outcomes.append(len(sinks["A"].received))
+        assert outcomes[0] == outcomes[1]
+
+    def test_stats(self, diamond):
+        kernel, network, _sinks = build(diamond)
+        network.send("S", "A", "x")
+        network.send("A", "T", "y")
+        assert network.total_sent() == 2
+        assert network.total_dropped() == 0
+
+    def test_double_registration_rejected(self, diamond):
+        _kernel, network, _sinks = build(diamond)
+        with pytest.raises(ValidationError):
+            network.register("S", Recorder())

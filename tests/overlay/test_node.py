@@ -1,0 +1,201 @@
+"""Overlay daemon protocols: monitoring, flooding, forwarding, recovery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.encoding import encode_graph
+from repro.core.builders import single_path_graph, two_disjoint_paths_graph
+from repro.netmodel.conditions import ConditionTimeline, Contribution, LinkState
+from repro.overlay.kernel import EventKernel
+from repro.overlay.messages import DataPacket
+from repro.overlay.network import SimNetwork
+from repro.overlay.node import NodeConfig, OverlayNode
+
+
+def deploy(topology, *contributions, duration=300.0, config=None, seed=0):
+    kernel = EventKernel()
+    timeline = ConditionTimeline(topology, duration, contributions)
+    network = SimNetwork(topology, timeline, kernel, seed=seed)
+    nodes = {
+        node_id: OverlayNode(node_id, topology, network, kernel, config or NodeConfig())
+        for node_id in topology.nodes
+    }
+    for node in nodes.values():
+        node.start()
+    return kernel, network, nodes
+
+
+def data_packet(topology, graph, sequence=0, sent_at=0.0, flow="f"):
+    return DataPacket(
+        flow=flow,
+        source=graph.source,
+        destination=graph.destination,
+        sequence=sequence,
+        sent_at_s=sent_at,
+        graph_encoding=encode_graph(topology, graph),
+    )
+
+
+class TestLinkMonitoring:
+    def test_clean_link_estimates_zero_loss(self, diamond):
+        kernel, _network, nodes = deploy(diamond)
+        kernel.run_until(20.0)
+        assert nodes["S"].loss_estimate("A") == 0.0
+
+    def test_lossy_link_detected(self, diamond):
+        kernel, _network, nodes = deploy(
+            diamond,
+            Contribution(("S", "A"), 0.0, 300.0, LinkState(loss_rate=0.6)),
+        )
+        kernel.run_until(30.0)
+        estimate = nodes["S"].loss_estimate("A")
+        # Probe round trip crosses the lossy direction once plus the clean
+        # ack direction: estimate tracks the forward loss rate.
+        assert estimate > 0.3
+
+    def test_latency_estimate_near_base(self, diamond):
+        kernel, _network, nodes = deploy(diamond)
+        kernel.run_until(20.0)
+        base = diamond.latency("S", "A")
+        assert nodes["S"].latency_estimate_ms("A") == pytest.approx(base, abs=1.0)
+
+    def test_latency_inflation_tracked(self, diamond):
+        kernel, _network, nodes = deploy(
+            diamond,
+            Contribution(("S", "A"), 0.0, 300.0, LinkState(extra_latency_ms=40.0)),
+            Contribution(("A", "S"), 0.0, 300.0, LinkState(extra_latency_ms=40.0)),
+        )
+        kernel.run_until(30.0)
+        assert nodes["S"].latency_estimate_ms("A") > 30.0
+
+    def test_recovery_estimate_after_problem_ends(self, diamond):
+        kernel, _network, nodes = deploy(
+            diamond,
+            Contribution(("S", "A"), 0.0, 50.0, LinkState(loss_rate=0.8)),
+        )
+        kernel.run_until(50.0)
+        assert nodes["S"].loss_estimate("A") > 0.4
+        kernel.run_until(120.0)
+        assert nodes["S"].loss_estimate("A") < 0.1
+
+
+class TestLinkStateFlooding:
+    def test_problem_reaches_remote_node(self, diamond):
+        kernel, _network, nodes = deploy(
+            diamond,
+            Contribution(("A", "T"), 0.0, 300.0, LinkState(loss_rate=0.8)),
+        )
+        kernel.run_until(30.0)
+        # S is not adjacent to (A, T) but must learn of it via flooding.
+        view = nodes["S"].observed_view()
+        assert ("A", "T") in view
+        assert view[("A", "T")].loss_rate > 0.3
+
+    def test_clean_network_views_empty(self, diamond):
+        kernel, _network, nodes = deploy(diamond)
+        kernel.run_until(20.0)
+        for node in nodes.values():
+            assert node.observed_view() == {}
+
+    def test_stale_lsa_not_refloooded(self, diamond):
+        kernel, network, nodes = deploy(
+            diamond,
+            Contribution(("A", "T"), 0.0, 300.0, LinkState(loss_rate=0.8)),
+        )
+        kernel.run_until(60.0)
+        sent_at_60 = network.total_sent()
+        forwarded_at_60 = sum(n.stats["lsas_forwarded"] for n in nodes.values())
+        kernel.run_until(90.0)
+        forwarded_at_90 = sum(n.stats["lsas_forwarded"] for n in nodes.values())
+        # Steady state: estimates stop moving, so flooding stops growing
+        # much faster than linearly (no flood storms).
+        assert forwarded_at_90 - forwarded_at_60 < forwarded_at_60 + 50
+        del sent_at_60
+
+
+class TestForwarding:
+    def test_single_path_delivery(self, diamond):
+        kernel, _network, nodes = deploy(diamond)
+        graph = single_path_graph(diamond, "S", "T")
+        delivered = []
+        nodes["T"].register_delivery("f", lambda packet, at: delivered.append(packet))
+        kernel.run_until(1.0)
+        nodes["S"].originate(data_packet(diamond, graph, sent_at=kernel.now))
+        kernel.run_until(2.0)
+        assert len(delivered) == 1
+
+    def test_duplicate_suppression(self, diamond):
+        kernel, _network, nodes = deploy(diamond)
+        graph = two_disjoint_paths_graph(diamond, "S", "T")
+        delivered = []
+        nodes["T"].register_delivery("f", lambda packet, at: delivered.append(packet))
+        nodes["S"].originate(data_packet(diamond, graph))
+        kernel.run_until(1.0)
+        assert len(delivered) == 1  # two copies arrive; one delivery
+        assert nodes["T"].stats["duplicates_suppressed"] == 1
+
+    def test_redundancy_survives_blackout(self, diamond):
+        kernel, _network, nodes = deploy(
+            diamond,
+            Contribution(("S", "A"), 0.0, 300.0, LinkState(loss_rate=1.0)),
+        )
+        graph = two_disjoint_paths_graph(diamond, "S", "T")
+        delivered = []
+        nodes["T"].register_delivery("f", lambda packet, at: delivered.append(packet))
+        nodes["S"].originate(data_packet(diamond, graph))
+        kernel.run_until(1.0)
+        assert len(delivered) == 1  # via B
+
+    def test_distinct_flows_tracked_separately(self, diamond):
+        kernel, _network, nodes = deploy(diamond)
+        graph = single_path_graph(diamond, "S", "T")
+        delivered = []
+        nodes["T"].register_delivery("f1", lambda p, at: delivered.append("f1"))
+        nodes["T"].register_delivery("f2", lambda p, at: delivered.append("f2"))
+        nodes["S"].originate(data_packet(diamond, graph, sequence=0, flow="f1"))
+        nodes["S"].originate(data_packet(diamond, graph, sequence=0, flow="f2"))
+        kernel.run_until(1.0)
+        assert sorted(delivered) == ["f1", "f2"]
+
+    def test_originate_at_wrong_node_rejected(self, diamond):
+        _kernel, _network, nodes = deploy(diamond)
+        graph = single_path_graph(diamond, "S", "T")
+        with pytest.raises(Exception):
+            nodes["A"].originate(data_packet(diamond, graph))
+
+
+class TestHopByHopRecovery:
+    def test_retransmission_recovers_loss(self, diamond):
+        config = NodeConfig(enable_recovery=True, recovery_timeout_s=0.05)
+        delivered_counts = []
+        for seed in range(8):
+            kernel, _network, nodes = deploy(
+                diamond,
+                Contribution(("S", "A"), 0.0, 300.0, LinkState(loss_rate=0.5)),
+                config=config,
+                seed=seed,
+            )
+            graph = single_path_graph(diamond, "S", "T")
+            delivered = []
+            nodes["T"].register_delivery(
+                "f", lambda packet, at: delivered.append(packet)
+            )
+            for sequence in range(40):
+                nodes["S"].originate(
+                    data_packet(diamond, graph, sequence=sequence)
+                )
+            kernel.run_until(5.0)
+            delivered_counts.append(len(delivered))
+        # Without recovery ~50% arrive; one retransmission lifts it to ~75%.
+        average = sum(delivered_counts) / len(delivered_counts) / 40
+        assert average > 0.65
+
+    def test_no_retransmit_after_ack(self, diamond):
+        config = NodeConfig(enable_recovery=True, recovery_timeout_s=0.05)
+        kernel, network, nodes = deploy(diamond, config=config)
+        graph = single_path_graph(diamond, "S", "T")
+        nodes["S"].originate(data_packet(diamond, graph))
+        kernel.run_until(2.0)
+        assert nodes["S"].stats["recoveries"] == 0
+        assert nodes["A"].stats["recoveries"] == 0

@@ -1,0 +1,75 @@
+"""Shared routing helpers: observed adjacency and timely-edge filtering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netmodel.conditions import LinkState
+from repro.routing.base import (
+    degraded_edge_set,
+    observed_adjacency,
+    on_time_edges,
+)
+
+
+class TestDegradedEdgeSet:
+    def test_threshold_applied(self):
+        observed = {
+            ("A", "B"): LinkState(loss_rate=0.5),
+            ("B", "C"): LinkState(loss_rate=0.01),
+        }
+        assert degraded_edge_set(observed, 0.02) == {("A", "B")}
+
+    def test_empty(self):
+        assert degraded_edge_set({}, 0.02) == frozenset()
+
+
+class TestObservedAdjacency:
+    def test_base_latencies(self, diamond):
+        adjacency = observed_adjacency(diamond, {})
+        assert adjacency["S"]["A"] == 2.0
+
+    def test_inflation_added(self, diamond):
+        observed = {("S", "A"): LinkState(extra_latency_ms=10.0)}
+        adjacency = observed_adjacency(diamond, observed)
+        assert adjacency["S"]["A"] == 12.0
+
+    def test_exclusion(self, diamond):
+        adjacency = observed_adjacency(
+            diamond, {}, exclude=frozenset({("S", "A")})
+        )
+        assert "A" not in adjacency["S"]
+
+    def test_loss_penalty(self, diamond):
+        observed = {("S", "A"): LinkState(loss_rate=0.5)}
+        plain = observed_adjacency(diamond, observed)
+        penalized = observed_adjacency(diamond, observed, penalize_loss=True)
+        assert plain["S"]["A"] == 2.0
+        assert penalized["S"]["A"] == pytest.approx(2.0 + 500.0)
+
+
+class TestOnTimeEdges:
+    def test_clean_reference(self, reference_topology):
+        usable = on_time_edges(reference_topology, {}, "NYC", "SJC", 65.0)
+        # Matches the flooding builder's edge set under clean conditions.
+        from repro.core.builders import time_constrained_flooding_graph
+
+        flooding = time_constrained_flooding_graph(
+            reference_topology, "NYC", "SJC", 65.0
+        )
+        assert flooding.edges <= usable
+
+    def test_inflation_disqualifies_edges(self, reference_topology):
+        observed = {
+            ("CHI", "DEN"): LinkState(extra_latency_ms=100.0),
+        }
+        usable = on_time_edges(reference_topology, observed, "NYC", "SJC", 65.0)
+        assert ("CHI", "DEN") not in usable
+
+    def test_tight_deadline_empty(self, reference_topology):
+        usable = on_time_edges(reference_topology, {}, "NYC", "SJC", 5.0)
+        assert usable == frozenset()
+
+    def test_generous_deadline_includes_transatlantic(self, reference_topology):
+        usable = on_time_edges(reference_topology, {}, "NYC", "SJC", 200.0)
+        assert ("NYC", "LON") in usable

@@ -1,0 +1,200 @@
+"""Per-packet Monte-Carlo engine: common random numbers and agreement
+with the analytic engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netmodel.conditions import ConditionTimeline, Contribution, LinkState
+from repro.netmodel.topology import FlowSpec, ServiceSpec
+from repro.routing.registry import make_policy
+from repro.simulation.interval import replay_flow
+from repro.simulation.packet_sim import simulate_packets
+from repro.simulation.results import ReplayConfig
+
+FLOW = FlowSpec("S", "T")
+SERVICE = ServiceSpec(deadline_ms=15.0, send_interval_ms=10.0, rtt_budget_ms=30.0)
+
+
+def tl(diamond, *contributions, duration=100.0):
+    return ConditionTimeline(diamond, duration, contributions)
+
+
+class TestBasics:
+    def test_clean_run_all_on_time(self, diamond):
+        outcome = simulate_packets(
+            diamond,
+            tl(diamond),
+            FLOW,
+            SERVICE,
+            make_policy("static-single"),
+            0.0,
+            10.0,
+            seed=1,
+            jitter_ms=0.0,
+        )
+        assert outcome.packets == 1000
+        assert outcome.delivered_on_time == 1000
+        assert outcome.lost == 0
+
+    def test_packet_count_and_sequences(self, diamond):
+        outcome = simulate_packets(
+            diamond,
+            tl(diamond),
+            FLOW,
+            SERVICE,
+            make_policy("static-single"),
+            5.0,
+            6.0,
+            seed=1,
+        )
+        assert outcome.packets == 100
+        assert outcome.records[0].sequence == 500
+
+    def test_blackout_loses_all(self, diamond):
+        timeline = tl(
+            diamond, Contribution(("S", "A"), 0.0, 100.0, LinkState(loss_rate=1.0))
+        )
+        outcome = simulate_packets(
+            diamond,
+            timeline,
+            FLOW,
+            SERVICE,
+            make_policy("static-single"),
+            0.0,
+            5.0,
+            seed=1,
+        )
+        assert outcome.lost == outcome.packets
+
+    def test_message_cost_counted(self, diamond):
+        outcome = simulate_packets(
+            diamond,
+            tl(diamond),
+            FLOW,
+            SERVICE,
+            make_policy("static-two-disjoint"),
+            0.0,
+            1.0,
+            seed=1,
+        )
+        # Four edges, all tails reached under clean conditions.
+        assert outcome.total_messages == outcome.packets * 4
+
+    def test_messages_shrink_when_copies_drop(self, diamond):
+        timeline = tl(
+            diamond, Contribution(("S", "A"), 0.0, 100.0, LinkState(loss_rate=1.0))
+        )
+        outcome = simulate_packets(
+            diamond,
+            timeline,
+            FLOW,
+            SERVICE,
+            make_policy("static-two-disjoint"),
+            0.0,
+            1.0,
+            seed=1,
+        )
+        # A's copy always drops, so A never forwards: 3 messages/packet.
+        assert outcome.total_messages == outcome.packets * 3
+
+    def test_bad_window_rejected(self, diamond):
+        with pytest.raises(Exception):
+            simulate_packets(
+                diamond,
+                tl(diamond),
+                FLOW,
+                SERVICE,
+                make_policy("static-single"),
+                50.0,
+                50.0,
+            )
+
+
+class TestCommonRandomNumbers:
+    def test_same_seed_reproducible(self, diamond):
+        timeline = tl(
+            diamond, Contribution(("S", "A"), 0.0, 100.0, LinkState(loss_rate=0.5))
+        )
+        outcomes = [
+            simulate_packets(
+                diamond,
+                timeline,
+                FLOW,
+                SERVICE,
+                make_policy("static-single"),
+                0.0,
+                10.0,
+                seed=9,
+            ).records
+            for _ in range(2)
+        ]
+        assert outcomes[0] == outcomes[1]
+
+    def test_schemes_see_identical_link_fates(self, diamond):
+        """A packet lost on S->A under one scheme is lost on S->A under
+        every scheme using that edge: common random numbers."""
+        timeline = tl(
+            diamond, Contribution(("S", "A"), 0.0, 100.0, LinkState(loss_rate=0.5))
+        )
+        single = simulate_packets(
+            diamond, timeline, FLOW, SERVICE,
+            make_policy("static-single"), 0.0, 20.0, seed=3, jitter_ms=0.0,
+        )
+        pair = simulate_packets(
+            diamond, timeline, FLOW, SERVICE,
+            make_policy("static-two-disjoint"), 0.0, 20.0, seed=3, jitter_ms=0.0,
+        )
+        for record_single, record_pair in zip(single.records, pair.records):
+            # Whenever the single path delivered (S->A survived), the
+            # two-path scheme delivered as well.
+            if not record_single.lost:
+                assert not record_pair.lost
+
+    def test_different_seed_different_fates(self, diamond):
+        timeline = tl(
+            diamond, Contribution(("S", "A"), 0.0, 100.0, LinkState(loss_rate=0.5))
+        )
+        a = simulate_packets(
+            diamond, timeline, FLOW, SERVICE,
+            make_policy("static-single"), 0.0, 20.0, seed=3,
+        )
+        b = simulate_packets(
+            diamond, timeline, FLOW, SERVICE,
+            make_policy("static-single"), 0.0, 20.0, seed=4,
+        )
+        assert a.records != b.records
+
+
+class TestAgreementWithAnalyticEngine:
+    @pytest.mark.parametrize(
+        "scheme", ["static-single", "static-two-disjoint", "dynamic-single", "targeted"]
+    )
+    def test_on_time_fraction_matches(self, diamond, scheme):
+        """Monte-Carlo frequencies converge to the analytic probabilities."""
+        timeline = tl(
+            diamond,
+            Contribution(("S", "A"), 100.0, 400.0, LinkState(loss_rate=0.6)),
+            Contribution(("A", "T"), 200.0, 300.0, LinkState(loss_rate=0.4)),
+            duration=500.0,
+        )
+        config = ReplayConfig(detection_delay_s=1.0)
+        analytic = replay_flow(
+            diamond, timeline, FLOW, SERVICE, make_policy(scheme), config
+        )
+        expected_fraction = 1.0 - analytic.unavailable_s / analytic.duration_s
+        outcome = simulate_packets(
+            diamond,
+            timeline,
+            FLOW,
+            SERVICE,
+            make_policy(scheme),
+            0.0,
+            500.0,
+            seed=11,
+            config=config,
+            jitter_ms=0.0,
+        )
+        assert outcome.on_time_fraction == pytest.approx(
+            expected_fraction, abs=0.01
+        )

@@ -1,0 +1,116 @@
+"""Result containers, aggregation, and cost comparison."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netmodel.topology import FlowSpec, ServiceSpec
+from repro.simulation.cost import cost_comparison
+from repro.simulation.results import (
+    FlowSchemeStats,
+    ReplayConfig,
+    ReplayResult,
+)
+from repro.util.validation import ValidationError
+
+FLOW_A = FlowSpec("S", "T")
+FLOW_B = FlowSpec("S", "U")
+
+
+def stats(flow, scheme, unavailable=0.0, duration=100.0, edges=2):
+    entry = FlowSchemeStats(flow=flow, scheme=scheme)
+    clean = duration - unavailable
+    if clean > 0:
+        entry.add_window(0.0, clean, "g", edges, 1.0, 0.0, 0.0)
+    if unavailable > 0:
+        entry.add_window(clean, duration, "g", edges, 0.0, 1.0, 0.0)
+    return entry
+
+
+class TestFlowSchemeStats:
+    def test_availability(self):
+        entry = stats(FLOW_A, "x", unavailable=10.0)
+        assert entry.availability == pytest.approx(0.9)
+        assert entry.unavailable_s == pytest.approx(10.0)
+
+    def test_expected_bad_packets(self):
+        entry = stats(FLOW_A, "x", unavailable=10.0)
+        service = ServiceSpec()  # 100 packets/s
+        assert entry.expected_bad_packets(service) == pytest.approx(1000.0)
+
+    def test_cost_time_weighted(self):
+        entry = FlowSchemeStats(flow=FLOW_A, scheme="x")
+        entry.add_window(0.0, 50.0, "a", 2, 1.0, 0.0, 0.0)
+        entry.add_window(50.0, 100.0, "b", 6, 1.0, 0.0, 0.0)
+        assert entry.average_cost_messages == pytest.approx(4.0)
+
+    def test_window_collection_flag(self):
+        entry = FlowSchemeStats(flow=FLOW_A, scheme="x")
+        entry.add_window(0.0, 1.0, "a", 2, 1.0, 0.0, 0.0, collect=True)
+        entry.add_window(1.0, 2.0, "a", 2, 1.0, 0.0, 0.0, collect=False)
+        assert len(entry.windows) == 1
+
+    def test_empty_stats_availability_one(self):
+        assert FlowSchemeStats(flow=FLOW_A, scheme="x").availability == 1.0
+
+
+class TestReplayResult:
+    def build(self):
+        result = ReplayResult(ServiceSpec(), ReplayConfig())
+        result.add(stats(FLOW_A, "alpha", unavailable=10.0))
+        result.add(stats(FLOW_B, "alpha", unavailable=30.0))
+        result.add(stats(FLOW_A, "beta", unavailable=2.0, edges=6))
+        result.add(stats(FLOW_B, "beta", unavailable=4.0, edges=6))
+        return result
+
+    def test_totals_sum_flows(self):
+        totals = self.build().totals("alpha")
+        assert totals.unavailable_s == pytest.approx(40.0)
+        assert totals.flows == 2
+        assert totals.duration_s == pytest.approx(200.0)
+
+    def test_get_by_flow(self):
+        result = self.build()
+        assert result.get(FLOW_A, "alpha").unavailable_s == pytest.approx(10.0)
+        assert result.get("S->U", "beta").unavailable_s == pytest.approx(4.0)
+
+    def test_duplicate_add_rejected(self):
+        result = self.build()
+        with pytest.raises(ValidationError):
+            result.add(stats(FLOW_A, "alpha"))
+
+    def test_missing_lookup_rejected(self):
+        with pytest.raises(ValidationError):
+            self.build().get(FLOW_A, "nope")
+
+    def test_schemes_in_insertion_order(self):
+        assert self.build().schemes == ("alpha", "beta")
+
+    def test_per_flow(self):
+        per_flow = self.build().per_flow("alpha")
+        assert set(per_flow) == {"S->T", "S->U"}
+
+
+class TestCostComparison:
+    def test_overhead_relative_to_baseline(self):
+        result = ReplayResult(ServiceSpec(), ReplayConfig())
+        result.add(stats(FLOW_A, "static-two-disjoint", edges=6))
+        result.add(stats(FLOW_A, "targeted", edges=7))
+        comparison = {c.scheme: c for c in cost_comparison(result)}
+        assert comparison["static-two-disjoint"].overhead_vs_baseline == 0.0
+        assert comparison["targeted"].overhead_vs_baseline == pytest.approx(1 / 6)
+        assert comparison["targeted"].overhead_percent == pytest.approx(100 / 6)
+
+    def test_missing_baseline_rejected(self):
+        result = ReplayResult(ServiceSpec(), ReplayConfig())
+        result.add(stats(FLOW_A, "targeted", edges=7))
+        with pytest.raises(ValidationError):
+            cost_comparison(result)
+
+
+class TestReplayConfig:
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ReplayConfig(detection_delay_s=-1.0)
+        with pytest.raises(ValidationError):
+            ReplayConfig(max_lossy_edges=0)

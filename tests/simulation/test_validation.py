@@ -1,0 +1,84 @@
+"""Cross-engine validation utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netmodel.conditions import ConditionTimeline, Contribution, LinkState
+from repro.netmodel.topology import FlowSpec, ServiceSpec
+from repro.simulation.validation import compare_engines
+
+FLOW = FlowSpec("S", "T")
+SERVICE = ServiceSpec(deadline_ms=15.0, send_interval_ms=10.0, rtt_budget_ms=30.0)
+
+
+def timeline(diamond, *contributions, duration=300.0):
+    return ConditionTimeline(diamond, duration, contributions)
+
+
+class TestCompareEngines:
+    def test_clean_trace_exact_agreement(self, diamond):
+        comparisons = compare_engines(
+            diamond,
+            timeline(diamond),
+            FLOW,
+            SERVICE,
+            scheme_names=("static-single", "flooding"),
+        )
+        for comparison in comparisons:
+            assert comparison.analytic_on_time_fraction == 1.0
+            assert comparison.packet_on_time_fraction == 1.0
+            assert comparison.consistent
+
+    def test_lossy_trace_within_tolerance(self, diamond):
+        tl = timeline(
+            diamond,
+            Contribution(("S", "A"), 50.0, 250.0, LinkState(loss_rate=0.5)),
+        )
+        comparisons = compare_engines(
+            diamond,
+            tl,
+            FLOW,
+            SERVICE,
+            scheme_names=("static-single", "static-two-disjoint", "targeted"),
+            seed=5,
+        )
+        for comparison in comparisons:
+            assert comparison.consistent, (
+                comparison.scheme,
+                comparison.analytic_on_time_fraction,
+                comparison.packet_on_time_fraction,
+            )
+
+    def test_windowed_comparison(self, diamond):
+        tl = timeline(
+            diamond,
+            Contribution(("S", "A"), 50.0, 250.0, LinkState(loss_rate=1.0)),
+        )
+        comparisons = compare_engines(
+            diamond,
+            tl,
+            FLOW,
+            SERVICE,
+            scheme_names=("static-single",),
+            window=(100.0, 200.0),
+            seed=5,
+        )
+        comparison = comparisons[0]
+        # Window lies entirely inside the blackout.
+        assert comparison.analytic_on_time_fraction == pytest.approx(0.0)
+        assert comparison.packet_on_time_fraction == pytest.approx(0.0)
+        assert comparison.consistent
+
+    def test_tolerance_scales_with_packets(self, diamond):
+        tl = timeline(
+            diamond,
+            Contribution(("S", "A"), 0.0, 300.0, LinkState(loss_rate=0.5)),
+        )
+        short = compare_engines(
+            diamond, tl, FLOW, SERVICE, ("static-single",), window=(0.0, 10.0)
+        )[0]
+        long = compare_engines(
+            diamond, tl, FLOW, SERVICE, ("static-single",), window=(0.0, 200.0)
+        )[0]
+        assert long.tolerance < short.tolerance

@@ -1,0 +1,57 @@
+"""ASCII table renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.tables import format_cell, render_table
+
+
+class TestFormatCell:
+    def test_none_is_dash(self):
+        assert format_cell(None) == "-"
+
+    def test_float_fixed_point(self):
+        assert format_cell(1.23456, float_digits=2) == "1.23"
+
+    def test_bool(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+    def test_int_passthrough(self):
+        assert format_cell(42) == "42"
+
+    def test_string_passthrough(self):
+        assert format_cell("abc") == "abc"
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["name", "value"], [["a", 1], ["long-name", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        # Numeric column right-aligned: the "1" ends where "22" ends.
+        assert lines[2].rstrip().endswith("1")
+        assert lines[3].rstrip().endswith("22")
+        assert len(lines[2].rstrip()) == len(lines[3].rstrip())
+
+    def test_title(self):
+        text = render_table(["h"], [["x"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_separator_row(self):
+        text = render_table(["head"], [["x"]])
+        assert "----" in text.splitlines()[1]
+
+    def test_mismatched_row_raises(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows_ok(self):
+        text = render_table(["a"], [])
+        assert "a" in text
+
+    def test_wide_cell_grows_column(self):
+        text = render_table(["h"], [["wider-than-header"]])
+        header, separator, row = text.splitlines()
+        assert len(separator) >= len("wider-than-header")

@@ -1,0 +1,53 @@
+"""Argument-validation helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.validation import (
+    ValidationError,
+    fail,
+    require,
+    require_non_negative,
+    require_positive,
+    require_probability,
+)
+
+
+def test_require_passes():
+    require(True, "never raised")
+
+
+def test_require_raises_with_message():
+    with pytest.raises(ValidationError, match="custom message"):
+        require(False, "custom message")
+
+
+def test_fail_always_raises():
+    with pytest.raises(ValidationError):
+        fail("boom")
+
+
+def test_probability_bounds():
+    assert require_probability(0.0, "p") == 0.0
+    assert require_probability(1.0, "p") == 1.0
+    with pytest.raises(ValidationError):
+        require_probability(1.01, "p")
+    with pytest.raises(ValidationError):
+        require_probability(-0.01, "p")
+
+
+def test_positive():
+    assert require_positive(0.5, "x") == 0.5
+    with pytest.raises(ValidationError):
+        require_positive(0.0, "x")
+
+
+def test_non_negative():
+    assert require_non_negative(0.0, "x") == 0.0
+    with pytest.raises(ValidationError):
+        require_non_negative(-1e-9, "x")
+
+
+def test_validation_error_is_value_error():
+    assert issubclass(ValidationError, ValueError)
