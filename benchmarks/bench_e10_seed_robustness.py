@@ -26,6 +26,8 @@ def test_e10_seed_robustness(benchmark):
             common.flows(),
             common.service(),
             seeds=SWEEP_SEEDS,
+            max_workers=common.BENCH_WORKERS,
+            use_cache=common.BENCH_USE_CACHE,
         )
 
     outcomes = benchmark.pedantic(sweep, rounds=1, iterations=1)

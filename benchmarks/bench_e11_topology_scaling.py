@@ -12,12 +12,12 @@ from __future__ import annotations
 import common
 
 from repro.analysis.metrics import gap_coverage
+from repro.exec.engine import run_replay_parallel
 from repro.netmodel.scenarios import WEEK_S, Scenario, generate_timeline
 from repro.netmodel.topologies import (
     coast_to_coast_flows,
     synthetic_continental_topology,
 )
-from repro.simulation.interval import run_replay
 from repro.simulation.results import ReplayConfig
 from repro.util.tables import render_table
 
@@ -33,7 +33,7 @@ def test_e11_topology_scaling(benchmark):
             flows = coast_to_coast_flows(topology, 8)
             scenario = Scenario(duration_s=SCALING_WEEKS * WEEK_S)
             _events, timeline = generate_timeline(topology, scenario, seed=7)
-            result = run_replay(
+            result, _telemetry = run_replay_parallel(
                 topology,
                 timeline,
                 flows,
@@ -46,6 +46,9 @@ def test_e11_topology_scaling(benchmark):
                     "flooding",
                 ),
                 config=ReplayConfig(detection_delay_s=common.DETECTION_DELAY_S),
+                max_workers=common.BENCH_WORKERS,
+                use_cache=common.BENCH_USE_CACHE,
+                label=f"topology scaling ({size} sites)",
             )
             rows.append(
                 [

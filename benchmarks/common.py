@@ -8,7 +8,15 @@ same code:
 
 * ``REPRO_BENCH_WEEKS`` -- trace length in weeks (default 2; the
   EXPERIMENTS.md headline numbers use 4);
-* ``REPRO_BENCH_SEED`` -- generator seed (default 7).
+* ``REPRO_BENCH_SEED`` -- generator seed (default 7);
+* ``REPRO_BENCH_WORKERS`` -- execution-engine worker processes
+  (default 0 = in-process serial);
+* ``REPRO_BENCH_NO_CACHE`` -- set to ``1`` to bypass the execution
+  engine's content-addressed result cache.
+
+All replays route through :mod:`repro.exec`, so a repeated bench
+invocation with unchanged inputs (e.g. the ``REPRO_BENCH_WEEKS=4``
+paper-scale run) reuses cached shards instead of recomputing them.
 """
 
 from __future__ import annotations
@@ -16,17 +24,19 @@ from __future__ import annotations
 import functools
 import os
 
+from repro.exec.engine import run_replay_parallel
 from repro.netmodel.scenarios import WEEK_S, Scenario, generate_timeline
 from repro.netmodel.topology import (
     ServiceSpec,
     build_reference_topology,
     reference_flows,
 )
-from repro.simulation.interval import run_replay
 from repro.simulation.results import ReplayConfig
 
 BENCH_WEEKS = float(os.environ.get("REPRO_BENCH_WEEKS", "2"))
 BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "7"))
+BENCH_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "0"))
+BENCH_USE_CACHE = os.environ.get("REPRO_BENCH_NO_CACHE", "") != "1"
 DETECTION_DELAY_S = 1.0
 
 
@@ -60,13 +70,17 @@ def trace(weeks: float = BENCH_WEEKS, seed: int = BENCH_SEED):
 def headline_replay(weeks: float = BENCH_WEEKS, seed: int = BENCH_SEED):
     """The full six-scheme replay every headline bench reads from."""
     _events, timeline = trace(weeks, seed)
-    return run_replay(
+    result, _telemetry = run_replay_parallel(
         topology(),
         timeline,
         flows(),
         service(),
         config=ReplayConfig(detection_delay_s=DETECTION_DELAY_S),
+        max_workers=BENCH_WORKERS,
+        use_cache=BENCH_USE_CACHE,
+        label=f"headline replay ({weeks:g}w, seed {seed})",
     )
+    return result
 
 
 def banner(title: str) -> str:

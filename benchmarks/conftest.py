@@ -11,3 +11,14 @@ from pathlib import Path
 
 # Make `import common` work regardless of invocation directory.
 sys.path.insert(0, str(Path(__file__).parent))
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Print the execution engine's aggregate telemetry for the session."""
+    try:
+        from repro.exec.telemetry import session_summary
+    except ImportError:  # repro not importable: nothing ran through the engine
+        return
+    summary = session_summary()
+    if summary:
+        print("\n" + summary)

@@ -27,12 +27,14 @@ Subpackages:
 * :mod:`repro.netmodel` -- topology, conditions, scenario generation,
   trace persistence;
 * :mod:`repro.simulation` -- analytic and packet-level replay engines;
+* :mod:`repro.exec` -- parallel execution engine with result caching;
 * :mod:`repro.analysis` -- metrics, classification, tables;
 * :mod:`repro.overlay` -- the message-level overlay-network substrate.
 """
 
 from repro.core.dgraph import DisseminationGraph
 from repro.core.graph import Topology
+from repro.exec.engine import run_replay_parallel
 from repro.netmodel.scenarios import Scenario, generate_timeline
 from repro.netmodel.topology import (
     FlowSpec,
@@ -60,4 +62,5 @@ __all__ = [
     "make_policy",
     "reference_flows",
     "run_replay",
+    "run_replay_parallel",
 ]

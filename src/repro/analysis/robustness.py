@@ -17,7 +17,6 @@ from repro.core.graph import Topology
 from repro.netmodel.scenarios import Scenario, generate_timeline
 from repro.netmodel.topology import FlowSpec, ServiceSpec
 from repro.simulation.cost import cost_comparison
-from repro.simulation.interval import run_replay
 from repro.simulation.results import ReplayConfig
 from repro.util.stats import mean
 from repro.util.validation import require
@@ -61,14 +60,34 @@ def run_seed_sweep(
         DEFAULT_OPTIMAL,
     ),
     config: ReplayConfig = ReplayConfig(),
+    max_workers: int = 0,
+    use_cache: bool = False,
 ) -> list[SeedOutcome]:
-    """Replay the full evaluation once per seed."""
+    """Replay the full evaluation once per seed.
+
+    Each seed's replay is an independent shard-and-merge job on the
+    execution engine; ``max_workers``/``use_cache`` parallelise it and
+    reuse cached shards across sweep invocations (the E10 bench sets
+    both from the ``REPRO_BENCH_*`` environment variables).
+    """
+    # Imported lazily: repro.analysis is pulled in by netmodel's package
+    # init, which the execution engine's own imports would re-enter.
+    from repro.exec.engine import run_replay_parallel
+
     require(bool(seeds), "need at least one seed")
     outcomes = []
     for seed in seeds:
         _events, timeline = generate_timeline(topology, scenario, seed=seed)
-        result = run_replay(
-            topology, timeline, flows, service, scheme_names, config
+        result, _telemetry = run_replay_parallel(
+            topology,
+            timeline,
+            flows,
+            service,
+            scheme_names,
+            config,
+            max_workers=max_workers,
+            use_cache=use_cache,
+            label=f"seed sweep (seed {seed})",
         )
         coverage = {
             scheme: gap_coverage(result, scheme)

@@ -4,10 +4,13 @@ Subcommands mirror the evaluation workflow:
 
 * ``generate-trace`` -- synthesise a multi-week condition trace to a file;
 * ``evaluate`` -- replay all schemes over a trace (or a fresh one) and
-  print the headline performance and cost tables;
+  print the headline performance and cost tables; ``--workers``,
+  ``--time-shards`` and ``--no-cache`` control the execution engine;
 * ``classify`` -- print the problem-classification distribution of a
   trace (experiment E1);
-* ``graphs`` -- print every dissemination-graph family for one flow.
+* ``graphs`` -- print every dissemination-graph family for one flow;
+* ``cache`` -- inspect (``info``) or evict (``clear``) the execution
+  engine's content-addressed result cache.
 """
 
 from __future__ import annotations
@@ -40,8 +43,9 @@ from repro.netmodel.topology import (
     build_reference_topology,
     reference_flows,
 )
+from repro.exec.cache import ResultCache
+from repro.exec.engine import run_replay_parallel
 from repro.netmodel.trace import load_timeline, write_trace
-from repro.simulation.interval import run_replay
 from repro.simulation.results import ReplayConfig
 
 __all__ = ["main"]
@@ -90,11 +94,24 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
             f"(seed {args.seed})"
         )
     config = ReplayConfig(detection_delay_s=args.detection_delay_s)
-    result = run_replay(topology, timeline, flows, service, config=config)
+    result, telemetry = run_replay_parallel(
+        topology,
+        timeline,
+        flows,
+        service,
+        config=config,
+        max_workers=args.workers,
+        time_shards=args.time_shards,
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+        label="cli evaluate",
+    )
     print()
     print(format_scheme_performance_table(result))
     print()
     print(format_cost_table(result))
+    print()
+    print(telemetry.summary_table())
     if args.per_flow:
         print()
         print(format_per_flow_table(result))
@@ -171,6 +188,19 @@ def _cmd_graphs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.cache_dir)
+    if args.action == "info":
+        info = cache.info()
+        print(f"cache root: {info.root}")
+        print(f"entries:    {info.entries}")
+        print(f"size:       {info.total_bytes / 1024:.1f} KiB")
+    else:  # clear
+        removed = cache.clear()
+        print(f"removed {removed} cache entries from {cache.root}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -199,6 +229,28 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument(
         "--export-dir", help="also write the tables as CSV into this directory"
     )
+    evaluate.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes for the execution engine (0 = in-process serial)",
+    )
+    evaluate.add_argument(
+        "--time-shards",
+        type=int,
+        default=1,
+        help="additionally cut each (flow, scheme) pair into this many time shards",
+    )
+    evaluate.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the content-addressed result cache",
+    )
+    evaluate.add_argument(
+        "--cache-dir",
+        help="result cache directory (default: $REPRO_EXEC_CACHE_DIR or "
+        "~/.cache/repro-dgraphs/exec)",
+    )
     evaluate.set_defaults(handler=_cmd_evaluate)
 
     classify = subparsers.add_parser(
@@ -215,6 +267,17 @@ def build_parser() -> argparse.ArgumentParser:
     graphs.add_argument("destination")
     graphs.add_argument("--deadline-ms", type=float, default=65.0)
     graphs.set_defaults(handler=_cmd_graphs)
+
+    cache = subparsers.add_parser(
+        "cache", help="inspect or evict the execution engine's result cache"
+    )
+    cache.add_argument("action", choices=("info", "clear"))
+    cache.add_argument(
+        "--cache-dir",
+        help="result cache directory (default: $REPRO_EXEC_CACHE_DIR or "
+        "~/.cache/repro-dgraphs/exec)",
+    )
+    cache.set_defaults(handler=_cmd_cache)
 
     return parser
 

@@ -1,0 +1,34 @@
+"""Parallel experiment execution: work plans, worker pools, result cache.
+
+The execution engine (subsystem S17) turns a full replay into a
+shard-and-merge job:
+
+* :mod:`repro.exec.plan` -- decompose a replay into independent
+  (flow, scheme[, time window]) shards and merge shard outputs back into
+  a :class:`~repro.simulation.results.ReplayResult` that is *exactly*
+  equal to the serial engine's;
+* :mod:`repro.exec.engine` -- run shards on a process pool with retry,
+  per-shard timeout, and graceful serial fallback;
+* :mod:`repro.exec.cache` -- content-addressed disk cache keyed by
+  (topology, timeline, flow, scheme, config, code version);
+* :mod:`repro.exec.telemetry` -- per-run and per-session execution
+  summaries.
+"""
+
+from repro.exec.cache import CacheInfo, ResultCache, default_cache_dir
+from repro.exec.engine import run_replay_parallel
+from repro.exec.plan import ShardResult, ShardSpec, build_plan, merge_results
+from repro.exec.telemetry import ExecTelemetry, session_summary
+
+__all__ = [
+    "CacheInfo",
+    "ExecTelemetry",
+    "ResultCache",
+    "ShardResult",
+    "ShardSpec",
+    "build_plan",
+    "default_cache_dir",
+    "merge_results",
+    "run_replay_parallel",
+    "session_summary",
+]

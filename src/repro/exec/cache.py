@@ -1,0 +1,135 @@
+"""Content-addressed disk cache for shard results.
+
+Entries live under ``<root>/<key[:2]>/<key>.json``; the root defaults to
+``$REPRO_EXEC_CACHE_DIR`` or ``~/.cache/repro-dgraphs/exec``.  Every
+entry wraps its payload with a SHA-256 digest; a load recomputes the
+digest and discards (and deletes) the entry on any mismatch or decode
+error, so a corrupted or truncated file is recomputed, never trusted.
+
+Writes go through a temporary file plus ``os.replace`` so a crashed
+writer can at worst leave a stale temp file, never a half-written entry
+under a valid key.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.exec.hashing import stable_hash
+from repro.exec.plan import ShardResult
+
+__all__ = ["CACHE_DIR_ENV", "CacheInfo", "ResultCache", "default_cache_dir"]
+
+CACHE_DIR_ENV = "REPRO_EXEC_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """Cache root: ``$REPRO_EXEC_CACHE_DIR`` or the user cache directory."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro-dgraphs" / "exec"
+
+
+@dataclass(frozen=True)
+class CacheInfo:
+    """Snapshot of a cache directory's contents."""
+
+    root: Path
+    entries: int
+    total_bytes: int
+
+
+class ResultCache:
+    """Load/store shard results by content hash, with corruption detection."""
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def load(self, key: str) -> ShardResult | None:
+        """The cached result for ``key``, or ``None`` (miss or corrupt)."""
+        path = self._path(key)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            wrapper = json.loads(text)
+            payload = wrapper["payload"]
+            if wrapper.get("sha256") != stable_hash(payload):
+                raise ValueError("payload digest mismatch")
+            if payload.get("key") != key:
+                raise ValueError("entry key mismatch")
+            result = ShardResult.from_payload(payload)
+        except (ValueError, KeyError, TypeError, IndexError):
+            # Corrupted entry: drop it so the recomputed result replaces it.
+            self.corrupt += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return result
+
+    def store(self, key: str, result: ShardResult) -> None:
+        """Persist ``result`` under ``key`` (atomic replace)."""
+        payload = result.to_payload(key)
+        wrapper = {"sha256": stable_hash(payload), "payload": payload}
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        descriptor, temp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                json.dump(wrapper, handle)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+
+    def _entry_paths(self) -> list[Path]:
+        if not self.root.is_dir():
+            return []
+        return [
+            path
+            for path in self.root.glob("*/*.json")
+            if not path.name.startswith(".tmp-")
+        ]
+
+    def info(self) -> CacheInfo:
+        """Entry count and total size of the cache directory."""
+        paths = self._entry_paths()
+        total = 0
+        for path in paths:
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return CacheInfo(root=self.root, entries=len(paths), total_bytes=total)
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in self._entry_paths():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

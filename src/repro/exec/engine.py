@@ -1,0 +1,260 @@
+"""The parallel experiment execution engine.
+
+``run_replay_parallel`` is the shard-and-merge counterpart of
+:func:`repro.simulation.interval.run_replay`: it decomposes the replay
+into a work plan (:mod:`repro.exec.plan`), satisfies shards from the
+content-addressed disk cache (:mod:`repro.exec.cache`) when allowed,
+runs the remainder on a ``ProcessPoolExecutor``, and merges shard
+outputs into a :class:`~repro.simulation.results.ReplayResult` that is
+exactly equal to the serial engine's.
+
+Failure handling is layered: a shard that raises (or whose worker dies,
+or that exceeds the per-shard timeout) is retried up to ``retries``
+times -- rebuilding the pool when it broke -- and finally falls back to
+in-process serial execution, so a sick pool degrades to the serial
+engine instead of failing the replay.
+
+``max_workers=0`` skips the pool entirely and runs every shard
+in-process with the same shared-state reuse as ``run_replay``.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from typing import Callable, Sequence
+
+from repro.core.graph import Topology
+from repro.exec.cache import ResultCache
+from repro.exec.hashing import context_key, shard_key
+from repro.exec.plan import (
+    ShardContext,
+    ShardResult,
+    ShardSpec,
+    build_plan,
+    merge_results,
+)
+from repro.exec.telemetry import ExecTelemetry, record
+from repro.netmodel.conditions import ConditionTimeline
+from repro.netmodel.topology import FlowSpec, ServiceSpec
+from repro.routing.registry import STANDARD_SCHEME_NAMES
+from repro.simulation.results import ReplayConfig, ReplayResult
+from repro.util.validation import require
+
+__all__ = ["run_replay_parallel"]
+
+#: How many times a broken pool is rebuilt before abandoning it.
+_MAX_POOL_REBUILDS = 2
+
+# -- worker-process side ---------------------------------------------------------
+
+_WORKER_CONTEXT: ShardContext | None = None
+
+
+def _worker_init(
+    topology: Topology,
+    timeline: ConditionTimeline,
+    service: ServiceSpec,
+    config: ReplayConfig,
+) -> None:
+    """Pool initializer: build the shared replay state once per worker."""
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = ShardContext(topology, timeline, service, config)
+
+
+def _worker_run(shard: ShardSpec) -> tuple[ShardResult, float]:
+    """Run one shard in a pool worker; returns (result, wall seconds)."""
+    require(_WORKER_CONTEXT is not None, "worker used before initialization")
+    started = time.perf_counter()
+    result = _WORKER_CONTEXT.run(shard)
+    return result, time.perf_counter() - started
+
+
+def _default_executor_factory(
+    max_workers: int, initializer: Callable, initargs: tuple
+) -> ProcessPoolExecutor:
+    return ProcessPoolExecutor(
+        max_workers=max_workers, initializer=initializer, initargs=initargs
+    )
+
+
+# -- engine ----------------------------------------------------------------------
+
+
+def _run_pooled(
+    pending: list[ShardSpec],
+    results: dict[ShardSpec, ShardResult],
+    telemetry: ExecTelemetry,
+    run_locally: Callable[[ShardSpec], ShardResult],
+    executor_factory: Callable,
+    max_workers: int,
+    initargs: tuple,
+    shard_timeout_s: float | None,
+    retries: int,
+) -> None:
+    """Run ``pending`` on a worker pool; fall back serially on failure."""
+    attempts = {shard: 0 for shard in pending}
+    queue = list(pending)
+    fallback: list[ShardSpec] = []
+    executor = None
+    rebuilds = 0
+
+    def give_up(shard: ShardSpec) -> None:
+        if attempts[shard] <= retries:
+            telemetry.shards_retried += 1
+            next_queue.append(shard)
+        else:
+            fallback.append(shard)
+
+    try:
+        while queue:
+            if executor is None:
+                try:
+                    executor = executor_factory(
+                        min(max_workers, len(queue)), _worker_init, initargs
+                    )
+                except Exception:
+                    fallback.extend(queue)
+                    queue = []
+                    break
+            futures = [(shard, executor.submit(_worker_run, shard)) for shard in queue]
+            next_queue: list[ShardSpec] = []
+            broken = False
+            for shard, future in futures:
+                if broken:
+                    # The pool died under us; later futures of this batch
+                    # are unreliable.  Requeue without charging an attempt.
+                    next_queue.append(shard)
+                    continue
+                try:
+                    shard_result, shard_wall = future.result(timeout=shard_timeout_s)
+                except (BrokenExecutor, concurrent.futures.TimeoutError):
+                    # A dead worker or a hung shard poisons the whole pool:
+                    # tear it down and rebuild before retrying.
+                    broken = True
+                    attempts[shard] += 1
+                    give_up(shard)
+                except Exception:
+                    attempts[shard] += 1
+                    give_up(shard)
+                else:
+                    results[shard] = shard_result
+                    telemetry.shards_run += 1
+                    telemetry.shard_wall_s.append(shard_wall)
+            if broken:
+                executor.shutdown(wait=False, cancel_futures=True)
+                executor = None
+                rebuilds += 1
+                if rebuilds > _MAX_POOL_REBUILDS:
+                    fallback.extend(next_queue)
+                    next_queue = []
+            queue = next_queue
+    finally:
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+    for shard in fallback:
+        results[shard] = run_locally(shard)
+        telemetry.shards_fallback += 1
+
+
+def run_replay_parallel(
+    topology: Topology,
+    timeline: ConditionTimeline,
+    flows: Sequence[FlowSpec],
+    service: ServiceSpec,
+    scheme_names: Sequence[str] = STANDARD_SCHEME_NAMES,
+    config: ReplayConfig = ReplayConfig(),
+    *,
+    max_workers: int | None = None,
+    time_shards: int = 1,
+    use_cache: bool = True,
+    cache: ResultCache | None = None,
+    cache_dir: str | None = None,
+    shard_timeout_s: float | None = None,
+    retries: int = 1,
+    executor_factory: Callable | None = None,
+    label: str = "replay",
+) -> tuple[ReplayResult, ExecTelemetry]:
+    """Replay every flow under every scheme via the execution engine.
+
+    Returns ``(result, telemetry)`` where ``result`` is exactly equal to
+    ``run_replay``'s output on the same inputs.  ``max_workers=None``
+    uses the machine's core count; ``0`` runs serially in-process.
+    """
+    require(bool(flows), "need at least one flow")
+    require(bool(scheme_names), "need at least one scheme")
+    require(retries >= 0, "retries must be >= 0")
+    if max_workers is None:
+        max_workers = os.cpu_count() or 1
+    started = time.perf_counter()
+    plan = build_plan(timeline, flows, scheme_names, config, time_shards)
+    telemetry = ExecTelemetry(
+        label=label,
+        workers=max_workers,
+        time_shards=time_shards,
+        shards_total=len(plan),
+    )
+
+    results: dict[ShardSpec, ShardResult] = {}
+    keys: dict[ShardSpec, str] = {}
+    if use_cache:
+        if cache is None:
+            cache = ResultCache(cache_dir)
+        context = context_key(topology, timeline, service, config)
+        corrupt_before = cache.corrupt
+        for shard in plan:
+            keys[shard] = shard_key(
+                context,
+                shard.flow,
+                shard.scheme,
+                shard.start_s,
+                shard.end_s,
+                shard.index,
+                shard.of,
+            )
+            hit = cache.load(keys[shard])
+            if hit is not None:
+                results[shard] = hit
+        telemetry.shards_cached = len(results)
+        telemetry.cache_corrupt = cache.corrupt - corrupt_before
+
+    pending = [shard for shard in plan if shard not in results]
+    local_context: ShardContext | None = None
+
+    def run_locally(shard: ShardSpec) -> ShardResult:
+        nonlocal local_context
+        if local_context is None:
+            local_context = ShardContext(topology, timeline, service, config)
+        shard_started = time.perf_counter()
+        result = local_context.run(shard)
+        telemetry.shard_wall_s.append(time.perf_counter() - shard_started)
+        return result
+
+    if pending:
+        if max_workers > 0 and len(pending) > 1:
+            _run_pooled(
+                pending,
+                results,
+                telemetry,
+                run_locally,
+                executor_factory or _default_executor_factory,
+                max_workers,
+                (topology, timeline, service, config),
+                shard_timeout_s,
+                retries,
+            )
+        else:
+            for shard in pending:
+                results[shard] = run_locally(shard)
+                telemetry.shards_run += 1
+
+    if use_cache and cache is not None:
+        for shard in pending:
+            cache.store(keys[shard], results[shard])
+
+    merged = merge_results(service, config, plan, results)
+    telemetry.wall_time_s = time.perf_counter() - started
+    record(telemetry)
+    return merged, telemetry

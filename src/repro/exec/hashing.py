@@ -1,0 +1,144 @@
+"""Stable content hashing for cache keys.
+
+A shard's cache key must change whenever anything that could change its
+output changes: the topology (nodes, link latencies/costs), the compiled
+condition timeline, the flow, the scheme, the service spec, the replay
+config, the shard window -- and the code itself.  The code component is
+a digest over every ``.py`` file of the installed ``repro`` package, so
+editing any engine module invalidates prior results rather than serving
+stale ones.
+
+Hashes are built from canonical JSON (sorted keys, no whitespace).
+Python's ``repr``-based float serialisation round-trips exactly, so two
+runs with bitwise-identical inputs produce identical keys.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from repro.core.graph import Topology
+from repro.netmodel.conditions import ConditionTimeline
+from repro.netmodel.topology import FlowSpec, ServiceSpec
+from repro.simulation.results import ReplayConfig
+
+__all__ = [
+    "CODE_VERSION_ENV",
+    "canonical_json",
+    "stable_hash",
+    "code_fingerprint",
+    "context_key",
+    "shard_key",
+]
+
+#: Override the computed code fingerprint (used by tests to pin keys).
+CODE_VERSION_ENV = "REPRO_EXEC_CODE_VERSION"
+
+
+def canonical_json(value: object) -> str:
+    """Deterministic JSON encoding: sorted keys, compact separators."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def stable_hash(value: object) -> str:
+    """Hex SHA-256 of the canonical JSON encoding of ``value``."""
+    return hashlib.sha256(canonical_json(value).encode("utf-8")).hexdigest()
+
+
+@functools.lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """Digest of every source file of the installed ``repro`` package."""
+    override = os.environ.get(CODE_VERSION_ENV)
+    if override:
+        return override
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()[:16]
+
+
+def _topology_fingerprint(topology: Topology) -> dict:
+    return {
+        "name": topology.name,
+        "nodes": {
+            node: dict(topology.node_attributes(node)) for node in topology.nodes
+        },
+        "links": [
+            [link.source, link.target, link.latency_ms, link.cost]
+            for link in topology.iter_links()
+        ],
+    }
+
+
+def _timeline_fingerprint(timeline: ConditionTimeline) -> dict:
+    # The compiled segment list is canonical: timelines built from
+    # different (overlapping) contribution sets but identical effective
+    # conditions fingerprint equal.
+    return {
+        "duration_s": timeline.duration_s,
+        "contributions": [
+            [
+                contribution.edge[0],
+                contribution.edge[1],
+                contribution.start_s,
+                contribution.end_s,
+                contribution.state.loss_rate,
+                contribution.state.extra_latency_ms,
+            ]
+            for contribution in timeline.to_contributions()
+        ],
+    }
+
+
+def context_key(
+    topology: Topology,
+    timeline: ConditionTimeline,
+    service: ServiceSpec,
+    config: ReplayConfig,
+) -> str:
+    """Key of everything shards of one replay share (computed once per run)."""
+    return stable_hash(
+        {
+            "code": code_fingerprint(),
+            "topology": _topology_fingerprint(topology),
+            "timeline": _timeline_fingerprint(timeline),
+            "service": {
+                "deadline_ms": service.deadline_ms,
+                "send_interval_ms": service.send_interval_ms,
+                "rtt_budget_ms": service.rtt_budget_ms,
+            },
+            "config": {
+                "detection_delay_s": config.detection_delay_s,
+                "max_lossy_edges": config.max_lossy_edges,
+                "collect_windows": config.collect_windows,
+                "hop_recovery": config.hop_recovery,
+                "recovery_extra_ms": config.recovery_extra_ms,
+                "max_recovery_lossy_edges": config.max_recovery_lossy_edges,
+            },
+        }
+    )
+
+
+def shard_key(context: str, flow: FlowSpec, scheme: str, start_s: float, end_s: float, index: int, of: int) -> str:
+    """Content-addressed key of one shard within a replay context."""
+    return stable_hash(
+        {
+            "context": context,
+            "flow": [flow.source, flow.destination],
+            "scheme": scheme,
+            "start_s": start_s,
+            "end_s": end_s,
+            "index": index,
+            "of": of,
+        }
+    )

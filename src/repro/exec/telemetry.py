@@ -1,0 +1,118 @@
+"""Executor telemetry: what ran where, and how long it took.
+
+Every engine invocation produces one :class:`ExecTelemetry` record and
+appends it to a process-wide session register, so entry points that run
+many replays (the bench suite, seed sweeps) can print one aggregate
+summary at the end -- shards run vs. served from cache, retries, serial
+fallbacks, wall time, and worker utilization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.util.tables import render_table
+
+__all__ = [
+    "ExecTelemetry",
+    "record",
+    "reset_session",
+    "session_records",
+    "session_summary",
+]
+
+
+@dataclass
+class ExecTelemetry:
+    """Counters and timings of one execution-engine invocation."""
+
+    label: str = "replay"
+    workers: int = 0
+    time_shards: int = 1
+    shards_total: int = 0
+    shards_run: int = 0
+    shards_cached: int = 0
+    shards_retried: int = 0
+    shards_fallback: int = 0
+    cache_corrupt: int = 0
+    wall_time_s: float = 0.0
+    shard_wall_s: list[float] = field(default_factory=list)
+
+    @property
+    def busy_s(self) -> float:
+        """Total shard compute time (summed across workers)."""
+        return sum(self.shard_wall_s)
+
+    @property
+    def utilization(self) -> float:
+        """Busy time over wall time x worker slots (1.0 = fully busy)."""
+        slots = max(self.workers, 1)
+        if self.wall_time_s <= 0.0:
+            return 0.0
+        return self.busy_s / (self.wall_time_s * slots)
+
+    def _rows(self) -> list[list[object]]:
+        executed = self.shards_run + self.shards_fallback
+        max_shard = max(self.shard_wall_s) if self.shard_wall_s else 0.0
+        mean_shard = self.busy_s / executed if executed else 0.0
+        return [
+            ["shards total", str(self.shards_total)],
+            ["shards run", str(self.shards_run)],
+            ["shards cached", str(self.shards_cached)],
+            ["shards retried", str(self.shards_retried)],
+            ["serial fallbacks", str(self.shards_fallback)],
+            ["corrupt cache entries", str(self.cache_corrupt)],
+            ["workers", str(self.workers) if self.workers else "serial"],
+            ["wall time", f"{self.wall_time_s:.2f} s"],
+            ["shard time (mean/max)", f"{mean_shard:.2f} / {max_shard:.2f} s"],
+            ["worker utilization", f"{100.0 * self.utilization:.0f} %"],
+        ]
+
+    def summary_table(self) -> str:
+        """The telemetry record as an aligned two-column table."""
+        return render_table(
+            ("execution engine", self.label),
+            self._rows(),
+        )
+
+
+# -- session aggregation ---------------------------------------------------------
+
+_SESSION: list[ExecTelemetry] = []
+
+
+def record(telemetry: ExecTelemetry) -> None:
+    """Append one engine invocation to the session register."""
+    _SESSION.append(telemetry)
+
+
+def session_records() -> Sequence[ExecTelemetry]:
+    """All engine invocations recorded so far in this process."""
+    return tuple(_SESSION)
+
+
+def reset_session() -> None:
+    """Forget all recorded invocations (used by tests and long sessions)."""
+    _SESSION.clear()
+
+
+def session_summary() -> str | None:
+    """One aggregate table over every recorded invocation, or ``None``."""
+    if not _SESSION:
+        return None
+    total = ExecTelemetry(
+        label=f"session ({len(_SESSION)} runs)",
+        workers=max(t.workers for t in _SESSION),
+        time_shards=max(t.time_shards for t in _SESSION),
+    )
+    for telemetry in _SESSION:
+        total.shards_total += telemetry.shards_total
+        total.shards_run += telemetry.shards_run
+        total.shards_cached += telemetry.shards_cached
+        total.shards_retried += telemetry.shards_retried
+        total.shards_fallback += telemetry.shards_fallback
+        total.cache_corrupt += telemetry.cache_corrupt
+        total.wall_time_s += telemetry.wall_time_s
+        total.shard_wall_s.extend(telemetry.shard_wall_s)
+    return total.summary_table()

@@ -233,8 +233,34 @@ def run_replay(
     service: ServiceSpec,
     scheme_names: Sequence[str] = STANDARD_SCHEME_NAMES,
     config: ReplayConfig = ReplayConfig(),
+    *,
+    parallel: bool = False,
+    max_workers: int | None = None,
+    time_shards: int = 1,
+    use_cache: bool = False,
 ) -> ReplayResult:
-    """Replay every flow under every scheme; the evaluation workhorse."""
+    """Replay every flow under every scheme; the evaluation workhorse.
+
+    ``parallel=True`` (or an explicit ``max_workers``/``time_shards``)
+    routes through :func:`repro.exec.engine.run_replay_parallel`; the
+    sharded result is exactly equal to the serial one.  ``use_cache``
+    additionally serves shards from the content-addressed disk cache.
+    """
+    if parallel or max_workers is not None or time_shards > 1 or use_cache:
+        from repro.exec.engine import run_replay_parallel
+
+        result, _telemetry = run_replay_parallel(
+            topology,
+            timeline,
+            flows,
+            service,
+            scheme_names,
+            config,
+            max_workers=max_workers,
+            time_shards=time_shards,
+            use_cache=use_cache,
+        )
+        return result
     require(bool(flows), "need at least one flow")
     require(bool(scheme_names), "need at least one scheme")
     boundaries = decision_boundaries(timeline, config.detection_delay_s)

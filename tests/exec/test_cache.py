@@ -1,0 +1,156 @@
+"""Content-addressed cache: round trips, corruption detection, eviction."""
+
+from __future__ import annotations
+
+import json
+
+from repro.exec.cache import ResultCache
+from repro.exec.hashing import (
+    code_fingerprint,
+    context_key,
+    shard_key,
+    stable_hash,
+)
+from repro.exec.plan import ShardResult
+from repro.netmodel.conditions import ConditionTimeline, Contribution, LinkState
+from repro.netmodel.topology import FlowSpec, ServiceSpec, build_reference_topology
+from repro.simulation.results import ReplayConfig, WindowRecord
+
+
+def sample_result(windows: bool = True) -> ShardResult:
+    return ShardResult(
+        flow_source="S",
+        flow_destination="T",
+        scheme="targeted",
+        start_s=0.0,
+        end_s=600.0,
+        index=0,
+        of=2,
+        duration_s=600.0,
+        unavailable_s=1.25,
+        lost_s=1.0,
+        late_s=0.25,
+        message_seconds=2400.0,
+        decision_changes=3,
+        windows=(
+            [WindowRecord(0.0, 300.0, "targeted", 4, 0.999, 0.0005, 0.0005)]
+            if windows
+            else None
+        ),
+    )
+
+
+KEY = "ab" + "0" * 62
+
+
+class TestRoundTrip:
+    def test_store_then_load(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store(KEY, sample_result())
+        loaded = cache.load(KEY)
+        assert loaded == sample_result()
+        assert cache.hits == 1 and cache.corrupt == 0
+
+    def test_windowless_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store(KEY, sample_result(windows=False))
+        assert cache.load(KEY) == sample_result(windows=False)
+
+    def test_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.load(KEY) is None
+        assert cache.misses == 1
+
+    def test_info_and_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store(KEY, sample_result())
+        cache.store("cd" + "1" * 62, sample_result())
+        info = cache.info()
+        assert info.entries == 2
+        assert info.total_bytes > 0
+        assert cache.clear() == 2
+        assert cache.info().entries == 0
+
+
+class TestCorruption:
+    def test_truncated_entry_is_discarded(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store(KEY, sample_result())
+        path = cache._path(KEY)
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        assert cache.load(KEY) is None
+        assert cache.corrupt == 1
+        assert not path.exists()  # dropped so a recompute replaces it
+
+    def test_bitflip_fails_digest_check(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store(KEY, sample_result())
+        path = cache._path(KEY)
+        wrapper = json.loads(path.read_text())
+        wrapper["payload"]["unavailable_s"] = 999.0  # tampered value
+        path.write_text(json.dumps(wrapper))
+        assert cache.load(KEY) is None
+        assert cache.corrupt == 1
+
+    def test_wrong_key_in_payload_rejected(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store(KEY, sample_result())
+        other = "ab" + "f" * 62
+        # copy the valid entry under a different key: digest is intact but
+        # the embedded key no longer matches the address
+        target = cache._path(other)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(cache._path(KEY).read_text())
+        assert cache.load(other) is None
+        assert cache.corrupt == 1
+
+
+class TestKeys:
+    def make_context(self):
+        topology = build_reference_topology()
+        timeline = ConditionTimeline(
+            topology,
+            1000.0,
+            [Contribution(("NYC", "CHI"), 10.0, 60.0, LinkState(loss_rate=0.4))],
+        )
+        return topology, timeline
+
+    def test_key_is_stable_across_calls(self):
+        topology, timeline = self.make_context()
+        service, config = ServiceSpec(), ReplayConfig()
+        a = context_key(topology, timeline, service, config)
+        b = context_key(topology, timeline, service, config)
+        assert a == b
+
+    def test_key_changes_with_inputs(self):
+        topology, timeline = self.make_context()
+        service, config = ServiceSpec(), ReplayConfig()
+        base = context_key(topology, timeline, service, config)
+        assert base != context_key(
+            topology, timeline, ServiceSpec(deadline_ms=50.0), config
+        )
+        assert base != context_key(
+            topology, timeline, service, ReplayConfig(detection_delay_s=2.0)
+        )
+        other_timeline = ConditionTimeline(topology, 1000.0, [])
+        assert base != context_key(topology, other_timeline, service, config)
+
+    def test_shard_key_distinguishes_windows(self):
+        topology, timeline = self.make_context()
+        context = context_key(topology, timeline, ServiceSpec(), ReplayConfig())
+        flow = FlowSpec("NYC", "SJC")
+        a = shard_key(context, flow, "targeted", 0.0, 500.0, 0, 2)
+        b = shard_key(context, flow, "targeted", 500.0, 1000.0, 1, 2)
+        c = shard_key(context, flow, "flooding", 0.0, 500.0, 0, 2)
+        assert len({a, b, c}) == 3
+
+    def test_code_fingerprint_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXEC_CODE_VERSION", "pinned-for-test")
+        code_fingerprint.cache_clear()
+        try:
+            assert code_fingerprint() == "pinned-for-test"
+        finally:
+            code_fingerprint.cache_clear()
+
+    def test_stable_hash_is_order_insensitive_for_dicts(self):
+        assert stable_hash({"a": 1, "b": 2}) == stable_hash({"b": 2, "a": 1})

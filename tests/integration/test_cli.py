@@ -14,15 +14,34 @@ class TestParser:
 
     def test_all_subcommands_registered(self):
         parser = build_parser()
-        for command in ("generate-trace", "evaluate", "classify", "graphs"):
+        for command in ("generate-trace", "evaluate", "classify", "graphs", "cache"):
             args = {
                 "generate-trace": ["generate-trace", "out.jsonl"],
                 "evaluate": ["evaluate"],
                 "classify": ["classify"],
                 "graphs": ["graphs", "NYC", "SJC"],
+                "cache": ["cache", "info"],
             }[command]
             parsed = parser.parse_args(args)
             assert parsed.command == command
+
+    def test_evaluate_exec_flags_parse(self):
+        parsed = build_parser().parse_args(
+            [
+                "evaluate",
+                "--workers",
+                "4",
+                "--time-shards",
+                "3",
+                "--no-cache",
+                "--cache-dir",
+                "/tmp/x",
+            ]
+        )
+        assert parsed.workers == 4
+        assert parsed.time_shards == 3
+        assert parsed.no_cache is True
+        assert parsed.cache_dir == "/tmp/x"
 
 
 class TestGraphsCommand:
@@ -70,6 +89,82 @@ class TestTraceCommands:
         assert "msgs/pkt" in output
 
     def test_evaluate_generates_when_no_trace(self, capsys):
-        assert main(["evaluate", "--weeks", "0.02", "--seed", "5"]) == 0
+        assert main(["evaluate", "--weeks", "0.02", "--seed", "5", "--no-cache"]) == 0
         output = capsys.readouterr().out
         assert "flooding" in output
+
+
+class TestExecutionEngineCommands:
+    EVALUATE = ["evaluate", "--weeks", "0.02", "--seed", "5", "--workers", "0"]
+
+    def test_evaluate_prints_telemetry(self, tmp_path, capsys):
+        argv = self.EVALUATE + ["--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        output = capsys.readouterr().out
+        assert "execution engine" in output
+        assert "shards run" in output
+        assert "shards cached" in output
+
+    def test_second_evaluate_hits_cache(self, tmp_path, capsys):
+        argv = self.EVALUATE + ["--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+
+        def telemetry_count(output: str, label: str) -> int:
+            for line in output.splitlines():
+                if line.startswith(label):
+                    return int(line.split()[-1])
+            raise AssertionError(f"no {label!r} row in output")
+
+        total = telemetry_count(first, "shards total")
+        assert telemetry_count(first, "shards run") == total
+        assert telemetry_count(second, "shards cached") == total
+        assert telemetry_count(second, "shards run") == 0
+        # cached and fresh replays print identical result tables
+        assert first.split("execution engine")[0] == second.split("execution engine")[0]
+
+    def test_no_cache_flag_bypasses_cache(self, tmp_path, capsys):
+        argv = self.EVALUATE + ["--no-cache", "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        assert not list(tmp_path.glob("*/*.json"))
+
+    def test_evaluate_with_workers_and_time_shards(self, tmp_path, capsys):
+        argv = [
+            "evaluate",
+            "--weeks",
+            "0.01",
+            "--seed",
+            "5",
+            "--workers",
+            "2",
+            "--time-shards",
+            "2",
+            "--cache-dir",
+            str(tmp_path),
+        ]
+        assert main(argv) == 0
+        output = capsys.readouterr().out
+        assert "targeted" in output
+        assert "execution engine" in output
+
+    def test_cache_info_and_clear(self, tmp_path, capsys):
+        argv = self.EVALUATE + ["--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        capsys.readouterr()
+
+        assert main(["cache", "info", "--cache-dir", str(tmp_path)]) == 0
+        info = capsys.readouterr().out
+        assert str(tmp_path) in info
+        entries = int(
+            [line for line in info.splitlines() if line.startswith("entries")][0].split()[-1]
+        )
+        assert entries > 0
+
+        assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
+        cleared = capsys.readouterr().out
+        assert f"removed {entries}" in cleared
+
+        assert main(["cache", "info", "--cache-dir", str(tmp_path)]) == 0
+        assert "entries:    0" in capsys.readouterr().out
