@@ -1,0 +1,44 @@
+"""Deterministic fault injection for the message-level overlay simulation.
+
+The chaos subsystem composes with the existing ``EventKernel`` /
+``SimNetwork`` / ``OverlayHarness`` stack: a :class:`~repro.chaos.faults.
+FaultSchedule` declares *what* goes wrong and *when* (node crashes and
+restarts, partitions and asymmetric blackholes, message duplication /
+reordering / corruption, routing-daemon stalls); a
+:class:`~repro.chaos.injector.ChaosInjector` executes the schedule
+through kernel-scheduled callbacks and a chaos plane installed under the
+network; an :class:`~repro.chaos.invariants.InvariantChecker` observes
+the run through node taps and asserts conservation properties.
+
+Everything is seeded: the same (seed, schedule) pair reproduces the same
+faults message-for-message, so a chaos failure is a test case, not an
+anecdote.
+"""
+
+from repro.chaos.faults import (
+    DaemonStall,
+    FaultSchedule,
+    LinkBlackhole,
+    MessageFaults,
+    NodeCrash,
+    Partition,
+)
+from repro.chaos.generate import ChaosSpec, generate_fault_schedule, to_events
+from repro.chaos.injector import ChaosInjector
+from repro.chaos.invariants import InvariantChecker, InvariantViolation, Violation
+
+__all__ = [
+    "NodeCrash",
+    "LinkBlackhole",
+    "Partition",
+    "MessageFaults",
+    "DaemonStall",
+    "FaultSchedule",
+    "ChaosSpec",
+    "generate_fault_schedule",
+    "to_events",
+    "ChaosInjector",
+    "InvariantChecker",
+    "InvariantViolation",
+    "Violation",
+]

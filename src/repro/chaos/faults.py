@@ -1,0 +1,242 @@
+"""Declarative fault descriptions and the schedule that groups them.
+
+A fault is a frozen dataclass naming *what* breaks and for *which time
+span* (seconds from run start).  A :class:`FaultSchedule` bundles faults
+of every kind and is the unit the injector executes, the invariant
+checker consults, and the generator emits.  Schedules are plain data:
+hashable, comparable, and fingerprintable, so a chaos run can be
+identified (and cached, and reproduced) by ``(seed, fingerprint)``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.core.graph import Edge, NodeId, Topology
+from repro.util.validation import require
+
+__all__ = [
+    "NodeCrash",
+    "LinkBlackhole",
+    "Partition",
+    "MessageFaults",
+    "DaemonStall",
+    "FaultSchedule",
+]
+
+
+def _require_span(start_s: float, duration_s: float) -> None:
+    require(start_s >= 0, "fault start must be >= 0")
+    require(duration_s > 0, "fault duration must be positive")
+
+
+@dataclass(frozen=True)
+class NodeCrash:
+    """A site's daemon dies at ``start_s`` and comes back after ``duration_s``.
+
+    A *cold* rejoin restarts with an empty LSDB and fresh link monitors
+    (the realistic process-restart case); a warm restart keeps protocol
+    state intact (models a brief freeze, e.g. a stop-the-world pause).
+    """
+
+    node: NodeId
+    start_s: float
+    duration_s: float
+    cold_rejoin: bool = True
+
+    def __post_init__(self) -> None:
+        _require_span(self.start_s, self.duration_s)
+
+    @property
+    def end_s(self) -> float:
+        """Instant the node comes back up."""
+        return self.start_s + self.duration_s
+
+
+@dataclass(frozen=True)
+class LinkBlackhole:
+    """A directed overlay link silently eats every message for a while.
+
+    By default the blackhole is *asymmetric* -- only the named direction
+    is blocked, the reverse keeps working -- which is the nastier case
+    for hello-based monitoring (probes die, or acks die, but not both).
+    """
+
+    edge: Edge
+    start_s: float
+    duration_s: float
+    bidirectional: bool = False
+
+    def __post_init__(self) -> None:
+        _require_span(self.start_s, self.duration_s)
+
+    @property
+    def end_s(self) -> float:
+        """Instant the link heals."""
+        return self.start_s + self.duration_s
+
+    def blocked_edges(self, topology: Topology) -> tuple[Edge, ...]:
+        """The directed edges this fault blocks."""
+        require(
+            topology.has_edge(*self.edge),
+            f"blackhole names unknown edge {self.edge!r}",
+        )
+        if not self.bidirectional:
+            return (self.edge,)
+        reverse = (self.edge[1], self.edge[0])
+        if topology.has_edge(*reverse):
+            return (self.edge, reverse)
+        return (self.edge,)
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A group of nodes is cut off from the rest of the overlay.
+
+    Every directed edge crossing the cut (both directions) is blocked for
+    the duration; edges internal to either side keep working.
+    """
+
+    side: tuple[NodeId, ...]
+    start_s: float
+    duration_s: float
+
+    def __post_init__(self) -> None:
+        _require_span(self.start_s, self.duration_s)
+        require(bool(self.side), "a partition needs at least one node")
+        require(
+            len(set(self.side)) == len(self.side),
+            "partition side lists a node twice",
+        )
+
+    @property
+    def end_s(self) -> float:
+        """Instant the partition heals."""
+        return self.start_s + self.duration_s
+
+    def blocked_edges(self, topology: Topology) -> tuple[Edge, ...]:
+        """Every directed edge crossing the cut, in topology order."""
+        inside = set(self.side)
+        for node in inside:
+            require(topology.has_node(node), f"partition names unknown node {node!r}")
+        return tuple(
+            link.edge
+            for link in topology.iter_links()
+            if (link.source in inside) != (link.target in inside)
+        )
+
+
+@dataclass(frozen=True)
+class MessageFaults:
+    """A window of message-level faults applied network-wide.
+
+    Within the window each transmitted message independently may be
+    duplicated (an extra copy delivered), reordered (delayed past later
+    sends), or corrupted (its frame checksum damaged, so the receiver
+    drops it).  Rates are per-message probabilities; decisions are drawn
+    from the injector's deterministic stream.
+    """
+
+    start_s: float
+    duration_s: float
+    duplicate_rate: float = 0.0
+    reorder_rate: float = 0.0
+    reorder_delay_ms: float = 5.0
+    corrupt_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        _require_span(self.start_s, self.duration_s)
+        for name in ("duplicate_rate", "reorder_rate", "corrupt_rate"):
+            rate = getattr(self, name)
+            require(0.0 <= rate <= 1.0, f"{name} must be in [0, 1]")
+        require(self.reorder_delay_ms >= 0, "reorder_delay_ms must be >= 0")
+
+    @property
+    def end_s(self) -> float:
+        """Instant the fault window closes."""
+        return self.start_s + self.duration_s
+
+
+@dataclass(frozen=True)
+class DaemonStall:
+    """A flow's routing daemon freezes: update ticks are missed.
+
+    The installed dissemination graph keeps forwarding; the daemon just
+    stops reacting to network conditions until the stall lifts.
+    """
+
+    flow: str
+    start_s: float
+    duration_s: float
+
+    def __post_init__(self) -> None:
+        _require_span(self.start_s, self.duration_s)
+
+    @property
+    def end_s(self) -> float:
+        """Instant the daemon resumes ticking."""
+        return self.start_s + self.duration_s
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """Every fault planned for one chaos run."""
+
+    crashes: tuple[NodeCrash, ...] = ()
+    blackholes: tuple[LinkBlackhole, ...] = ()
+    partitions: tuple[Partition, ...] = ()
+    message_faults: tuple[MessageFaults, ...] = ()
+    stalls: tuple[DaemonStall, ...] = field(default=())
+
+    def __iter__(self):
+        yield from self.crashes
+        yield from self.blackholes
+        yield from self.partitions
+        yield from self.message_faults
+        yield from self.stalls
+
+    def __len__(self) -> int:
+        return (
+            len(self.crashes)
+            + len(self.blackholes)
+            + len(self.partitions)
+            + len(self.message_faults)
+            + len(self.stalls)
+        )
+
+    @property
+    def end_s(self) -> float:
+        """Instant the last fault clears (0.0 for an empty schedule)."""
+        return max((fault.end_s for fault in self), default=0.0)
+
+    def fingerprint(self) -> str:
+        """Stable short hash identifying this exact schedule.
+
+        Frozen dataclasses repr deterministically, so the fingerprint is
+        a pure function of the schedule's contents; the injector mixes it
+        into its random stream so two different schedules never share
+        per-message fault draws even under the same seed.
+        """
+        return hashlib.sha256(repr(self).encode("utf-8")).hexdigest()[:16]
+
+    # -- point-in-time queries (used by the invariant checker) -----------------
+
+    def crashed_nodes_at(self, now_s: float) -> frozenset[NodeId]:
+        """Nodes that are down at ``now_s``."""
+        return frozenset(
+            crash.node
+            for crash in self.crashes
+            if crash.start_s <= now_s < crash.end_s
+        )
+
+    def blocked_edges_at(self, now_s: float, topology: Topology) -> frozenset[Edge]:
+        """Directed edges blackholed or partitioned away at ``now_s``."""
+        blocked: set[Edge] = set()
+        for blackhole in self.blackholes:
+            if blackhole.start_s <= now_s < blackhole.end_s:
+                blocked.update(blackhole.blocked_edges(topology))
+        for partition in self.partitions:
+            if partition.start_s <= now_s < partition.end_s:
+                blocked.update(partition.blocked_edges(topology))
+        return frozenset(blocked)

@@ -1,0 +1,246 @@
+"""Seeded fault-schedule generation and ground-truth event export.
+
+``generate_fault_schedule`` turns a :class:`ChaosSpec` (how many faults
+of each kind, how long, where not to aim) into a concrete
+:class:`~repro.chaos.faults.FaultSchedule` using the same keyed SHA-256
+stream discipline as the rest of the repository: every placement and
+every time draw is a pure function of ``(seed, draw key)``, so the same
+seed always yields the same schedule, independent of call order.
+
+``to_events`` exports a schedule as ground-truth
+:class:`~repro.netmodel.events.ProblemEvent` records (kinds ``CRASH``
+and ``PARTITION``), which lets the analysis layer score per-flow
+classification against injected faults exactly as it does for generated
+loss episodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chaos.faults import (
+    DaemonStall,
+    FaultSchedule,
+    LinkBlackhole,
+    MessageFaults,
+    NodeCrash,
+    Partition,
+)
+from repro.core.graph import NodeId, Topology
+from repro.netmodel.conditions import LinkState
+from repro.netmodel.events import Burst, EventKind, LinkDegradation, ProblemEvent
+from repro.util.rng import DeterministicStream
+from repro.util.validation import require
+
+__all__ = ["ChaosSpec", "generate_fault_schedule", "to_events"]
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """What a generated chaos run should contain."""
+
+    duration_s: float = 30.0
+    crashes: int = 1
+    blackholes: int = 1
+    partitions: int = 0
+    stalls: int = 0
+    message_fault_windows: int = 0
+    duplicate_rate: float = 0.05
+    reorder_rate: float = 0.05
+    reorder_delay_ms: float = 5.0
+    corrupt_rate: float = 0.05
+    min_fault_s: float = 2.0
+    max_fault_s: float = 8.0
+    settle_s: float = 6.0  # every fault clears at least this long before the end
+    protected_nodes: frozenset[NodeId] = frozenset()
+
+    def __post_init__(self) -> None:
+        require(self.duration_s > 0, "duration_s must be positive")
+        for name in ("crashes", "blackholes", "partitions", "stalls",
+                     "message_fault_windows"):
+            require(getattr(self, name) >= 0, f"{name} must be >= 0")
+        require(
+            0 < self.min_fault_s <= self.max_fault_s,
+            "need 0 < min_fault_s <= max_fault_s",
+        )
+        require(self.settle_s >= 0, "settle_s must be >= 0")
+        require(
+            self.max_fault_s + self.settle_s < self.duration_s,
+            "faults plus settle time must fit inside the run",
+        )
+
+
+def _span(
+    stream: DeterministicStream, spec: ChaosSpec, *key: object
+) -> tuple[float, float]:
+    """Draw one (start, duration) pair that clears before the settle window."""
+    duration = stream.uniform_between(
+        spec.min_fault_s, spec.max_fault_s, *key, "duration"
+    )
+    latest_start = spec.duration_s - spec.settle_s - duration
+    start = stream.uniform_between(0.0, latest_start, *key, "start")
+    return start, duration
+
+
+def generate_fault_schedule(
+    topology: Topology,
+    spec: ChaosSpec,
+    seed: int,
+    flows: tuple[str, ...] = (),
+) -> FaultSchedule:
+    """Draw a concrete fault schedule; deterministic in ``(spec, seed)``.
+
+    ``protected_nodes`` (typically flow sources and destinations) are
+    never crashed or partitioned away -- chaos aims at relays, matching
+    the paper's setting where endpoints are the service's fixed points.
+    ``flows`` supplies the flow names stalls may target.
+    """
+    stream = DeterministicStream(seed, "chaos-generate")
+    targets = tuple(
+        node for node in sorted(topology.nodes) if node not in spec.protected_nodes
+    )
+    edges = tuple(sorted(link.edge for link in topology.iter_links()))
+    require(
+        not (spec.crashes or spec.partitions) or bool(targets),
+        "no unprotected nodes left to crash or partition",
+    )
+    require(not spec.blackholes or bool(edges), "topology has no links to blackhole")
+    require(not spec.stalls or bool(flows), "stalls need at least one flow name")
+
+    crashes = []
+    for index in range(spec.crashes):
+        start, duration = _span(stream, spec, "crash", index)
+        crashes.append(
+            NodeCrash(
+                node=stream.choice(targets, "crash", index, "node"),
+                start_s=start,
+                duration_s=duration,
+                cold_rejoin=stream.bernoulli(0.75, "crash", index, "cold"),
+            )
+        )
+
+    blackholes = []
+    for index in range(spec.blackholes):
+        start, duration = _span(stream, spec, "blackhole", index)
+        blackholes.append(
+            LinkBlackhole(
+                edge=stream.choice(edges, "blackhole", index, "edge"),
+                start_s=start,
+                duration_s=duration,
+                bidirectional=stream.bernoulli(0.5, "blackhole", index, "bidi"),
+            )
+        )
+
+    partitions = []
+    for index in range(spec.partitions):
+        start, duration = _span(stream, spec, "partition", index)
+        partitions.append(
+            Partition(
+                side=(stream.choice(targets, "partition", index, "node"),),
+                start_s=start,
+                duration_s=duration,
+            )
+        )
+
+    windows = []
+    for index in range(spec.message_fault_windows):
+        start, duration = _span(stream, spec, "messages", index)
+        windows.append(
+            MessageFaults(
+                start_s=start,
+                duration_s=duration,
+                duplicate_rate=spec.duplicate_rate,
+                reorder_rate=spec.reorder_rate,
+                reorder_delay_ms=spec.reorder_delay_ms,
+                corrupt_rate=spec.corrupt_rate,
+            )
+        )
+
+    stalls = []
+    for index in range(spec.stalls):
+        start, duration = _span(stream, spec, "stall", index)
+        stalls.append(
+            DaemonStall(
+                flow=stream.choice(flows, "stall", index, "flow"),
+                start_s=start,
+                duration_s=duration,
+            )
+        )
+
+    return FaultSchedule(
+        crashes=tuple(crashes),
+        blackholes=tuple(blackholes),
+        partitions=tuple(partitions),
+        message_faults=tuple(windows),
+        stalls=tuple(stalls),
+    )
+
+
+def _full_loss(edges) -> tuple[LinkDegradation, ...]:
+    return tuple(
+        LinkDegradation(edge, LinkState(loss_rate=1.0, extra_latency_ms=0.0))
+        for edge in edges
+    )
+
+
+def to_events(schedule: FaultSchedule, topology: Topology) -> list[ProblemEvent]:
+    """Export connectivity faults as ground-truth problem events.
+
+    Crashes become ``CRASH`` events degrading every edge adjacent to the
+    node (in both directions -- a dead daemon neither sends nor acks);
+    partitions become ``PARTITION`` events degrading the cut; blackholes
+    become ``LINK`` events on their blocked edges.  Message-level faults
+    and stalls have no per-edge ground truth and are not exported.
+    """
+    events: list[ProblemEvent] = []
+    for crash in schedule.crashes:
+        adjacent = [
+            link.edge
+            for link in topology.iter_links()
+            if crash.node in link.edge
+        ]
+        events.append(
+            ProblemEvent(
+                kind=EventKind.CRASH,
+                location=crash.node,
+                start_s=crash.start_s,
+                duration_s=crash.duration_s,
+                bursts=(
+                    Burst(crash.start_s, crash.duration_s, _full_loss(adjacent)),
+                ),
+            )
+        )
+    for partition in schedule.partitions:
+        events.append(
+            ProblemEvent(
+                kind=EventKind.PARTITION,
+                location=partition.side[0],
+                start_s=partition.start_s,
+                duration_s=partition.duration_s,
+                bursts=(
+                    Burst(
+                        partition.start_s,
+                        partition.duration_s,
+                        _full_loss(partition.blocked_edges(topology)),
+                    ),
+                ),
+            )
+        )
+    for blackhole in schedule.blackholes:
+        events.append(
+            ProblemEvent(
+                kind=EventKind.LINK,
+                location=blackhole.edge,
+                start_s=blackhole.start_s,
+                duration_s=blackhole.duration_s,
+                bursts=(
+                    Burst(
+                        blackhole.start_s,
+                        blackhole.duration_s,
+                        _full_loss(blackhole.blocked_edges(topology)),
+                    ),
+                ),
+            )
+        )
+    events.sort(key=lambda event: (event.start_s, event.kind.value))
+    return events

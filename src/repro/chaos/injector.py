@@ -1,0 +1,182 @@
+"""Executes a fault schedule against a wired overlay harness.
+
+The injector has two halves.  The *control* half turns each fault into a
+pair of kernel-scheduled callbacks (fault asserts, fault clears) so fault
+timing flows through the same deterministic event queue as everything
+else.  The *data* half implements the network's
+:class:`~repro.overlay.network.ChaosPlane` protocol: the network asks it
+whether an edge is currently blocked and what per-message effects
+(duplication, reordering delay, corruption) apply to each transmission.
+
+Per-message fault decisions are drawn from a
+:class:`~repro.util.rng.DeterministicStream` keyed by the network seed,
+the schedule fingerprint, the fault window, the edge, and the message
+id -- so a chaos run is exactly reproducible from ``(seed, schedule)``
+and two different schedules never share draws.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.chaos.faults import FaultSchedule, MessageFaults
+from repro.core.graph import Edge
+from repro.overlay.network import MessageEffects
+from repro.util.rng import DeterministicStream
+from repro.util.validation import require
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.overlay.harness import OverlayHarness
+
+__all__ = ["ChaosInjector"]
+
+
+class ChaosInjector:
+    """Drives one :class:`~repro.chaos.faults.FaultSchedule` on a harness."""
+
+    def __init__(self, harness: "OverlayHarness", schedule: FaultSchedule) -> None:
+        self.harness = harness
+        self.schedule = schedule
+        self._stream = DeterministicStream(
+            harness.network.seed, "chaos", schedule.fingerprint()
+        )
+        # Reference counts: overlapping partitions/blackholes may block the
+        # same directed edge; it stays blocked until every fault covering
+        # it has cleared.
+        self._blocked: dict[Edge, int] = {}
+        # Message-fault windows currently open, as (window index, fault).
+        self._active_windows: list[tuple[int, MessageFaults]] = []
+        #: Chronological (time, description) fault log, for reports.
+        self.log: list[tuple[float, str]] = []
+        self._installed = False
+
+    # -- control half ------------------------------------------------------------
+
+    def install(self) -> None:
+        """Attach to the network and schedule every fault toggle; once only."""
+        require(not self._installed, "injector is already installed")
+        require(
+            self.harness.network.chaos is None,
+            "the harness already has a chaos plane attached",
+        )
+        for stall in self.schedule.stalls:
+            require(
+                stall.flow in self.harness.daemons,
+                f"stall targets unknown flow {stall.flow!r}",
+            )
+        for crash in self.schedule.crashes:
+            require(
+                crash.node in self.harness.nodes,
+                f"crash targets unknown node {crash.node!r}",
+            )
+        self._installed = True
+        self.harness.network.chaos = self
+        kernel = self.harness.kernel
+        topology = self.harness.topology
+        origin = kernel.now
+
+        def at(when_s: float, action) -> None:
+            kernel.schedule(max(0.0, origin + when_s - kernel.now), action)
+
+        for crash in self.schedule.crashes:
+            at(crash.start_s, lambda c=crash: self._crash(c))
+            at(crash.end_s, lambda c=crash: self._restart(c))
+        for fault in (*self.schedule.blackholes, *self.schedule.partitions):
+            edges = fault.blocked_edges(topology)
+            label = type(fault).__name__.lower()
+            at(fault.start_s, lambda e=edges, f=fault, l=label: self._block(e, f, l))
+            at(fault.end_s, lambda e=edges, f=fault, l=label: self._unblock(e, f, l))
+        for index, window in enumerate(self.schedule.message_faults):
+            at(window.start_s, lambda i=index, w=window: self._open_window(i, w))
+            at(window.end_s, lambda i=index, w=window: self._close_window(i, w))
+        for stall in self.schedule.stalls:
+            at(stall.start_s, lambda s=stall: self._stall(s))
+            at(stall.end_s, lambda s=stall: self._unstall(s))
+
+    def _note(self, message: str) -> None:
+        self.log.append((self.harness.kernel.now, message))
+
+    def _crash(self, crash) -> None:
+        self.harness.nodes[crash.node].stop()
+        self._note(f"crash {crash.node}")
+
+    def _restart(self, crash) -> None:
+        node = self.harness.nodes[crash.node]
+        if crash.cold_rejoin:
+            node.rejoin()
+            self._note(f"rejoin {crash.node} (cold)")
+        else:
+            node.start()
+            self._note(f"restart {crash.node} (warm)")
+
+    def _block(self, edges, fault, label: str) -> None:
+        for edge in edges:
+            self._blocked[edge] = self._blocked.get(edge, 0) + 1
+        self._note(f"{label} blocks {len(edges)} edge(s)")
+
+    def _unblock(self, edges, fault, label: str) -> None:
+        for edge in edges:
+            remaining = self._blocked.get(edge, 0) - 1
+            if remaining <= 0:
+                self._blocked.pop(edge, None)
+            else:
+                self._blocked[edge] = remaining
+        self._note(f"{label} clears {len(edges)} edge(s)")
+
+    def _open_window(self, index: int, window: MessageFaults) -> None:
+        self._active_windows.append((index, window))
+        self._note(f"message faults open (window {index})")
+
+    def _close_window(self, index: int, window: MessageFaults) -> None:
+        self._active_windows = [
+            (i, w) for i, w in self._active_windows if i != index
+        ]
+        self._note(f"message faults close (window {index})")
+
+    def _stall(self, stall) -> None:
+        self.harness.daemons[stall.flow].stall()
+        self._note(f"stall daemon for flow {stall.flow}")
+
+    def _unstall(self, stall) -> None:
+        self.harness.daemons[stall.flow].unstall()
+        self._note(f"unstall daemon for flow {stall.flow}")
+
+    # -- data half (ChaosPlane) ---------------------------------------------------
+
+    def blocked(self, edge: Edge) -> bool:
+        """Is the directed edge currently partitioned or blackholed?"""
+        return self._blocked.get(edge, 0) > 0
+
+    def message_effects(self, edge: Edge, message_id: int) -> MessageEffects:
+        """Per-message duplication / reordering / corruption decisions.
+
+        When no fault window is open every message passes clean.  Within
+        windows, each effect is an independent keyed Bernoulli draw:
+        duplication appends an extra copy, reordering delays the original
+        copy (so later sends overtake it), and corruption damages the
+        *last* copy's checksum -- the duplicate if one exists, otherwise
+        the sole copy, which the receiver will then discard.
+        """
+        if not self._active_windows:
+            return MessageEffects()
+        copies = 1
+        delays = [0.0]
+        corrupt: set[int] = set()
+        for index, window in self._active_windows:
+            key = (index, edge, message_id)
+            if window.duplicate_rate > 0.0 and self._stream.bernoulli(
+                window.duplicate_rate, "dup", *key
+            ):
+                copies += 1
+                delays.append(0.0)
+            if window.reorder_rate > 0.0 and self._stream.bernoulli(
+                window.reorder_rate, "reorder", *key
+            ):
+                delays[0] += window.reorder_delay_ms * (
+                    1.0 + self._stream.uniform("reorder-extra", *key)
+                )
+            if window.corrupt_rate > 0.0 and self._stream.bernoulli(
+                window.corrupt_rate, "corrupt", *key
+            ):
+                corrupt.add(copies - 1)
+        return MessageEffects(copies, tuple(delays), frozenset(corrupt))

@@ -1,0 +1,184 @@
+"""Conservation properties a chaos run must never violate.
+
+The checker observes the harness through the nodes' delivery taps (no
+protocol code paths change when it is attached) and records violations
+instead of raising mid-run, so a broken run reports *every* violated
+invariant, not just the first.  ``assert_ok`` turns the record into an
+:class:`InvariantViolation` for tests.
+
+Invariants:
+
+* **no duplicate delivery** -- a (destination, flow, sequence) triple is
+  handed to the application at most once, across crashes and cold
+  rejoins (the delivery journal is stable storage);
+* **no delivery while crashed** -- a stopped daemon must not hand
+  packets to its application;
+* **causality** -- nothing is delivered before it was sent;
+* **sequence monotonicity** -- within a flow, higher sequence numbers
+  were sent later (the sender's clock and counter agree);
+* **LSDB convergence** (checked on demand after faults clear) -- no
+  running daemon still believes a heavy-loss claim about an edge that
+  the ground-truth timeline and the fault schedule both say is healthy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.chaos.faults import FaultSchedule
+from repro.core.graph import NodeId
+from repro.util.validation import require
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.overlay.harness import OverlayHarness
+    from repro.overlay.messages import DataPacket
+    from repro.overlay.node import OverlayNode
+
+__all__ = ["InvariantChecker", "InvariantViolation", "Violation"]
+
+# A delivered-then-rechecked LSDB claim counts as stale only if it alleges
+# at least this much loss while ground truth shows (almost) none.
+_STALE_CLAIM_LOSS = 0.5
+_TRUTH_LOSS_FLOOR = 0.25
+_CLOCK_SLACK_S = 1e-9
+
+
+class InvariantViolation(AssertionError):
+    """Raised by :meth:`InvariantChecker.assert_ok` when a run misbehaved."""
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One observed breach: when, which invariant, and the evidence."""
+
+    at_s: float
+    invariant: str
+    detail: str
+
+
+@dataclass
+class InvariantChecker:
+    """Observes a harness run and records invariant breaches."""
+
+    violations: list[Violation] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._harness: "OverlayHarness | None" = None
+        self._schedule = FaultSchedule()
+        # (destination, flow, sequence) -> delivery time
+        self._delivered: dict[tuple[NodeId, str, int], float] = {}
+        # flow -> (highest sequence seen, its sent_at_s)
+        self._frontier: dict[str, tuple[int, float]] = {}
+
+    def attach(
+        self, harness: "OverlayHarness", schedule: FaultSchedule | None = None
+    ) -> "InvariantChecker":
+        """Start observing; taps every node's delivery hook."""
+        require(self._harness is None, "invariant checker is already attached")
+        self._harness = harness
+        if schedule is not None:
+            self._schedule = schedule
+        for node in harness.nodes.values():
+            node.delivery_taps.append(self._on_delivery)
+        return self
+
+    @property
+    def ok(self) -> bool:
+        """Whether no invariant has been violated so far."""
+        return not self.violations
+
+    def assert_ok(self) -> None:
+        """Raise :class:`InvariantViolation` if anything was breached."""
+        if self.violations:
+            lines = [
+                f"  t={violation.at_s:.3f}s [{violation.invariant}] "
+                f"{violation.detail}"
+                for violation in self.violations
+            ]
+            raise InvariantViolation(
+                f"{len(self.violations)} invariant violation(s):\n"
+                + "\n".join(lines)
+            )
+
+    def _flag(self, at_s: float, invariant: str, detail: str) -> None:
+        self.violations.append(Violation(at_s, invariant, detail))
+
+    # -- per-delivery checks -------------------------------------------------------
+
+    def _on_delivery(
+        self, node: "OverlayNode", packet: "DataPacket", now: float
+    ) -> None:
+        key = (node.node_id, packet.flow, packet.sequence)
+        earlier = self._delivered.get(key)
+        if earlier is not None:
+            self._flag(
+                now,
+                "no-duplicate-delivery",
+                f"{packet.flow} seq {packet.sequence} delivered again at "
+                f"{node.node_id} (first at t={earlier:.3f}s)",
+            )
+        else:
+            self._delivered[key] = now
+        if not node.running:
+            self._flag(
+                now,
+                "no-delivery-while-crashed",
+                f"{node.node_id} delivered {packet.flow} seq "
+                f"{packet.sequence} while stopped",
+            )
+        if packet.sent_at_s > now + _CLOCK_SLACK_S:
+            self._flag(
+                now,
+                "causality",
+                f"{packet.flow} seq {packet.sequence} delivered before "
+                f"it was sent ({packet.sent_at_s:.3f}s > {now:.3f}s)",
+            )
+        frontier = self._frontier.get(packet.flow)
+        if frontier is not None:
+            top_seq, top_sent = frontier
+            if packet.sequence > top_seq and packet.sent_at_s < top_sent - _CLOCK_SLACK_S:
+                self._flag(
+                    now,
+                    "sequence-monotonicity",
+                    f"{packet.flow} seq {packet.sequence} was sent at "
+                    f"{packet.sent_at_s:.3f}s, before seq {top_seq} "
+                    f"({top_sent:.3f}s)",
+                )
+        if frontier is None or packet.sequence > frontier[0]:
+            self._frontier[packet.flow] = (packet.sequence, packet.sent_at_s)
+
+    # -- post-settle convergence ----------------------------------------------------
+
+    def check_convergence(self) -> None:
+        """Flag running daemons still believing faults that have cleared.
+
+        Call after the schedule's last fault plus enough settle time for
+        refresh/aging to act.  A heavy-loss LSDB claim is stale when the
+        ground-truth timeline shows the edge (nearly) clean *and* the
+        fault schedule blocks neither the edge nor its endpoints now.
+        """
+        require(self._harness is not None, "invariant checker is not attached")
+        harness = self._harness
+        now = harness.kernel.now
+        crashed = self._schedule.crashed_nodes_at(now)
+        blocked = self._schedule.blocked_edges_at(now, harness.topology)
+        horizon = min(now, harness.timeline.duration_s)
+        for node in harness.nodes.values():
+            if not node.running:
+                continue
+            for edge, state in node.observed_view().items():
+                if state.loss_rate < _STALE_CLAIM_LOSS:
+                    continue
+                if edge in blocked or edge[0] in crashed or edge[1] in crashed:
+                    continue  # the claim is still true per the schedule
+                truth = harness.timeline.state_at(edge, horizon)
+                if truth.loss_rate >= _TRUTH_LOSS_FLOOR:
+                    continue  # the claim is still true per the timeline
+                self._flag(
+                    now,
+                    "lsdb-convergence",
+                    f"{node.node_id} still believes loss "
+                    f"{state.loss_rate:.2f} on {edge[0]}->{edge[1]} after "
+                    f"faults cleared",
+                )

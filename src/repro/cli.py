@@ -9,8 +9,16 @@ Subcommands mirror the evaluation workflow:
 * ``classify`` -- print the problem-classification distribution of a
   trace (experiment E1);
 * ``graphs`` -- print every dissemination-graph family for one flow;
-* ``cache`` -- inspect (``info``) or evict (``clear``) the execution
-  engine's content-addressed result cache.
+* ``chaos`` -- run the message-level overlay under a seeded fault
+  schedule (crashes, partitions, blackholes, message faults, daemon
+  stalls), check the run's invariants, and compare schemes;
+* ``cache`` -- inspect (``info``), evict (``clear``), or size-cap
+  (``prune --max-bytes``) the execution engine's content-addressed
+  result cache.
+
+Every failure caused by bad input (unknown scheme or flow names,
+unreadable trace or cache paths) exits non-zero with a one-line
+message -- no tracebacks.
 """
 
 from __future__ import annotations
@@ -195,10 +203,108 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         print(f"cache root: {info.root}")
         print(f"entries:    {info.entries}")
         print(f"size:       {info.total_bytes / 1024:.1f} KiB")
+    elif args.action == "prune":
+        if args.max_bytes is None:
+            raise ValueError("cache prune requires --max-bytes")
+        evicted = cache.prune(args.max_bytes)
+        info = cache.info()
+        print(
+            f"evicted {evicted} entries from {cache.root}; "
+            f"{info.entries} remain ({info.total_bytes} bytes)"
+        )
     else:  # clear
         removed = cache.clear()
         print(f"removed {removed} cache entries from {cache.root}")
     return 0
+
+
+def _chaos_flows(args: argparse.Namespace):
+    flows = reference_flows()
+    if not args.flows:
+        # All 16 reference flows at once makes for a slow simulation;
+        # default to a representative pair.
+        return list(flows[:2])
+    by_name = {flow.name: flow for flow in flows}
+    wanted = [name.strip() for name in args.flows.split(",") if name.strip()]
+    unknown = sorted(set(wanted) - set(by_name))
+    if unknown:
+        raise ValueError(
+            f"unknown flow(s) {', '.join(unknown)}; "
+            f"known: {', '.join(sorted(by_name))}"
+        )
+    return [by_name[name] for name in wanted]
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.chaos import ChaosSpec, generate_fault_schedule
+    from repro.netmodel.conditions import ConditionTimeline
+    from repro.overlay.harness import build_overlay
+    from repro.routing.registry import make_policy
+
+    topology = build_reference_topology()
+    flows = _chaos_flows(args)
+    schemes = [name.strip() for name in args.schemes.split(",") if name.strip()]
+    for scheme in schemes:
+        make_policy(scheme)  # validate early: unknown names fail before the run
+    service = ServiceSpec(
+        deadline_ms=args.deadline_ms, send_interval_ms=args.send_interval_ms
+    )
+    protected = frozenset(
+        endpoint for flow in flows for endpoint in (flow.source, flow.destination)
+    )
+    spec = ChaosSpec(
+        duration_s=args.duration,
+        crashes=args.crashes,
+        blackholes=args.blackholes,
+        partitions=args.partitions,
+        stalls=args.stalls,
+        message_fault_windows=args.message_windows,
+        protected_nodes=protected,
+    )
+    schedule = generate_fault_schedule(
+        topology, spec, seed=args.seed, flows=tuple(flow.name for flow in flows)
+    )
+    print(
+        f"chaos run: seed {args.seed}, {args.duration:g}s, "
+        f"{len(schedule)} fault(s), schedule {schedule.fingerprint()}"
+    )
+    exit_code = 0
+    rows = []
+    for scheme in schemes:
+        timeline = ConditionTimeline(topology, args.duration + 1.0)
+        harness = build_overlay(
+            topology, timeline, flows, service, scheme, seed=args.seed
+        )
+        harness.start()
+        harness.run(args.duration, faults=schedule)
+        harness.stop_traffic()
+        harness.invariants.check_convergence()
+        violations = harness.invariants.violations
+        for flow in flows:
+            report = harness.reports[flow.name]
+            rows.append(
+                (scheme, flow.name, report.sent, report.on_time,
+                 report.on_time_fraction, len(violations))
+            )
+        if violations:
+            exit_code = 1
+            for violation in violations:
+                print(
+                    f"INVARIANT [{scheme}] t={violation.at_s:.3f}s "
+                    f"{violation.invariant}: {violation.detail}",
+                    file=sys.stderr,
+                )
+    print()
+    print(f"{'scheme':<22} {'flow':<12} {'sent':>6} {'on-time':>8} "
+          f"{'fraction':>9} {'violations':>11}")
+    for scheme, flow, sent, on_time, fraction, violations in rows:
+        print(
+            f"{scheme:<22} {flow:<12} {sent:>6} {on_time:>8} "
+            f"{fraction:>9.3f} {violations:>11}"
+        )
+    if exit_code:
+        print("invariant violations detected", file=sys.stderr)
+    return exit_code
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -268,14 +374,57 @@ def build_parser() -> argparse.ArgumentParser:
     graphs.add_argument("--deadline-ms", type=float, default=65.0)
     graphs.set_defaults(handler=_cmd_graphs)
 
-    cache = subparsers.add_parser(
-        "cache", help="inspect or evict the execution engine's result cache"
+    chaos = subparsers.add_parser(
+        "chaos",
+        help="run the overlay under a seeded fault schedule and check invariants",
     )
-    cache.add_argument("action", choices=("info", "clear"))
+    chaos.add_argument("--seed", type=int, default=7, help="fault-schedule seed")
+    chaos.add_argument(
+        "--duration", type=float, default=30.0, help="run length in seconds"
+    )
+    chaos.add_argument(
+        "--schemes",
+        default="targeted,static-single",
+        help="comma-separated routing schemes to compare",
+    )
+    chaos.add_argument(
+        "--flows",
+        help="comma-separated flow names like NYC->LAX (default: two "
+        "representative reference flows)",
+    )
+    chaos.add_argument("--crashes", type=int, default=1)
+    chaos.add_argument("--blackholes", type=int, default=1)
+    chaos.add_argument("--partitions", type=int, default=0)
+    chaos.add_argument("--stalls", type=int, default=0)
+    chaos.add_argument(
+        "--message-windows",
+        type=int,
+        default=0,
+        help="windows of message duplication/reordering/corruption",
+    )
+    chaos.add_argument("--deadline-ms", type=float, default=65.0)
+    chaos.add_argument(
+        "--send-interval-ms",
+        type=float,
+        default=50.0,
+        help="packet pacing (larger = faster simulation)",
+    )
+    chaos.set_defaults(handler=_cmd_chaos)
+
+    cache = subparsers.add_parser(
+        "cache",
+        help="inspect, evict, or size-cap the execution engine's result cache",
+    )
+    cache.add_argument("action", choices=("info", "clear", "prune"))
     cache.add_argument(
         "--cache-dir",
         help="result cache directory (default: $REPRO_EXEC_CACHE_DIR or "
         "~/.cache/repro-dgraphs/exec)",
+    )
+    cache.add_argument(
+        "--max-bytes",
+        type=int,
+        help="(prune) evict least-recently-used entries down to this size",
     )
     cache.set_defaults(handler=_cmd_cache)
 
@@ -288,8 +437,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.handler(args)
-    except (ValueError, FileNotFoundError) as error:
-        # Bad arguments or unreadable inputs: report, don't traceback.
+    except (ValueError, OSError) as error:
+        # Bad arguments or unreadable/unwritable inputs (missing trace,
+        # permission-denied cache directory, ...): one line, no traceback.
         print(f"error: {error}", file=sys.stderr)
         return 2
 

@@ -9,6 +9,12 @@ error, so a corrupted or truncated file is recomputed, never trusted.
 Writes go through a temporary file plus ``os.replace`` so a crashed
 writer can at worst leave a stale temp file, never a half-written entry
 under a valid key.
+
+The cache can be size-capped: pass ``max_bytes`` (or set
+``$REPRO_EXEC_CACHE_MAX_BYTES``) and :meth:`ResultCache.enforce_limit`
+evicts least-recently-used entries until the cache fits.  Loads bump an
+entry's mtime, so recency is tracked by the filesystem itself and
+survives across processes.
 """
 
 from __future__ import annotations
@@ -22,9 +28,17 @@ from pathlib import Path
 from repro.exec.hashing import stable_hash
 from repro.exec.plan import ShardResult
 
-__all__ = ["CACHE_DIR_ENV", "CacheInfo", "ResultCache", "default_cache_dir"]
+__all__ = [
+    "CACHE_DIR_ENV",
+    "CACHE_MAX_BYTES_ENV",
+    "CacheInfo",
+    "ResultCache",
+    "default_cache_dir",
+    "default_max_bytes",
+]
 
 CACHE_DIR_ENV = "REPRO_EXEC_CACHE_DIR"
+CACHE_MAX_BYTES_ENV = "REPRO_EXEC_CACHE_MAX_BYTES"
 
 
 def default_cache_dir() -> Path:
@@ -33,6 +47,22 @@ def default_cache_dir() -> Path:
     if override:
         return Path(override)
     return Path.home() / ".cache" / "repro-dgraphs" / "exec"
+
+
+def default_max_bytes() -> int | None:
+    """Size cap from ``$REPRO_EXEC_CACHE_MAX_BYTES``; ``None`` = unlimited."""
+    raw = os.environ.get(CACHE_MAX_BYTES_ENV)
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError as error:
+        raise ValueError(
+            f"{CACHE_MAX_BYTES_ENV} must be an integer byte count, got {raw!r}"
+        ) from error
+    if value < 0:
+        raise ValueError(f"{CACHE_MAX_BYTES_ENV} must be >= 0, got {value}")
+    return value or None
 
 
 @dataclass(frozen=True)
@@ -47,11 +77,17 @@ class CacheInfo:
 class ResultCache:
     """Load/store shard results by content hash, with corruption detection."""
 
-    def __init__(self, root: str | Path | None = None) -> None:
+    def __init__(
+        self,
+        root: str | Path | None = None,
+        max_bytes: int | None = None,
+    ) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
+        self.max_bytes = max_bytes if max_bytes is not None else default_max_bytes()
         self.hits = 0
         self.misses = 0
         self.corrupt = 0
+        self.evictions = 0
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
@@ -81,6 +117,12 @@ class ResultCache:
                 pass
             return None
         self.hits += 1
+        try:
+            # Bump the mtime: recency for LRU eviction lives in the
+            # filesystem, so it is shared across processes for free.
+            os.utime(path)
+        except OSError:
+            pass
         return result
 
     def store(self, key: str, result: ShardResult) -> None:
@@ -133,3 +175,43 @@ class ResultCache:
             except OSError:
                 pass
         return removed
+
+    def prune(self, max_bytes: int) -> int:
+        """Evict least-recently-used entries until the cache fits.
+
+        Entries are removed oldest-mtime-first until total size is at or
+        under ``max_bytes``; returns how many were evicted.  A cap of 0
+        evicts everything.
+        """
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        entries = []
+        total = 0
+        for path in self._entry_paths():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+            total += stat.st_size
+        if total <= max_bytes:
+            return 0
+        entries.sort(key=lambda entry: (entry[0], entry[2].name))
+        evicted = 0
+        for _mtime, size, path in entries:
+            if total <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            evicted += 1
+        self.evictions += evicted
+        return evicted
+
+    def enforce_limit(self) -> int:
+        """Apply the configured size cap, if any; returns evictions."""
+        if self.max_bytes is None:
+            return 0
+        return self.prune(self.max_bytes)

@@ -253,6 +253,9 @@ def run_replay_parallel(
     if use_cache and cache is not None:
         for shard in pending:
             cache.store(keys[shard], results[shard])
+        # Apply the size cap once per run, after all stores: evicting
+        # mid-run could throw away shards this very run still needs.
+        telemetry.cache_evicted = cache.enforce_limit()
 
     merged = merge_results(service, config, plan, results)
     telemetry.wall_time_s = time.perf_counter() - started

@@ -36,6 +36,7 @@ class ExecTelemetry:
     shards_retried: int = 0
     shards_fallback: int = 0
     cache_corrupt: int = 0
+    cache_evicted: int = 0
     wall_time_s: float = 0.0
     shard_wall_s: list[float] = field(default_factory=list)
 
@@ -63,6 +64,7 @@ class ExecTelemetry:
             ["shards retried", str(self.shards_retried)],
             ["serial fallbacks", str(self.shards_fallback)],
             ["corrupt cache entries", str(self.cache_corrupt)],
+            ["cache entries evicted", str(self.cache_evicted)],
             ["workers", str(self.workers) if self.workers else "serial"],
             ["wall time", f"{self.wall_time_s:.2f} s"],
             ["shard time (mean/max)", f"{mean_shard:.2f} / {max_shard:.2f} s"],
@@ -113,6 +115,7 @@ def session_summary() -> str | None:
         total.shards_retried += telemetry.shards_retried
         total.shards_fallback += telemetry.shards_fallback
         total.cache_corrupt += telemetry.cache_corrupt
+        total.cache_evicted += telemetry.cache_evicted
         total.wall_time_s += telemetry.wall_time_s
         total.shard_wall_s.extend(telemetry.shard_wall_s)
     return total.summary_table()

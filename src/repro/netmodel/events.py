@@ -34,6 +34,8 @@ class EventKind(enum.Enum):
     LINK = "link"  # a single overlay link experiences loss
     LATENCY = "latency"  # a single overlay link's latency inflates
     BACKGROUND = "background"  # light, sub-threshold background loss
+    CRASH = "crash"  # a site's daemon stops responding entirely (chaos)
+    PARTITION = "partition"  # a node group is cut off from the rest (chaos)
 
 
 @dataclass(frozen=True)

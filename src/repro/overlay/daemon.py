@@ -6,6 +6,21 @@ the flow's routing policy, and -- when the decision changes -- installs
 the new dissemination graph, whose wire encoding stamps every subsequent
 packet.  This is the piece that closes the loop from monitoring to
 forwarding, end to end inside the message-level simulation.
+
+The daemon degrades gracefully under faults rather than propagating
+them into the data plane:
+
+* a **stalled** daemon (fault injection, or an overloaded process)
+  misses update ticks but keeps its installed graph -- packets continue
+  to flow on the last decision;
+* when the source node is **isolated** (every neighbour declared dead)
+  its LSDB is a stale view that cannot be trusted, so the daemon holds
+  its last-known-good graph instead of re-routing on garbage;
+* a policy that **raises** is contained: the error is counted and the
+  installed graph stands;
+* a freshly computed graph that the observed view says is **dead**
+  (no live source->destination route) is rejected in favour of the
+  last-known-good graph when that one still connects.
 """
 
 from __future__ import annotations
@@ -16,7 +31,7 @@ from repro.core.dgraph import DisseminationGraph
 from repro.core.encoding import encode_graph
 from repro.netmodel.topology import FlowSpec, ServiceSpec
 from repro.overlay.node import OverlayNode
-from repro.routing.base import RoutingPolicy
+from repro.routing.base import RoutingPolicy, graph_connects
 from repro.util.validation import require
 
 __all__ = ["FlowRoutingDaemon"]
@@ -56,6 +71,11 @@ class FlowRoutingDaemon:
         )
         self.graph_switches = 0
         self._running = False
+        self._stalled = False
+        # Fault/robustness counters (inspected by tests and chaos reports).
+        self.ticks_missed = 0
+        self.policy_errors = 0
+        self.fallbacks = 0
 
     # -- lifecycle --------------------------------------------------------------
 
@@ -66,18 +86,49 @@ class FlowRoutingDaemon:
         self._running = True
         self.node.kernel.schedule(self.update_interval_s, self._tick)
 
+    def stall(self) -> None:
+        """Freeze policy re-evaluation (fault injection); ticks are missed."""
+        self._stalled = True
+
+    def unstall(self) -> None:
+        """Resume policy re-evaluation after a stall."""
+        self._stalled = False
+
+    @property
+    def stalled(self) -> bool:
+        """Whether the daemon is currently stalled."""
+        return self._stalled
+
     def _tick(self) -> None:
         if not self._running:
             return
+        if self._stalled or self.node.isolated():
+            # Stalled, or the local view is garbage: keep the installed
+            # (last-known-good) graph and try again next tick.
+            self.ticks_missed += 1
+            self.node.kernel.schedule(self.update_interval_s, self._tick)
+            return
         observed = self.node.observed_view()
-        graph = self.policy.update(self.node.kernel.now, observed)
+        try:
+            graph = self.policy.update(self.node.kernel.now, observed)
+        except Exception:
+            # A sick policy must not take the data plane down with it.
+            self.policy_errors += 1
+            graph = self._decision.graph
         if graph != self._decision.graph:
-            self._decision = _Decision(
-                graph,
-                encode_graph(self.node.topology, graph),
-                self.node.kernel.now,
-            )
-            self.graph_switches += 1
+            if not graph_connects(graph, observed) and graph_connects(
+                self._decision.graph, observed
+            ):
+                # The candidate is dead on arrival by our own view while
+                # the installed graph still has a live route: hold it.
+                self.fallbacks += 1
+            else:
+                self._decision = _Decision(
+                    graph,
+                    encode_graph(self.node.topology, graph),
+                    self.node.kernel.now,
+                )
+                self.graph_switches += 1
         self.node.kernel.schedule(self.update_interval_s, self._tick)
 
     # -- queries -----------------------------------------------------------------

@@ -40,6 +40,10 @@ class OverlayHarness:
     daemons: dict[str, FlowRoutingDaemon] = field(default_factory=dict)
     senders: dict[str, SendingApp] = field(default_factory=dict)
     reports: dict[str, FlowReport] = field(default_factory=dict)
+    # Chaos attachments, populated lazily by ``run(faults=...)``.  Typed
+    # loosely because repro.chaos imports this module.
+    injector: object | None = None
+    invariants: object | None = None
 
     def add_flow(
         self,
@@ -71,8 +75,33 @@ class OverlayHarness:
         for sender in self.senders.values():
             sender.start()
 
-    def run(self, duration_s: float, max_events: int | None = None) -> int:
-        """Advance the simulation; returns the number of events processed."""
+    def run(
+        self,
+        duration_s: float,
+        max_events: int | None = None,
+        faults: "object | None" = None,
+    ) -> int:
+        """Advance the simulation; returns the number of events processed.
+
+        Passing a :class:`~repro.chaos.faults.FaultSchedule` as ``faults``
+        installs a chaos injector (fault times are relative to *this*
+        call) and an invariant checker, available afterwards as
+        ``self.injector`` and ``self.invariants``.  A harness accepts at
+        most one schedule over its lifetime.
+        """
+        if faults is not None:
+            # Imported lazily: repro.chaos builds on this module.
+            from repro.chaos.injector import ChaosInjector
+            from repro.chaos.invariants import InvariantChecker
+
+            require(
+                self.injector is None,
+                "this harness already has a fault schedule installed",
+            )
+            self.invariants = InvariantChecker().attach(self, faults)
+            injector = ChaosInjector(self, faults)
+            injector.install()
+            self.injector = injector
         return self.kernel.run_until(self.kernel.now + duration_s, max_events)
 
     def stop_traffic(self) -> None:

@@ -6,6 +6,14 @@ with the link's current loss rate and otherwise delivered after the
 link's current effective latency plus a small keyed jitter.  Drops are
 drawn from a :class:`~repro.util.rng.DeterministicStream` keyed by
 (edge, message id), so a seeded run is exactly reproducible.
+
+A :class:`ChaosPlane` (see :mod:`repro.chaos.injector`) can be attached
+to model faults beyond what the condition timeline expresses: partitions
+and blackholes (the edge is administratively blocked), duplication,
+reordering delays, and corruption.  While a chaos plane is attached every
+message is sealed in a checksummed :class:`~repro.overlay.messages.Frame`
+so corrupted copies are *detectably* damaged and dropped by the receiver,
+not silently mutated.
 """
 
 from __future__ import annotations
@@ -15,10 +23,11 @@ from typing import Callable, Protocol
 from repro.core.graph import Edge, NodeId, Topology
 from repro.netmodel.conditions import ConditionTimeline
 from repro.overlay.kernel import EventKernel
+from repro.overlay.messages import seal
 from repro.util.rng import DeterministicStream
 from repro.util.validation import require
 
-__all__ = ["SimNetwork", "MessageSink"]
+__all__ = ["SimNetwork", "MessageSink", "ChaosPlane", "MessageEffects"]
 
 
 class MessageSink(Protocol):
@@ -26,6 +35,41 @@ class MessageSink(Protocol):
 
     def receive(self, from_node: NodeId, message: object) -> None:
         """Handle one delivered message from a neighbouring daemon."""
+
+
+class MessageEffects:
+    """Per-message fault decisions handed back by a chaos plane."""
+
+    __slots__ = ("copies", "extra_delays_ms", "corrupt_copies")
+
+    def __init__(
+        self,
+        copies: int = 1,
+        extra_delays_ms: tuple[float, ...] = (0.0,),
+        corrupt_copies: frozenset[int] = frozenset(),
+    ) -> None:
+        require(copies >= 0, "copies must be >= 0")
+        require(
+            len(extra_delays_ms) == copies,
+            "one extra delay per transmitted copy",
+        )
+        self.copies = copies
+        self.extra_delays_ms = extra_delays_ms
+        self.corrupt_copies = corrupt_copies
+
+
+#: The clean case: one pristine copy, no extra delay.
+_CLEAN_EFFECTS = MessageEffects()
+
+
+class ChaosPlane(Protocol):
+    """Fault decisions injected under the message fabric."""
+
+    def blocked(self, edge: Edge) -> bool:
+        """Is the directed edge currently blackholed or partitioned away?"""
+
+    def message_effects(self, edge: Edge, message_id: int) -> MessageEffects:
+        """Duplication / reordering / corruption applied to one message."""
 
 
 class SimNetwork:
@@ -43,13 +87,20 @@ class SimNetwork:
         self.topology = topology
         self.timeline = timeline
         self.kernel = kernel
+        self.seed = seed
         self.jitter_ms = jitter_ms
         self._stream = DeterministicStream(seed, "overlay-net")
         self._sinks: dict[NodeId, MessageSink] = {}
         self._message_counter = 0
+        #: Optional fault layer (installed by a chaos injector).
+        self.chaos: ChaosPlane | None = None
         # Statistics, per directed edge.
         self.sent: dict[Edge, int] = {}
         self.dropped: dict[Edge, int] = {}
+        # Chaos statistics (network-wide).
+        self.blackholed = 0
+        self.duplicated = 0
+        self.corrupted = 0
 
     def register(self, node_id: NodeId, sink: MessageSink) -> None:
         """Attach the message sink (daemon) for ``node_id``."""
@@ -72,6 +123,9 @@ class SimNetwork:
         self._message_counter += 1
         message_id = self._message_counter
         self.sent[edge] = self.sent.get(edge, 0) + 1
+        if self.chaos is not None and self.chaos.blocked(edge):
+            self.blackholed += 1
+            return
         now = self.kernel.now
         state = self.timeline.state_at(edge, min(now, self.timeline.duration_s))
         if state.loss_rate > 0.0 and self._stream.bernoulli(
@@ -87,8 +141,40 @@ class SimNetwork:
         sink = self._sinks.get(to_node)
         if sink is None:
             return
-        deliver: Callable[[], None] = lambda: sink.receive(from_node, message)
-        self.kernel.schedule(latency_ms / 1000.0, deliver)
+        if self.chaos is None:
+            deliver: Callable[[], None] = lambda: sink.receive(from_node, message)
+            self.kernel.schedule(latency_ms / 1000.0, deliver)
+            return
+        self._deliver_with_effects(
+            sink, from_node, edge, message, message_id, latency_ms
+        )
+
+    def _deliver_with_effects(
+        self,
+        sink: MessageSink,
+        from_node: NodeId,
+        edge: Edge,
+        message: object,
+        message_id: int,
+        latency_ms: float,
+    ) -> None:
+        """Chaos path: seal the message and apply per-copy fault effects."""
+        assert self.chaos is not None
+        effects = self.chaos.message_effects(edge, message_id)
+        if effects.copies == 0:
+            return
+        self.duplicated += effects.copies - 1
+        frame = seal(message)
+        for copy in range(effects.copies):
+            delivered = frame
+            if copy in effects.corrupt_copies:
+                self.corrupted += 1
+                delivered = frame.corrupted()
+            delay_ms = latency_ms + max(0.0, effects.extra_delays_ms[copy])
+            self.kernel.schedule(
+                delay_ms / 1000.0,
+                lambda f=delivered: sink.receive(from_node, f),
+            )
 
     # -- stats -------------------------------------------------------------------
 

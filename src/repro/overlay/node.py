@@ -9,13 +9,25 @@ most recent probes yields a loss estimate, and acked round trips yield a
 smoothed latency estimate.  (Probing measures the round trip, so loss is
 attributed to the probed direction -- the same simplification deployed
 overlay monitors make; real problems usually hit both directions.)
+After ``liveness_fail_threshold`` *consecutive* probe timeouts, with an
+ack-free loss window corroborating (a merely lossy link drops probe runs
+now and then; only a dead one silences a whole window), the neighbour is
+declared dead: a full-loss link-state update is flooded
+immediately, link-state entries originated by the dead neighbour are
+purged, and re-probing backs off exponentially (bounded) so a long
+outage is not hammered at the full probe rate.  The first ack from a
+dead neighbour declares it alive again, restores the probe cadence, and
+resets the loss window so recovery is advertised quickly.
 
 **Link-state flooding.**  When a link's estimate moves materially, the
 daemon originates a :class:`~repro.overlay.messages.LinkStateUpdate` and
 floods it.  Daemons keep a link-state database (LSDB) ordered by
 (originator, sequence) and re-flood only first sightings -- the classic
 reliable-flooding discipline.  The LSDB is what the per-flow routing
-daemon consumes as its *observed* network view.
+daemon consumes as its *observed* network view.  Entries age out after
+``lsa_max_age_s`` without refresh, and daemons re-originate their own
+non-clean advertisements every ``lsa_refresh_interval_s``, so claims
+from crashed originators cannot pin the network view forever.
 
 **Data forwarding.**  A data packet carries its dissemination graph as an
 edge bitmask.  The first time a daemon sees a (flow, sequence) it
@@ -24,6 +36,14 @@ if it is the destination; duplicates are suppressed.  With hop-by-hop
 recovery enabled, each copy is acked per link and retransmitted once on
 timeout -- the overlay's latency budget allows a single local recovery
 where an end-to-end retransmission would blow the deadline.
+
+**Crash modelling.**  ``stop`` crashes the daemon (it stops probing and
+ignores everything received); ``start`` is a warm restart with protocol
+state intact, while ``rejoin`` is a cold restart that clears the LSDB,
+the monitors, and in-flight recovery state.  The LSA sequence counter
+and the per-flow delivery journal survive a cold restart (stable
+storage), so post-restart advertisements still supersede pre-crash ones
+and no packet is handed to the application twice.
 """
 
 from __future__ import annotations
@@ -39,10 +59,12 @@ from repro.netmodel.conditions import LinkState
 from repro.overlay.kernel import EventKernel
 from repro.overlay.messages import (
     DataPacket,
+    Frame,
     Hello,
     HelloAck,
     LinkAck,
     LinkStateUpdate,
+    frame_intact,
 )
 from repro.overlay.network import SimNetwork
 from repro.util.validation import require
@@ -64,6 +86,12 @@ class NodeConfig:
     enable_recovery: bool = False
     recovery_timeout_s: float = 0.05  # per-link retransmit timer
     max_recovery_attempts: int = 1
+    # -- liveness and LSDB hygiene (chaos hardening) ---------------------------
+    liveness_fail_threshold: int = 8  # consecutive timeouts -> neighbour dead
+    hello_backoff_factor: float = 2.0  # probe-interval growth on a dead link
+    hello_backoff_max_s: float = 5.0  # probe interval never exceeds this
+    lsa_refresh_interval_s: float = 5.0  # re-originate non-clean LSAs this often
+    lsa_max_age_s: float = 15.0  # unrefreshed LSDB entries age out
 
     def __post_init__(self) -> None:
         require(self.hello_interval_s > 0, "hello_interval_s must be positive")
@@ -71,6 +99,23 @@ class NodeConfig:
         require(self.hello_timeout_s > 0, "hello_timeout_s must be positive")
         require(0 < self.latency_smoothing <= 1, "latency_smoothing in (0, 1]")
         require(self.dedup_window >= 16, "dedup_window must be >= 16")
+        require(
+            self.liveness_fail_threshold >= 1,
+            "liveness_fail_threshold must be >= 1",
+        )
+        require(
+            self.hello_backoff_factor >= 1.0,
+            "hello_backoff_factor must be >= 1",
+        )
+        require(
+            self.hello_backoff_max_s >= self.hello_interval_s,
+            "hello_backoff_max_s must be >= hello_interval_s",
+        )
+        require(
+            self.lsa_max_age_s > self.lsa_refresh_interval_s,
+            "lsa_max_age_s must exceed lsa_refresh_interval_s "
+            "(refreshes must land before entries age out)",
+        )
 
 
 @dataclass
@@ -83,6 +128,9 @@ class _LinkMonitor:
     latency_estimate_ms: float | None = None
     advertised_loss: float = 0.0
     advertised_latency_ms: float | None = None
+    consecutive_timeouts: int = 0
+    declared_dead: bool = False
+    interval_s: float = 0.0  # current probe interval (grows while dead)
 
 
 class OverlayNode:
@@ -104,7 +152,8 @@ class OverlayNode:
         self.config = config
         self._neighbors = topology.out_neighbors(node_id)
         self._monitors: dict[NodeId, _LinkMonitor] = {
-            neighbor: _LinkMonitor() for neighbor in self._neighbors
+            neighbor: _LinkMonitor(interval_s=config.hello_interval_s)
+            for neighbor in self._neighbors
         }
         self._lsa_sequence = 0
         # LSDB: (originator, edge) -> LinkStateUpdate
@@ -116,43 +165,89 @@ class OverlayNode:
         # Hop-by-hop recovery bookkeeping: (flow, seq, neighbor) -> attempts
         self._pending_acks: dict[tuple[str, int, NodeId], int] = {}
         self._running = False
+        # Restart epoch: hello chains from before a stop/start cycle carry a
+        # stale epoch and die, so a restart never doubles the probe rate.
+        self._epoch = 0
+        # Observation hooks (used by the chaos invariant checker).
+        self.delivery_taps: list[
+            Callable[["OverlayNode", DataPacket, float], None]
+        ] = []
+        self.lsa_taps: list[
+            Callable[["OverlayNode", LinkStateUpdate, LinkStateUpdate | None], None]
+        ] = []
         # Counters (inspected by tests and the harness report).
         self.stats: dict[str, int] = {
             "hellos_sent": 0,
             "lsas_originated": 0,
             "lsas_forwarded": 0,
+            "lsas_refreshed": 0,
+            "lsas_purged": 0,
+            "lsas_aged_out": 0,
             "data_forwarded": 0,
             "data_delivered": 0,
             "duplicates_suppressed": 0,
             "recoveries": 0,
+            "neighbors_declared_dead": 0,
+            "neighbors_declared_alive": 0,
+            "frames_corrupt_dropped": 0,
+            "originates_dropped": 0,
+            "rejoins": 0,
         }
         network.register(node_id, self)
 
     # -- lifecycle ---------------------------------------------------------------
 
+    @property
+    def running(self) -> bool:
+        """Whether the daemon is currently up (not crashed)."""
+        return self._running
+
     def start(self) -> None:
-        """Begin probing; idempotent."""
+        """Begin probing; idempotent.  After ``stop`` this is a warm restart."""
         if self._running:
             return
         self._running = True
+        self._epoch += 1
+        epoch = self._epoch
         for offset, neighbor in enumerate(self._neighbors):
             # Stagger first hellos so daemons do not phase-lock.
             delay = self.config.hello_interval_s * (offset + 1) / (
                 len(self._neighbors) + 1
             )
-            self.kernel.schedule(delay, lambda n=neighbor: self._hello_tick(n))
+            self.kernel.schedule(
+                delay, lambda n=neighbor: self._hello_tick(n, epoch)
+            )
 
     def stop(self) -> None:
         """Crash the daemon: stop probing and ignore everything received.
 
         Models a site failure at the process level (as opposed to link
         failures, which the condition timeline models): hellos stop, so
-        neighbours' loss estimates on links toward this node rise to 100%
-        within a probe window, link-state floods route everyone around it,
-        and packets forwarded to it vanish.  ``start`` restarts the daemon
-        with its protocol state intact (a warm restart).
+        neighbours declare the links toward this node dead within a few
+        probe timeouts, link-state floods route everyone around it, and
+        packets forwarded to it vanish.  ``start`` restarts the daemon
+        with its protocol state intact (a warm restart); ``rejoin`` is
+        the cold variant.
         """
         self._running = False
+
+    def rejoin(self) -> None:
+        """Cold restart: come back up with an empty LSDB and fresh monitors.
+
+        The LSA sequence counter and the per-flow delivery journal are
+        treated as stable storage and survive: post-restart advertisements
+        must supersede pre-crash ones at peers that still hold them, and
+        the application must not be handed a packet it already consumed.
+        """
+        self._running = False
+        self._lsdb.clear()
+        self._monitors = {
+            neighbor: _LinkMonitor(interval_s=self.config.hello_interval_s)
+            for neighbor in self._neighbors
+        }
+        self._pending_acks.clear()
+        self.stats["rejoins"] += 1
+        self.start()
 
     def register_delivery(
         self, flow: str, callback: Callable[[DataPacket, float], None]
@@ -160,10 +255,21 @@ class OverlayNode:
         """Ask to be handed packets of ``flow`` addressed to this node."""
         self._delivery_callbacks[flow] = callback
 
+    def isolated(self) -> bool:
+        """True when every neighbour is currently declared dead.
+
+        The LSDB cannot be trusted in this state (nothing new can reach
+        us); routing daemons treat it as a stale view and hold their
+        last-known-good graph rather than re-route on garbage.
+        """
+        return bool(self._monitors) and all(
+            monitor.declared_dead for monitor in self._monitors.values()
+        )
+
     # -- link monitoring -----------------------------------------------------------
 
-    def _hello_tick(self, neighbor: NodeId) -> None:
-        if not self._running:
+    def _hello_tick(self, neighbor: NodeId, epoch: int) -> None:
+        if not self._running or epoch != self._epoch:
             return
         monitor = self._monitors[neighbor]
         sequence = monitor.next_sequence
@@ -174,8 +280,16 @@ class OverlayNode:
         )
         self.stats["hellos_sent"] += 1
         self._expire_hellos(neighbor)
+        if monitor.declared_dead:
+            # Bounded exponential backoff while the neighbour stays dead,
+            # and keep the full-loss advertisement fresh against aging.
+            monitor.interval_s = min(
+                monitor.interval_s * self.config.hello_backoff_factor,
+                self.config.hello_backoff_max_s,
+            )
+            self._refresh_own_lsa(neighbor)
         self.kernel.schedule(
-            self.config.hello_interval_s, lambda: self._hello_tick(neighbor)
+            monitor.interval_s, lambda: self._hello_tick(neighbor, epoch)
         )
 
     def _expire_hellos(self, neighbor: NodeId) -> None:
@@ -187,7 +301,50 @@ class OverlayNode:
         ]
         for sequence in expired:
             del monitor.outstanding[sequence]
+            monitor.consecutive_timeouts += 1
             self._record_outcome(neighbor, sequence, acked=False)
+        # A dead declaration needs consecutive silence *and* an ack-free
+        # window: a merely lossy link drops probe runs now and then, but
+        # only a crashed or blackholed neighbour silences a whole window.
+        window_ackless = len(monitor.outcomes) >= self.config.hello_window and all(
+            not acked for _seq, acked in monitor.outcomes
+        )
+        if (
+            not monitor.declared_dead
+            and monitor.consecutive_timeouts >= self.config.liveness_fail_threshold
+            and window_ackless
+        ):
+            self._declare_dead(neighbor)
+
+    def _declare_dead(self, neighbor: NodeId) -> None:
+        """Give up on a silent neighbour: advertise full loss, purge, back off."""
+        monitor = self._monitors[neighbor]
+        monitor.declared_dead = True
+        self.stats["neighbors_declared_dead"] += 1
+        # Advertise the link as fully lossy regardless of the window
+        # estimate -- consecutive silence is stronger evidence than the
+        # sliding window, which still remembers pre-outage acks.
+        monitor.advertised_loss = 1.0
+        monitor.advertised_latency_ms = self.latency_estimate_ms(neighbor)
+        self._originate_lsa(neighbor, 1.0, monitor.advertised_latency_ms)
+        # Purge LSDB entries originated by the dead neighbour: its claims
+        # can no longer be refreshed and would otherwise pin stale state
+        # until max-age.
+        purged = [key for key in self._lsdb if key[0] == neighbor]
+        for key in purged:
+            del self._lsdb[key]
+        self.stats["lsas_purged"] += len(purged)
+
+    def _declare_alive(self, neighbor: NodeId) -> None:
+        """First ack from a dead neighbour: restore cadence, reset the window."""
+        monitor = self._monitors[neighbor]
+        monitor.declared_dead = False
+        monitor.consecutive_timeouts = 0
+        monitor.interval_s = self.config.hello_interval_s
+        # Drop the outage-saturated window so recovery is advertised from
+        # fresh evidence rather than after a full window of new probes.
+        monitor.outcomes.clear()
+        self.stats["neighbors_declared_alive"] += 1
 
     def _record_outcome(self, neighbor: NodeId, sequence: int, acked: bool) -> None:
         monitor = self._monitors[neighbor]
@@ -197,8 +354,14 @@ class OverlayNode:
         self._maybe_advertise(neighbor)
 
     def loss_estimate(self, neighbor: NodeId) -> float:
-        """Current loss estimate for the outgoing link to ``neighbor``."""
+        """Current loss estimate for the outgoing link to ``neighbor``.
+
+        A neighbour declared dead estimates at 1.0 regardless of the
+        window (silence is attributed to the link until proven otherwise).
+        """
         monitor = self._monitors[neighbor]
+        if monitor.declared_dead:
+            return 1.0
         if not monitor.outcomes:
             return 0.0
         lost = sum(1 for _seq, acked in monitor.outcomes if not acked)
@@ -211,9 +374,46 @@ class OverlayNode:
             return self.topology.latency(self.node_id, neighbor)
         return monitor.latency_estimate_ms
 
+    def _originate_lsa(self, neighbor: NodeId, loss: float, latency_ms: float) -> None:
+        self._lsa_sequence += 1
+        update = LinkStateUpdate(
+            originator=self.node_id,
+            sequence=self._lsa_sequence,
+            edge=(self.node_id, neighbor),
+            loss_rate=loss,
+            latency_ms=latency_ms,
+            originated_at_s=self.kernel.now,
+        )
+        self.stats["lsas_originated"] += 1
+        self._accept_lsa(update, flood_from=None)
+
+    def _refresh_own_lsa(self, neighbor: NodeId) -> None:
+        """Re-originate our own non-clean advertisement before it ages out."""
+        monitor = self._monitors[neighbor]
+        key = (self.node_id, (self.node_id, neighbor))
+        own = self._lsdb.get(key)
+        if own is None:
+            return
+        base = self.topology.latency(self.node_id, neighbor)
+        non_clean = own.loss_rate > 0.0 or own.latency_ms - base >= 1.0
+        if not non_clean:
+            return
+        if self.kernel.now - own.originated_at_s < self.config.lsa_refresh_interval_s:
+            return
+        self.stats["lsas_refreshed"] += 1
+        self._originate_lsa(
+            neighbor,
+            monitor.advertised_loss,
+            monitor.advertised_latency_ms
+            if monitor.advertised_latency_ms is not None
+            else base,
+        )
+
     def _maybe_advertise(self, neighbor: NodeId) -> None:
         """Originate an LSA when the estimate moved materially."""
         monitor = self._monitors[neighbor]
+        if monitor.declared_dead:
+            return  # the full-loss declaration stands until proven alive
         loss = self.loss_estimate(neighbor)
         latency = self.latency_estimate_ms(neighbor)
         previous_latency = (
@@ -226,20 +426,11 @@ class OverlayNode:
             abs(latency - previous_latency) >= self.config.latency_report_delta_ms
         )
         if not loss_moved and not latency_moved:
+            self._refresh_own_lsa(neighbor)
             return
         monitor.advertised_loss = loss
         monitor.advertised_latency_ms = latency
-        self._lsa_sequence += 1
-        update = LinkStateUpdate(
-            originator=self.node_id,
-            sequence=self._lsa_sequence,
-            edge=(self.node_id, neighbor),
-            loss_rate=loss,
-            latency_ms=latency,
-            originated_at_s=self.kernel.now,
-        )
-        self.stats["lsas_originated"] += 1
-        self._accept_lsa(update, flood_from=None)
+        self._originate_lsa(neighbor, loss, latency)
 
     # -- link-state flooding ---------------------------------------------------------
 
@@ -249,6 +440,8 @@ class OverlayNode:
         if existing is not None and existing.sequence >= update.sequence:
             return  # old news
         self._lsdb[key] = update
+        for tap in self.lsa_taps:
+            tap(self, update, existing)
         for neighbor in self._neighbors:
             if neighbor == flood_from:
                 continue
@@ -256,13 +449,34 @@ class OverlayNode:
             if flood_from is not None:
                 self.stats["lsas_forwarded"] += 1
 
+    def _age_lsdb(self) -> None:
+        """Drop LSDB entries whose originator stopped refreshing them.
+
+        Originators re-advertise live non-clean links every refresh
+        interval, so an entry older than max-age belongs to a crashed or
+        partitioned originator (or describes a link that went clean and
+        stopped mattering); believing it forever would wedge routing on a
+        stale view.
+        """
+        horizon = self.kernel.now - self.config.lsa_max_age_s
+        stale = [
+            key
+            for key, update in self._lsdb.items()
+            if update.originated_at_s < horizon
+        ]
+        for key in stale:
+            del self._lsdb[key]
+        self.stats["lsas_aged_out"] += len(stale)
+
     def observed_view(self) -> dict[Edge, LinkState]:
         """The degraded-edge view this daemon currently believes.
 
         This is what the routing daemon feeds to its policy: for every
         LSDB entry that deviates from clean, the loss rate and the latency
-        inflation over the topology's base latency.
+        inflation over the topology's base latency.  Aged-out entries are
+        dropped first.
         """
+        self._age_lsdb()
         view: dict[Edge, LinkState] = {}
         for (_originator, edge), update in self._lsdb.items():
             base = self.topology.latency(*edge)
@@ -282,6 +496,11 @@ class OverlayNode:
     def originate(self, packet: DataPacket) -> None:
         """Inject a locally generated packet (called by the sending app)."""
         require(packet.source == self.node_id, "originate() at the wrong node")
+        if not self._running:
+            # A crashed process cannot put packets on the wire; the
+            # sending app's counter still records them as sent-and-lost.
+            self.stats["originates_dropped"] += 1
+            return
         self._handle_data(packet, from_node=None)
 
     def _first_sighting(self, flow: str, sequence: int) -> bool:
@@ -316,6 +535,8 @@ class OverlayNode:
             return
         if packet.destination == self.node_id:
             self.stats["data_delivered"] += 1
+            for tap in self.delivery_taps:
+                tap(self, packet, self.kernel.now)
             callback = self._delivery_callbacks.get(packet.flow)
             if callback is not None:
                 callback(packet, self.kernel.now)
@@ -340,6 +561,8 @@ class OverlayNode:
     def _maybe_retransmit(
         self, packet: DataPacket, neighbor: NodeId, attempt: int
     ) -> None:
+        if not self._running:
+            return  # a crashed daemon retransmits nothing
         key = (packet.flow, packet.sequence, neighbor)
         pending = self._pending_acks.get(key)
         if pending is None or pending != attempt:
@@ -356,6 +579,14 @@ class OverlayNode:
         """Entry point for every message the network delivers to us."""
         if not self._running:
             return  # crashed daemon: everything sent to us is lost
+        if isinstance(message, Frame):
+            # Checksummed transmission (chaos runs): verify before
+            # dispatch and drop damaged frames, exactly like a link-layer
+            # checksum discard.
+            if not frame_intact(message):
+                self.stats["frames_corrupt_dropped"] += 1
+                return
+            message = message.payload
         if isinstance(message, Hello):
             self.network.send(
                 self.node_id,
@@ -380,6 +611,9 @@ class OverlayNode:
         if monitor is None or ack.hello_sequence not in monitor.outstanding:
             return  # late ack for an already-expired probe
         del monitor.outstanding[ack.hello_sequence]
+        if monitor.declared_dead:
+            self._declare_alive(from_node)
+        monitor.consecutive_timeouts = 0
         rtt_s = self.kernel.now - ack.hello_sent_at_s
         one_way_ms = rtt_s * 1000.0 / 2.0
         if monitor.latency_estimate_ms is None:

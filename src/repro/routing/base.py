@@ -27,8 +27,14 @@ __all__ = [
     "RoutingPolicy",
     "observed_adjacency",
     "degraded_edge_set",
+    "graph_connects",
     "on_time_edges",
 ]
+
+# An observed loss rate at or above this is treated as a dead link when
+# judging whether a dissemination graph still connects its endpoints
+# (neighbour-liveness declarations advertise exactly 1.0).
+DEAD_LOSS_THRESHOLD = 0.99
 
 # Weight surcharge applied to a degraded edge when routing cannot avoid it
 # entirely: a full blackout counts like an extra second of latency, so any
@@ -136,6 +142,38 @@ def degraded_edge_set(
         for edge, state in observed.items()
         if state.loss_rate >= loss_threshold
     )
+
+
+def graph_connects(
+    graph: DisseminationGraph,
+    observed: Mapping[Edge, LinkState],
+    dead_loss_threshold: float = DEAD_LOSS_THRESHOLD,
+) -> bool:
+    """Does the graph still have a live source->destination route?
+
+    "Live" excludes edges the observed view believes are effectively dead
+    (loss at or above ``dead_loss_threshold``).  Routing daemons use this
+    to reject a freshly computed graph that the current view already
+    knows cannot deliver, falling back to their last-known-good graph
+    instead of installing a disconnected one.
+    """
+    dead = {
+        edge
+        for edge, state in observed.items()
+        if state.loss_rate >= dead_loss_threshold
+    }
+    frontier = [graph.source]
+    reached = {graph.source}
+    while frontier:
+        node = frontier.pop()
+        if node == graph.destination:
+            return True
+        for neighbor in graph.out_neighbors(node):
+            if neighbor in reached or (node, neighbor) in dead:
+                continue
+            reached.add(neighbor)
+            frontier.append(neighbor)
+    return graph.destination in reached
 
 
 def on_time_edges(

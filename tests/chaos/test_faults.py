@@ -1,0 +1,98 @@
+"""Fault dataclasses and schedules: validation, fingerprints, queries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos.faults import (
+    DaemonStall,
+    FaultSchedule,
+    LinkBlackhole,
+    MessageFaults,
+    NodeCrash,
+    Partition,
+)
+from repro.util.validation import ValidationError
+
+
+class TestValidation:
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValidationError):
+            NodeCrash("A", start_s=-1.0, duration_s=2.0)
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(ValidationError):
+            LinkBlackhole(("S", "A"), start_s=1.0, duration_s=0.0)
+
+    def test_rate_out_of_range_rejected(self):
+        with pytest.raises(ValidationError):
+            MessageFaults(0.0, 1.0, duplicate_rate=1.5)
+
+    def test_empty_partition_side_rejected(self):
+        with pytest.raises(ValidationError):
+            Partition(side=(), start_s=0.0, duration_s=1.0)
+
+    def test_duplicate_partition_side_rejected(self):
+        with pytest.raises(ValidationError):
+            Partition(side=("A", "A"), start_s=0.0, duration_s=1.0)
+
+
+class TestSchedule:
+    def schedule(self) -> FaultSchedule:
+        return FaultSchedule(
+            crashes=(NodeCrash("A", 2.0, 3.0),),
+            blackholes=(LinkBlackhole(("S", "A"), 1.0, 2.0),),
+            stalls=(DaemonStall("S->T", 4.0, 4.0),),
+        )
+
+    def test_len_and_iter(self):
+        schedule = self.schedule()
+        assert len(schedule) == 3
+        assert len(list(schedule)) == 3
+
+    def test_end_s_is_last_clearing_fault(self):
+        assert self.schedule().end_s == 8.0
+        assert FaultSchedule().end_s == 0.0
+
+    def test_fingerprint_stable_and_content_addressed(self):
+        assert self.schedule().fingerprint() == self.schedule().fingerprint()
+        other = FaultSchedule(crashes=(NodeCrash("B", 2.0, 3.0),))
+        assert self.schedule().fingerprint() != other.fingerprint()
+
+    def test_crashed_nodes_at(self):
+        schedule = self.schedule()
+        assert schedule.crashed_nodes_at(1.9) == frozenset()
+        assert schedule.crashed_nodes_at(2.0) == frozenset({"A"})
+        assert schedule.crashed_nodes_at(4.9) == frozenset({"A"})
+        assert schedule.crashed_nodes_at(5.0) == frozenset()
+
+
+class TestBlockedEdges:
+    def test_asymmetric_blackhole_blocks_one_direction(self, diamond):
+        fault = LinkBlackhole(("S", "A"), 0.0, 1.0)
+        assert fault.blocked_edges(diamond) == (("S", "A"),)
+
+    def test_bidirectional_blackhole_blocks_both(self, diamond):
+        fault = LinkBlackhole(("S", "A"), 0.0, 1.0, bidirectional=True)
+        assert set(fault.blocked_edges(diamond)) == {("S", "A"), ("A", "S")}
+
+    def test_unknown_edge_rejected(self, diamond):
+        fault = LinkBlackhole(("S", "T"), 0.0, 1.0)
+        with pytest.raises(ValidationError):
+            fault.blocked_edges(diamond)
+
+    def test_partition_blocks_the_cut_both_ways(self, diamond):
+        fault = Partition(side=("A",), start_s=0.0, duration_s=1.0)
+        blocked = set(fault.blocked_edges(diamond))
+        assert blocked == {("S", "A"), ("A", "S"), ("A", "T"), ("T", "A")}
+
+    def test_schedule_blocked_edges_at_respects_time(self, diamond):
+        schedule = FaultSchedule(
+            blackholes=(LinkBlackhole(("S", "A"), 1.0, 2.0),),
+            partitions=(Partition(("B",), 2.0, 2.0),),
+        )
+        assert schedule.blocked_edges_at(0.5, diamond) == frozenset()
+        assert schedule.blocked_edges_at(1.5, diamond) == frozenset({("S", "A")})
+        at_overlap = schedule.blocked_edges_at(2.5, diamond)
+        assert ("S", "A") in at_overlap and ("S", "B") in at_overlap
+        assert schedule.blocked_edges_at(4.5, diamond) == frozenset()

@@ -1,0 +1,102 @@
+"""Seeded schedule generation: determinism, protection, ground truth."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos.generate import ChaosSpec, generate_fault_schedule, to_events
+from repro.netmodel.events import EventKind
+from repro.util.validation import ValidationError
+
+SPEC = ChaosSpec(
+    duration_s=20.0,
+    crashes=3,
+    blackholes=2,
+    partitions=2,
+    stalls=2,
+    message_fault_windows=1,
+    min_fault_s=1.0,
+    max_fault_s=4.0,
+    settle_s=3.0,
+    protected_nodes=frozenset({"S", "T"}),
+)
+
+
+class TestGeneration:
+    def test_same_seed_same_schedule(self, diamond):
+        a = generate_fault_schedule(diamond, SPEC, seed=11, flows=("S->T",))
+        b = generate_fault_schedule(diamond, SPEC, seed=11, flows=("S->T",))
+        assert a == b
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_different_seeds_differ(self, diamond):
+        a = generate_fault_schedule(diamond, SPEC, seed=1, flows=("S->T",))
+        b = generate_fault_schedule(diamond, SPEC, seed=2, flows=("S->T",))
+        assert a != b
+
+    def test_protected_nodes_never_targeted(self, diamond):
+        for seed in range(8):
+            schedule = generate_fault_schedule(
+                diamond, SPEC, seed=seed, flows=("S->T",)
+            )
+            for crash in schedule.crashes:
+                assert crash.node in {"A", "B"}
+            for partition in schedule.partitions:
+                assert set(partition.side) <= {"A", "B"}
+
+    def test_every_fault_clears_before_settle_window(self, diamond):
+        schedule = generate_fault_schedule(diamond, SPEC, seed=5, flows=("S->T",))
+        assert len(schedule) == 10
+        for fault in schedule:
+            assert fault.start_s >= 0.0
+            assert fault.end_s <= SPEC.duration_s - SPEC.settle_s + 1e-9
+
+    def test_stalls_require_flow_names(self, diamond):
+        with pytest.raises(ValidationError):
+            generate_fault_schedule(diamond, SPEC, seed=0, flows=())
+
+    def test_all_protected_rejected(self, diamond):
+        spec = ChaosSpec(
+            duration_s=20.0,
+            crashes=1,
+            protected_nodes=frozenset({"S", "A", "B", "T"}),
+        )
+        with pytest.raises(ValidationError):
+            generate_fault_schedule(diamond, spec, seed=0)
+
+    def test_faults_must_fit_inside_run(self):
+        with pytest.raises(ValidationError):
+            ChaosSpec(duration_s=5.0, max_fault_s=4.0, settle_s=3.0)
+
+
+class TestGroundTruthExport:
+    def test_event_kinds_and_order(self, diamond):
+        schedule = generate_fault_schedule(diamond, SPEC, seed=3, flows=("S->T",))
+        events = to_events(schedule, diamond)
+        # Stalls and message windows have no per-edge ground truth.
+        assert len(events) == len(schedule.crashes) + len(
+            schedule.partitions
+        ) + len(schedule.blackholes)
+        kinds = {event.kind for event in events}
+        assert EventKind.CRASH in kinds
+        assert EventKind.PARTITION in kinds
+        starts = [event.start_s for event in events]
+        assert starts == sorted(starts)
+
+    def test_crash_degrades_adjacent_edges_both_ways(self, diamond):
+        schedule = generate_fault_schedule(
+            diamond,
+            ChaosSpec(duration_s=20.0, crashes=1, blackholes=0,
+                      protected_nodes=frozenset({"S", "T"})),
+            seed=4,
+        )
+        (event,) = to_events(schedule, diamond)
+        node = schedule.crashes[0].node
+        assert event.kind is EventKind.CRASH
+        assert event.location == node
+        for degradation in event.bursts[0].degradations:
+            assert node in degradation.edge
+            assert degradation.state.loss_rate == 1.0
+        # Both directions of each adjacent link are degraded.
+        edges = {d.edge for d in event.bursts[0].degradations}
+        assert {(u, v) for (v, u) in edges} == edges

@@ -1,0 +1,184 @@
+"""The injector executes schedules: crashes, blocks, effects, stalls."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos.faults import (
+    DaemonStall,
+    FaultSchedule,
+    LinkBlackhole,
+    MessageFaults,
+    NodeCrash,
+    Partition,
+)
+from repro.netmodel.conditions import ConditionTimeline
+from repro.netmodel.topology import FlowSpec, ServiceSpec
+from repro.overlay.harness import build_overlay
+from repro.util.validation import ValidationError
+
+FLOW = FlowSpec("S", "T")
+SERVICE = ServiceSpec(deadline_ms=15.0, send_interval_ms=20.0, rtt_budget_ms=30.0)
+
+
+def harness_for(diamond, seed=1, flows=(), scheme="static-two-disjoint"):
+    timeline = ConditionTimeline(diamond, 120.0)
+    harness = build_overlay(
+        diamond, timeline, flows=flows, service=SERVICE, scheme=scheme, seed=seed
+    )
+    harness.start()
+    return harness
+
+
+class TestCrashExecution:
+    def test_cold_crash_and_rejoin_at_scheduled_times(self, diamond):
+        harness = harness_for(diamond)
+        schedule = FaultSchedule(crashes=(NodeCrash("A", 2.0, 3.0),))
+        harness.run(1.5, faults=schedule)
+        assert harness.nodes["A"].running
+        harness.run(1.0)  # now at 2.5, inside the crash
+        assert not harness.nodes["A"].running
+        harness.run(3.0)  # now at 5.5, past the restart
+        assert harness.nodes["A"].running
+        assert harness.nodes["A"].stats["rejoins"] == 1
+
+    def test_warm_restart_keeps_state(self, diamond):
+        harness = harness_for(diamond)
+        schedule = FaultSchedule(
+            crashes=(NodeCrash("A", 1.0, 2.0, cold_rejoin=False),)
+        )
+        harness.run(5.0, faults=schedule)
+        assert harness.nodes["A"].running
+        assert harness.nodes["A"].stats["rejoins"] == 0
+
+    def test_unknown_crash_target_rejected(self, diamond):
+        harness = harness_for(diamond)
+        schedule = FaultSchedule(crashes=(NodeCrash("Z", 1.0, 1.0),))
+        with pytest.raises(ValidationError):
+            harness.run(1.0, faults=schedule)
+
+
+class TestBlocking:
+    def test_asymmetric_blackhole_blocks_one_direction(self, diamond):
+        harness = harness_for(diamond)
+        schedule = FaultSchedule(blackholes=(LinkBlackhole(("S", "A"), 1.0, 2.0),))
+        harness.run(2.0, faults=schedule)
+        injector = harness.injector
+        assert injector.blocked(("S", "A"))
+        assert not injector.blocked(("A", "S"))
+        assert harness.network.blackholed > 0  # hellos died in the hole
+        harness.run(2.0)  # past end
+        assert not injector.blocked(("S", "A"))
+
+    def test_overlapping_faults_refcount_the_edge(self, diamond):
+        harness = harness_for(diamond)
+        schedule = FaultSchedule(
+            blackholes=(LinkBlackhole(("S", "A"), 1.0, 4.0),),
+            partitions=(Partition(("A",), 2.0, 1.0),),
+        )
+        harness.run(2.5, faults=schedule)  # both faults cover S->A
+        assert harness.injector.blocked(("S", "A"))
+        harness.run(1.0)  # partition cleared, blackhole still active
+        assert harness.injector.blocked(("S", "A"))
+        assert not harness.injector.blocked(("A", "T"))
+        harness.run(2.0)  # all clear
+        assert not harness.injector.blocked(("S", "A"))
+
+    def test_partition_isolates_node(self, diamond):
+        harness = harness_for(diamond)
+        schedule = FaultSchedule(partitions=(Partition(("B",), 1.0, 3.0),))
+        harness.run(2.0, faults=schedule)
+        for edge in (("S", "B"), ("B", "S"), ("B", "T"), ("T", "B")):
+            assert harness.injector.blocked(edge)
+
+
+class TestMessageEffects:
+    def window_schedule(self, **rates) -> FaultSchedule:
+        return FaultSchedule(
+            message_faults=(MessageFaults(0.5, 10.0, **rates),)
+        )
+
+    def test_duplication_counted_and_harmless(self, diamond):
+        harness = harness_for(diamond)
+        harness.run(8.0, faults=self.window_schedule(duplicate_rate=1.0))
+        assert harness.network.duplicated > 0
+        # Hellos still work: the link estimate stays clean.
+        assert harness.nodes["S"].loss_estimate("A") == 0.0
+
+    def test_corruption_detected_and_dropped(self, diamond):
+        harness = harness_for(diamond)
+        harness.run(
+            8.0,
+            faults=self.window_schedule(duplicate_rate=1.0, corrupt_rate=1.0),
+        )
+        assert harness.network.corrupted > 0
+        dropped = sum(
+            node.stats["frames_corrupt_dropped"]
+            for node in harness.nodes.values()
+        )
+        assert dropped > 0
+        # Corruption hits the duplicate; the pristine copy keeps protocols up.
+        assert harness.nodes["S"].loss_estimate("A") == 0.0
+
+    def test_corrupting_the_sole_copy_loses_it(self, diamond):
+        harness = harness_for(diamond)
+        harness.run(6.0, faults=self.window_schedule(corrupt_rate=1.0))
+        # Every message damaged and discarded: links look dead.
+        assert harness.nodes["S"].loss_estimate("A") > 0.8
+
+    def test_reordering_delays_but_delivers(self, diamond):
+        harness = harness_for(diamond)
+        harness.run(
+            8.0,
+            faults=self.window_schedule(
+                reorder_rate=1.0, reorder_delay_ms=5.0
+            ),
+        )
+        # Extra delay is small against the hello timeout: no loss observed.
+        assert harness.nodes["S"].loss_estimate("A") == 0.0
+
+    def test_effects_outside_window_are_clean(self, diamond):
+        harness = harness_for(diamond)
+        schedule = FaultSchedule(
+            message_faults=(MessageFaults(50.0, 1.0, duplicate_rate=1.0),)
+        )
+        harness.run(3.0, faults=schedule)
+        assert harness.network.duplicated == 0
+
+
+class TestStalls:
+    def test_stalled_daemon_misses_ticks_then_resumes(self, diamond):
+        harness = harness_for(diamond, flows=[FLOW], scheme="dynamic-single")
+        schedule = FaultSchedule(stalls=(DaemonStall(FLOW.name, 1.0, 2.0),))
+        harness.run(2.0, faults=schedule)
+        daemon = harness.daemons[FLOW.name]
+        assert daemon.stalled
+        assert daemon.ticks_missed > 0
+        harness.run(2.0)
+        assert not daemon.stalled
+
+    def test_unknown_stall_flow_rejected(self, diamond):
+        harness = harness_for(diamond)
+        schedule = FaultSchedule(stalls=(DaemonStall("nope", 1.0, 1.0),))
+        with pytest.raises(ValidationError):
+            harness.run(1.0, faults=schedule)
+
+
+class TestHarnessWiring:
+    def test_second_schedule_rejected(self, diamond):
+        harness = harness_for(diamond)
+        schedule = FaultSchedule(crashes=(NodeCrash("A", 1.0, 1.0),))
+        harness.run(1.0, faults=schedule)
+        with pytest.raises(ValidationError):
+            harness.run(1.0, faults=schedule)
+
+    def test_fault_log_is_chronological(self, diamond):
+        harness = harness_for(diamond)
+        schedule = FaultSchedule(
+            crashes=(NodeCrash("A", 2.0, 1.0),),
+            blackholes=(LinkBlackhole(("S", "B"), 1.0, 3.0),),
+        )
+        harness.run(6.0, faults=schedule)
+        times = [at for at, _ in harness.injector.log]
+        assert times == sorted(times)
+        assert len(times) == 4  # two faults, each asserts and clears

@@ -1,0 +1,158 @@
+"""The invariant checker: detection of each conservation breach."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos.faults import FaultSchedule, LinkBlackhole, NodeCrash
+from repro.chaos.invariants import InvariantChecker, InvariantViolation
+from repro.core.builders import single_path_graph
+from repro.core.encoding import encode_graph
+from repro.netmodel.conditions import ConditionTimeline
+from repro.overlay.harness import build_overlay
+from repro.overlay.messages import DataPacket, LinkStateUpdate
+from repro.util.validation import ValidationError
+
+
+def harness_for(diamond, seed=1):
+    timeline = ConditionTimeline(diamond, 120.0)
+    harness = build_overlay(diamond, timeline, flows=(), seed=seed)
+    harness.start()
+    return harness
+
+
+def packet(topology, sequence=0, sent_at=0.0):
+    graph = single_path_graph(topology, "S", "T")
+    return DataPacket(
+        flow="f",
+        source="S",
+        destination="T",
+        sequence=sequence,
+        sent_at_s=sent_at,
+        graph_encoding=encode_graph(topology, graph),
+    )
+
+
+def attached(diamond):
+    harness = harness_for(diamond)
+    checker = InvariantChecker().attach(harness, FaultSchedule())
+    return harness, checker
+
+
+def tap(harness, checker, node_id, pkt, at_s):
+    # Deliveries reach the checker through the node's public tap hook.
+    node = harness.nodes[node_id]
+    for hook in node.delivery_taps:
+        hook(node, pkt, at_s)
+
+
+class TestDeliveryInvariants:
+    def test_clean_delivery_passes(self, diamond):
+        harness, checker = attached(diamond)
+        tap(harness, checker, "T", packet(diamond, 0, 0.0), 0.01)
+        tap(harness, checker, "T", packet(diamond, 1, 0.02), 0.03)
+        assert checker.ok
+        checker.assert_ok()
+
+    def test_duplicate_delivery_flagged(self, diamond):
+        harness, checker = attached(diamond)
+        tap(harness, checker, "T", packet(diamond, 0, 0.0), 0.01)
+        tap(harness, checker, "T", packet(diamond, 0, 0.0), 0.02)
+        assert [v.invariant for v in checker.violations] == [
+            "no-duplicate-delivery"
+        ]
+
+    def test_delivery_while_crashed_flagged(self, diamond):
+        harness, checker = attached(diamond)
+        harness.nodes["T"].stop()
+        tap(harness, checker, "T", packet(diamond, 0, 0.0), 0.01)
+        assert [v.invariant for v in checker.violations] == [
+            "no-delivery-while-crashed"
+        ]
+
+    def test_causality_flagged(self, diamond):
+        harness, checker = attached(diamond)
+        tap(harness, checker, "T", packet(diamond, 0, sent_at=5.0), 0.01)
+        assert [v.invariant for v in checker.violations] == ["causality"]
+
+    def test_sequence_monotonicity_flagged(self, diamond):
+        harness, checker = attached(diamond)
+        tap(harness, checker, "T", packet(diamond, 5, sent_at=1.0), 1.01)
+        # A *higher* sequence claiming an *earlier* send time is corrupt.
+        tap(harness, checker, "T", packet(diamond, 6, sent_at=0.5), 1.02)
+        assert [v.invariant for v in checker.violations] == [
+            "sequence-monotonicity"
+        ]
+
+    def test_out_of_order_arrival_is_fine(self, diamond):
+        harness, checker = attached(diamond)
+        tap(harness, checker, "T", packet(diamond, 6, sent_at=1.0), 1.05)
+        tap(harness, checker, "T", packet(diamond, 5, sent_at=0.9), 1.06)
+        assert checker.ok
+
+    def test_assert_ok_raises_with_every_violation(self, diamond):
+        harness, checker = attached(diamond)
+        tap(harness, checker, "T", packet(diamond, 0, 0.0), 0.01)
+        tap(harness, checker, "T", packet(diamond, 0, 0.0), 0.02)
+        tap(harness, checker, "T", packet(diamond, 0, 0.0), 0.03)
+        with pytest.raises(InvariantViolation) as excinfo:
+            checker.assert_ok()
+        assert "2 invariant violation(s)" in str(excinfo.value)
+
+    def test_double_attach_rejected(self, diamond):
+        harness, checker = attached(diamond)
+        with pytest.raises(ValidationError):
+            checker.attach(harness)
+
+
+class TestConvergence:
+    def stale_update(self, harness, edge, at_s):
+        return LinkStateUpdate(
+            originator="B",
+            sequence=99,
+            edge=edge,
+            loss_rate=1.0,
+            latency_ms=10.0,
+            originated_at_s=at_s,
+        )
+
+    def test_stale_full_loss_claim_flagged(self, diamond):
+        harness, checker = attached(diamond)
+        harness.run(1.0)
+        now = harness.kernel.now
+        # S holds a full-loss claim, but ground truth is clean and no
+        # fault is active: convergence failed.
+        harness.nodes["S"].receive("A", self.stale_update(harness, ("A", "T"), now))
+        checker.check_convergence()
+        assert "lsdb-convergence" in [v.invariant for v in checker.violations]
+
+    def test_claim_backed_by_schedule_not_flagged(self, diamond):
+        harness = harness_for(diamond)
+        schedule = FaultSchedule(
+            blackholes=(LinkBlackhole(("A", "T"), 0.5, 100.0),)
+        )
+        checker = InvariantChecker().attach(harness, schedule)
+        harness.run(1.0)
+        now = harness.kernel.now
+        harness.nodes["S"].receive("A", self.stale_update(harness, ("A", "T"), now))
+        checker.check_convergence()  # the blackhole is still active
+        assert checker.ok
+
+    def test_claim_backed_by_crash_not_flagged(self, diamond):
+        harness = harness_for(diamond)
+        schedule = FaultSchedule(crashes=(NodeCrash("A", 0.5, 100.0),))
+        checker = InvariantChecker().attach(harness, schedule)
+        harness.run(1.0)
+        now = harness.kernel.now
+        harness.nodes["S"].receive("A", self.stale_update(harness, ("A", "T"), now))
+        checker.check_convergence()  # edge endpoint A is down right now
+        assert checker.ok
+
+    def test_crashed_believer_skipped(self, diamond):
+        harness, checker = attached(diamond)
+        harness.run(1.0)
+        now = harness.kernel.now
+        harness.nodes["S"].receive("A", self.stale_update(harness, ("A", "T"), now))
+        harness.nodes["S"].stop()
+        checker.check_convergence()  # a crashed node's view is not judged
+        assert checker.ok

@@ -28,3 +28,35 @@ class TestGracefulErrors:
         code = main(["evaluate", "--trace", str(bad)])
         assert code == 2
         assert "not a repro-dgraphs" in capsys.readouterr().err
+
+    def test_unreadable_trace_path_is_one_line(self, tmp_path, capsys):
+        code = main(["evaluate", "--trace", str(tmp_path / "missing.jsonl")])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_trace_path_is_a_directory(self, tmp_path, capsys):
+        code = main(["evaluate", "--trace", str(tmp_path)])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_chaos_unknown_scheme(self, capsys):
+        code = main(["chaos", "--schemes", "teleportation"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown scheme" in err
+        assert "Traceback" not in err
+
+    def test_chaos_unknown_flow(self, capsys):
+        code = main(["chaos", "--flows", "S->NOWHERE"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown flow" in err
+        assert "Traceback" not in err
+
+    def test_chaos_impossible_spec(self, capsys):
+        # Faults cannot fit in the run: duration < max fault + settle.
+        code = main(["chaos", "--duration", "3"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,125 @@
+"""Hello-protocol edge cases: attribution, timeout boundary, wraparound."""
+
+from __future__ import annotations
+
+from repro.netmodel.conditions import ConditionTimeline, Contribution, LinkState
+from repro.overlay.harness import build_overlay
+from repro.overlay.messages import HelloAck
+from repro.overlay.node import NodeConfig
+
+
+def harness_for(diamond, contributions=(), node_config=NodeConfig(), seed=2):
+    timeline = ConditionTimeline(diamond, 120.0, contributions)
+    harness = build_overlay(
+        diamond, timeline, flows=(), seed=seed, node_config=node_config
+    )
+    return harness
+
+
+class TestLossAttribution:
+    """Probing measures the round trip; loss lands on the probed direction."""
+
+    def test_probe_loss_attributed_by_both_enders(self, diamond):
+        # Forward direction S->A is fully lossy; A->S is clean.
+        harness = harness_for(
+            diamond,
+            [Contribution(("S", "A"), 0.0, 60.0, LinkState(loss_rate=1.0))],
+        )
+        harness.start()
+        harness.run(10.0)
+        # S's probes die on the way out: loss charged to S->A.
+        assert harness.nodes["S"].loss_estimate("A") > 0.8
+        # A's probes arrive fine, but S's *acks* die crossing S->A, so A
+        # charges its own outgoing link A->S -- the round-trip
+        # simplification documented in the node.
+        assert harness.nodes["A"].loss_estimate("S") > 0.8
+
+    def test_ack_loss_indistinguishable_from_probe_loss(self, diamond):
+        # Only the ack direction A->S is lossy; S's probes all arrive.
+        harness = harness_for(
+            diamond,
+            [Contribution(("A", "S"), 0.0, 60.0, LinkState(loss_rate=1.0))],
+        )
+        harness.start()
+        harness.run(10.0)
+        # S cannot tell lost acks from lost probes: S->A looks dead.
+        assert harness.nodes["S"].loss_estimate("A") > 0.8
+        # The genuinely clean direction S->A is what A's probes measure
+        # ... but A's own hellos to S travel the lossy A->S link.
+        assert harness.nodes["A"].loss_estimate("S") > 0.8
+        # B's links are untouched by any of this.
+        assert harness.nodes["S"].loss_estimate("B") == 0.0
+
+
+class TestTimeoutBoundary:
+    def test_probe_at_exactly_timeout_expires(self, diamond):
+        harness = harness_for(diamond)
+        node = harness.nodes["S"]
+        harness.run(2.0)  # advance the clock without starting protocols
+        monitor = node._monitors["A"]
+        sent_at = harness.kernel.now - node.config.hello_timeout_s
+        monitor.outstanding[999] = sent_at  # unacked for exactly timeout
+        node._expire_hellos("A")
+        assert 999 not in monitor.outstanding
+        assert list(monitor.outcomes) == [(999, False)]
+        assert monitor.consecutive_timeouts == 1
+
+    def test_ack_arriving_after_expiry_is_ignored(self, diamond):
+        harness = harness_for(diamond)
+        node = harness.nodes["S"]
+        node.start()
+        harness.run(2.0)
+        monitor = node._monitors["A"]
+        sent_at = harness.kernel.now - node.config.hello_timeout_s
+        monitor.outstanding[999] = sent_at
+        node._expire_hellos("A")
+        outcomes_after_expiry = list(monitor.outcomes)
+        # The ack shows up just after the probe was declared lost: it
+        # must neither resurrect the probe nor record a second outcome.
+        node._handle_hello_ack("A", HelloAck("A", 999, sent_at))
+        assert list(monitor.outcomes) == outcomes_after_expiry
+        assert monitor.consecutive_timeouts >= 1
+
+    def test_probe_just_inside_timeout_survives(self, diamond):
+        harness = harness_for(diamond)
+        node = harness.nodes["S"]
+        harness.run(2.0)
+        monitor = node._monitors["A"]
+        sent_at = harness.kernel.now - node.config.hello_timeout_s + 1e-6
+        monitor.outstanding[999] = sent_at
+        node._expire_hellos("A")
+        assert 999 in monitor.outstanding
+        assert monitor.consecutive_timeouts == 0
+
+
+class TestWindowWraparound:
+    def config(self) -> NodeConfig:
+        return NodeConfig(hello_window=4)
+
+    def test_window_keeps_only_newest_outcomes(self, diamond):
+        harness = harness_for(diamond, node_config=self.config())
+        node = harness.nodes["S"]
+        for sequence in range(3):
+            node._record_outcome("A", sequence, acked=False)
+        assert node.loss_estimate("A") == 1.0
+        for sequence in range(3, 7):
+            node._record_outcome("A", sequence, acked=True)
+        # The four acks pushed every loss out of the window.
+        assert node.loss_estimate("A") == 0.0
+        assert len(node._monitors["A"].outcomes) == 4
+
+    def test_estimate_tracks_rolling_mix(self, diamond):
+        harness = harness_for(diamond, node_config=self.config())
+        node = harness.nodes["S"]
+        outcomes = [False, True, False, True, True, False]
+        for sequence, acked in enumerate(outcomes):
+            node._record_outcome("A", sequence, acked=acked)
+        # Window holds the last 4: [False, True, True, False] -> 2/4.
+        assert node.loss_estimate("A") == 0.5
+
+    def test_window_never_exceeds_capacity(self, diamond):
+        harness = harness_for(diamond, node_config=self.config())
+        node = harness.nodes["S"]
+        for sequence in range(50):
+            node._record_outcome("A", sequence, acked=sequence % 2 == 0)
+        assert len(node._monitors["A"].outcomes) == 4
