@@ -34,3 +34,10 @@ def test_e2_scheme_performance(benchmark):
     ):
         measured = 100 * gap_coverage(result, scheme)
         print(f"  {scheme:22s} gap coverage {measured:5.1f}%   (paper: {paper})")
+        common.stage_metrics(**{f"gap_coverage_pct.{scheme}": measured})
+    common.stage_metrics(
+        **{
+            f"availability.{totals.scheme}": totals.availability
+            for totals in result.all_totals()
+        }
+    )

@@ -12,31 +12,45 @@ same code:
 * ``REPRO_BENCH_WORKERS`` -- execution-engine worker processes
   (default 0 = in-process serial);
 * ``REPRO_BENCH_NO_CACHE`` -- set to ``1`` to bypass the execution
-  engine's content-addressed result cache.
+  engine's content-addressed result cache;
+* ``REPRO_BENCH_OUT`` -- directory for the machine-readable
+  ``BENCH_<exp>.json`` artifacts (default ``bench-out``).
 
 All replays route through :mod:`repro.exec`, so a repeated bench
 invocation with unchanged inputs (e.g. the ``REPRO_BENCH_WEEKS=4``
 paper-scale run) reuses cached shards instead of recomputing them.
+
+Every bench test additionally writes ``BENCH_<exp>.json`` (via an
+autouse fixture in ``conftest.py``): a run manifest -- scale knobs,
+topology fingerprint, the engine telemetry of the replays this bench
+triggered -- plus whatever headline figures the bench staged through
+:func:`stage_metrics`.  The JSON is the scrape-free counterpart of the
+printed tables, comparable across commits.
 """
 
 from __future__ import annotations
 
 import functools
+import json
 import os
+from pathlib import Path
 
 from repro.exec.engine import run_replay_parallel
+from repro.exec.telemetry import ExecTelemetry, session_records
 from repro.netmodel.scenarios import WEEK_S, Scenario, generate_timeline
 from repro.netmodel.topology import (
     ServiceSpec,
     build_reference_topology,
     reference_flows,
 )
+from repro.obs.manifest import MANIFEST_VERSION, topology_fingerprint
 from repro.simulation.results import ReplayConfig
 
 BENCH_WEEKS = float(os.environ.get("REPRO_BENCH_WEEKS", "2"))
 BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "7"))
 BENCH_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "0"))
 BENCH_USE_CACHE = os.environ.get("REPRO_BENCH_NO_CACHE", "") != "1"
+BENCH_OUT = Path(os.environ.get("REPRO_BENCH_OUT", "bench-out"))
 DETECTION_DELAY_S = 1.0
 
 
@@ -86,3 +100,68 @@ def headline_replay(weeks: float = BENCH_WEEKS, seed: int = BENCH_SEED):
 def banner(title: str) -> str:
     line = "=" * len(title)
     return f"\n{line}\n{title}\n{line}"
+
+
+# -- machine-readable bench artifacts ---------------------------------------------
+
+_staged_metrics: dict[str, object] = {}
+_telemetry_mark = 0
+
+
+def begin_bench() -> None:
+    """Reset per-bench staging (called by the autouse conftest fixture)."""
+    global _telemetry_mark
+    _staged_metrics.clear()
+    _telemetry_mark = len(session_records())
+
+
+def stage_metrics(**metrics: object) -> None:
+    """Stage headline figures for the current bench's ``BENCH_<exp>.json``."""
+    _staged_metrics.update(metrics)
+
+
+def _telemetry_delta() -> dict | None:
+    """Aggregate engine telemetry of the replays this bench triggered.
+
+    A bench reading a session-cached replay (``headline_replay``) records
+    no new engine invocation, so the delta is ``None`` for it -- the JSON
+    then documents that the bench reused an earlier replay.
+    """
+    records = session_records()[_telemetry_mark:]
+    if not records:
+        return None
+    total = ExecTelemetry(
+        label=f"bench ({len(records)} run(s))",
+        workers=max(t.workers for t in records),
+        time_shards=max(t.time_shards for t in records),
+    )
+    for telemetry in records:
+        total.shards_total += telemetry.shards_total
+        total.shards_run += telemetry.shards_run
+        total.shards_cached += telemetry.shards_cached
+        total.shards_retried += telemetry.shards_retried
+        total.shards_fallback += telemetry.shards_fallback
+        total.cache_corrupt += telemetry.cache_corrupt
+        total.cache_evicted += telemetry.cache_evicted
+        total.wall_time_s += telemetry.wall_time_s
+        total.shard_wall_s.extend(telemetry.shard_wall_s)
+    return total.to_dict()
+
+
+def flush_bench_json(exp: str) -> Path:
+    """Write ``BENCH_<exp>.json`` into :data:`BENCH_OUT` and return it."""
+    BENCH_OUT.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "manifest_version": MANIFEST_VERSION,
+        "experiment": exp,
+        "weeks": BENCH_WEEKS,
+        "seed": BENCH_SEED,
+        "workers": BENCH_WORKERS,
+        "use_cache": BENCH_USE_CACHE,
+        "topology": topology_fingerprint(topology()),
+        "exec": _telemetry_delta(),
+        "metrics": dict(sorted(_staged_metrics.items())),
+    }
+    path = BENCH_OUT / f"BENCH_{exp}.json"
+    path.write_text(json.dumps(payload, indent=1, sort_keys=True))
+    return path

@@ -4,13 +4,31 @@ Each bench regenerates one of the paper's tables/figures and prints it, so
 ``pytest benchmarks/ --benchmark-only -s`` reproduces the evaluation
 section end to end.  The printed output is the artifact; the timing
 numbers additionally document the cost of each pipeline stage.
+
+Every bench test also leaves a machine-readable ``BENCH_<exp>.json``
+(run manifest + staged headline metrics) in ``$REPRO_BENCH_OUT``
+(default ``bench-out``) -- see ``common.flush_bench_json``.
 """
 
 import sys
 from pathlib import Path
 
+import pytest
+
 # Make `import common` work regardless of invocation directory.
 sys.path.insert(0, str(Path(__file__).parent))
+
+
+@pytest.fixture(autouse=True)
+def _bench_artifact(request):
+    """Write ``BENCH_<exp>.json`` after every bench test, pass or fail."""
+    import common
+
+    common.begin_bench()
+    yield
+    exp = request.node.module.__name__.removeprefix("bench_")
+    common.stage_metrics(test=request.node.name)
+    common.flush_bench_json(exp)
 
 
 def pytest_sessionfinish(session, exitstatus):

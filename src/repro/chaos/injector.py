@@ -95,6 +95,10 @@ class ChaosInjector:
 
     def _note(self, message: str) -> None:
         self.log.append((self.harness.kernel.now, message))
+        obs = self.harness.obs
+        if obs is not None:
+            obs.metrics.counter("chaos.fault_events").inc()
+            obs.tracer.instant("fault", "chaos", detail=message)
 
     def _crash(self, crash) -> None:
         self.harness.nodes[crash.node].stop()

@@ -62,6 +62,9 @@ class InvariantChecker:
     """Observes a harness run and records invariant breaches."""
 
     violations: list[Violation] = field(default_factory=list)
+    #: Callbacks invoked with each :class:`Violation` as it is flagged
+    #: (the observability layer hooks flight-recorder dumps in here).
+    taps: list = field(default_factory=list)
 
     def __post_init__(self) -> None:
         self._harness: "OverlayHarness | None" = None
@@ -102,7 +105,10 @@ class InvariantChecker:
             )
 
     def _flag(self, at_s: float, invariant: str, detail: str) -> None:
-        self.violations.append(Violation(at_s, invariant, detail))
+        violation = Violation(at_s, invariant, detail)
+        self.violations.append(violation)
+        for tap in self.taps:
+            tap(violation)
 
     # -- per-delivery checks -------------------------------------------------------
 

@@ -14,7 +14,16 @@ Subcommands mirror the evaluation workflow:
   stalls), check the run's invariants, and compare schemes;
 * ``cache`` -- inspect (``info``), evict (``clear``), or size-cap
   (``prune --max-bytes``) the execution engine's content-addressed
-  result cache.
+  result cache;
+* ``obs`` -- inspect a traced run's artifacts: ``summary`` (manifest),
+  ``export`` (rebuild Chrome trace JSON from the span log), ``flight``
+  (list flight-recorder snapshots).
+
+``evaluate`` and ``chaos`` accept ``--trace`` to record the run with
+the :mod:`repro.obs` observability layer and ``--trace-out`` to choose
+where the artifacts (trace.json / spans.jsonl / manifest.json /
+flight_<k>.json) land.  The global ``--log-level`` flag controls
+stderr diagnostics.
 
 Every failure caused by bad input (unknown scheme or flow names,
 unreadable trace or cache paths) exits non-zero with a one-line
@@ -55,8 +64,11 @@ from repro.exec.cache import ResultCache
 from repro.exec.engine import run_replay_parallel
 from repro.netmodel.trace import load_timeline, write_trace
 from repro.simulation.results import ReplayConfig
+from repro.util.logging import LOG_LEVELS, configure_logging, get_logger
 
 __all__ = ["main"]
+
+_LOG = get_logger("cli")
 
 
 def _add_trace_arguments(parser: argparse.ArgumentParser) -> None:
@@ -67,6 +79,21 @@ def _add_trace_arguments(parser: argparse.ArgumentParser) -> None:
         default="default",
         help="scenario preset (see `repro.netmodel.preset_names()`): "
         "default, calm, stormy, endpoint-heavy, middle-heavy, latency-heavy",
+    )
+
+
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="record the run with the observability layer "
+        "(metrics, spans, run manifest)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default="trace-out",
+        help="directory for trace.json / spans.jsonl / manifest.json "
+        "(default: trace-out)",
     )
 
 
@@ -91,9 +118,14 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     topology = build_reference_topology()
     service = ServiceSpec(deadline_ms=args.deadline_ms)
     flows = reference_flows()
+    obs = None
     if args.trace:
-        events, timeline = load_timeline(args.trace, topology)
-        print(f"replaying {args.trace}: {len(events)} events")
+        from repro.obs import Observability
+
+        obs = Observability()
+    if args.trace_file:
+        events, timeline = load_timeline(args.trace_file, topology)
+        print(f"replaying {args.trace_file}: {len(events)} events")
     else:
         scenario = _scenario(args)
         events, timeline = generate_timeline(topology, scenario, seed=args.seed)
@@ -113,6 +145,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         use_cache=not args.no_cache,
         cache_dir=args.cache_dir,
         label="cli evaluate",
+        obs=obs,
     )
     print()
     print(format_scheme_performance_table(result))
@@ -136,6 +169,21 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         export_scheme_performance(result, directory / "scheme_performance.csv")
         export_per_flow_coverage(result, directory / "per_flow_coverage.csv")
         print(f"\nwrote CSVs to {directory}/")
+    if obs is not None:
+        from repro.obs import RunManifest, topology_fingerprint
+
+        manifest = RunManifest(
+            label="evaluate",
+            seed=args.seed,
+            schemes=tuple(result.schemes),
+            flows=tuple(flow.name for flow in flows),
+            topology=topology_fingerprint(topology),
+            duration_s=timeline.duration_s,
+            exec=telemetry.to_dict(),
+        )
+        paths = obs.export(args.trace_out, manifest)
+        names = ", ".join(sorted(path.name for path in paths.values()))
+        print(f"\nwrote trace artifacts to {args.trace_out}/: {names}")
     return 0
 
 
@@ -218,6 +266,72 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.obs import read_manifest, read_spans_jsonl, write_chrome_trace
+    from repro.util.tables import render_table
+
+    directory = Path(args.dir)
+    if args.action == "summary":
+        manifest = read_manifest(directory / "manifest.json")
+        duration = (
+            f"{manifest.duration_s:g} s"
+            if manifest.duration_s is not None
+            else None
+        )
+        rows = [
+            ["label", manifest.label],
+            ["seed", manifest.seed],
+            ["schemes", ", ".join(manifest.schemes) or None],
+            ["flows", len(manifest.flows)],
+            ["topology", manifest.topology],
+            ["duration", duration],
+            ["spans recorded", manifest.spans.get("recorded", 0)],
+            ["spans dropped", manifest.spans.get("dropped", 0)],
+            ["flight triggers", manifest.flight.get("triggers", 0)],
+            ["metrics", len(manifest.metrics)],
+        ]
+        print(render_table(("run manifest", str(directory)), rows))
+        if args.prefix is not None:
+            print()
+            matching = sorted(
+                name
+                for name in manifest.metrics
+                if name.startswith(args.prefix)
+            )
+            if not matching:
+                print(f"no metrics match prefix {args.prefix!r}")
+            for name in matching:
+                summary = dict(manifest.metrics[name])
+                kind = summary.pop("type", "?")
+                fields = "  ".join(
+                    f"{key}={value:g}"
+                    if isinstance(value, float)
+                    else f"{key}={value}"
+                    for key, value in summary.items()
+                )
+                print(f"{name} [{kind}] {fields}")
+    elif args.action == "export":
+        spans = read_spans_jsonl(directory / "spans.jsonl")
+        out = Path(args.out) if args.out else directory / "trace.json"
+        write_chrome_trace(spans, out)
+        print(f"wrote {len(spans)} span(s) as Chrome trace events to {out}")
+    else:  # flight
+        snapshots = sorted(directory.glob("flight_*.json"))
+        if not snapshots:
+            print(f"no flight snapshots in {directory}/")
+        for path in snapshots:
+            payload = json.loads(path.read_text())
+            print(
+                f"{path.name}: t={payload.get('at_s', 0.0):.3f}s, "
+                f"{len(payload.get('spans', []))} span(s) -- "
+                f"{payload.get('reason')}"
+            )
+    return 0
+
+
 def _chaos_flows(args: argparse.Namespace):
     flows = reference_flows()
     if not args.flows:
@@ -268,17 +382,31 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         f"chaos run: seed {args.seed}, {args.duration:g}s, "
         f"{len(schedule)} fault(s), schedule {schedule.fingerprint()}"
     )
+    obs = None
+    if args.trace:
+        from repro.obs import Observability
+
+        # Flight snapshots dump into the artifact directory the moment an
+        # invariant fires, not only at export time.
+        obs = Observability(flight_dir=args.trace_out)
     exit_code = 0
     rows = []
     for scheme in schemes:
         timeline = ConditionTimeline(topology, args.duration + 1.0)
+        if obs is not None:
+            obs.tracer.context = {"scheme": scheme}
         harness = build_overlay(
-            topology, timeline, flows, service, scheme, seed=args.seed
+            topology, timeline, flows, service, scheme, seed=args.seed, obs=obs
         )
         harness.start()
         harness.run(args.duration, faults=schedule)
         harness.stop_traffic()
         harness.invariants.check_convergence()
+        unhealthy = harness.flow_health()
+        if unhealthy:
+            _LOG.info(
+                "unhealthy flows under %s: %s", scheme, ", ".join(unhealthy)
+            )
         violations = harness.invariants.violations
         for flow in flows:
             report = harness.reports[flow.name]
@@ -289,10 +417,12 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         if violations:
             exit_code = 1
             for violation in violations:
-                print(
-                    f"INVARIANT [{scheme}] t={violation.at_s:.3f}s "
-                    f"{violation.invariant}: {violation.detail}",
-                    file=sys.stderr,
+                _LOG.error(
+                    "INVARIANT [%s] t=%.3fs %s: %s",
+                    scheme,
+                    violation.at_s,
+                    violation.invariant,
+                    violation.detail,
                 )
     print()
     print(f"{'scheme':<22} {'flow':<12} {'sent':>6} {'on-time':>8} "
@@ -302,8 +432,26 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             f"{scheme:<22} {flow:<12} {sent:>6} {on_time:>8} "
             f"{fraction:>9.3f} {violations:>11}"
         )
+    if obs is not None:
+        from repro.obs import RunManifest, topology_fingerprint
+
+        manifest = RunManifest(
+            label="chaos",
+            seed=args.seed,
+            schemes=tuple(schemes),
+            flows=tuple(flow.name for flow in flows),
+            topology=topology_fingerprint(topology),
+            duration_s=args.duration,
+            extra={
+                "schedule": schedule.fingerprint(),
+                "faults": len(schedule),
+            },
+        )
+        paths = obs.export(args.trace_out, manifest)
+        names = ", ".join(sorted(path.name for path in paths.values()))
+        print(f"\nwrote trace artifacts to {args.trace_out}/: {names}")
     if exit_code:
-        print("invariant violations detected", file=sys.stderr)
+        _LOG.error("invariant violations detected")
     return exit_code
 
 
@@ -312,6 +460,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-dgraphs",
         description="Dissemination-graph overlay transport (ICDCS 2017 reproduction)",
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=LOG_LEVELS,
+        default="warning",
+        help="stderr diagnostic verbosity (default: warning)",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -326,7 +480,10 @@ def build_parser() -> argparse.ArgumentParser:
         "evaluate", help="replay all routing schemes and print the tables"
     )
     _add_trace_arguments(evaluate)
-    evaluate.add_argument("--trace", help="replay this trace file instead")
+    evaluate.add_argument(
+        "--trace-file", help="replay this condition-trace file instead"
+    )
+    _add_obs_arguments(evaluate)
     evaluate.add_argument("--deadline-ms", type=float, default=65.0)
     evaluate.add_argument("--detection-delay-s", type=float, default=1.0)
     evaluate.add_argument(
@@ -409,6 +566,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=50.0,
         help="packet pacing (larger = faster simulation)",
     )
+    _add_obs_arguments(chaos)
     chaos.set_defaults(handler=_cmd_chaos)
 
     cache = subparsers.add_parser(
@@ -428,6 +586,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cache.set_defaults(handler=_cmd_cache)
 
+    obs = subparsers.add_parser(
+        "obs", help="inspect a traced run's observability artifacts"
+    )
+    obs.add_argument("action", choices=("summary", "export", "flight"))
+    obs.add_argument(
+        "dir", help="artifact directory written by --trace-out"
+    )
+    obs.add_argument(
+        "--prefix",
+        help="(summary) also print every metric whose name has this prefix "
+        "('' prints all)",
+    )
+    obs.add_argument(
+        "--out", help="(export) output path (default: <dir>/trace.json)"
+    )
+    obs.set_defaults(handler=_cmd_obs)
+
     return parser
 
 
@@ -435,12 +610,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    configure_logging(args.log_level)
     try:
         return args.handler(args)
     except (ValueError, OSError) as error:
         # Bad arguments or unreadable/unwritable inputs (missing trace,
         # permission-denied cache directory, ...): one line, no traceback.
-        print(f"error: {error}", file=sys.stderr)
+        _LOG.error("%s", error)
         return 2
 
 

@@ -24,7 +24,10 @@ import concurrent.futures
 import os
 import time
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (repro.obs is optional)
+    from repro.obs import Observability
 
 from repro.core.graph import Topology
 from repro.exec.cache import ResultCache
@@ -93,6 +96,7 @@ def _run_pooled(
     initargs: tuple,
     shard_timeout_s: float | None,
     retries: int,
+    obs: "Observability | None" = None,
 ) -> None:
     """Run ``pending`` on a worker pool; fall back serially on failure."""
     attempts = {shard: 0 for shard in pending}
@@ -143,6 +147,15 @@ def _run_pooled(
                     results[shard] = shard_result
                     telemetry.shards_run += 1
                     telemetry.shard_wall_s.append(shard_wall)
+                    if obs is not None:
+                        # Workers are separate processes; the span is
+                        # reconstructed parent-side from the returned wall
+                        # time, ending at the moment the result arrived.
+                        end = obs.tracer.now()
+                        obs.tracer.complete(
+                            "shard", "exec", end - shard_wall, end,
+                            shard=shard.label, mode="pool",
+                        )
             if broken:
                 executor.shutdown(wait=False, cancel_futures=True)
                 executor = None
@@ -176,16 +189,23 @@ def run_replay_parallel(
     retries: int = 1,
     executor_factory: Callable | None = None,
     label: str = "replay",
+    obs: "Observability | None" = None,
 ) -> tuple[ReplayResult, ExecTelemetry]:
     """Replay every flow under every scheme via the execution engine.
 
     Returns ``(result, telemetry)`` where ``result`` is exactly equal to
     ``run_replay``'s output on the same inputs.  ``max_workers=None``
     uses the machine's core count; ``0`` runs serially in-process.
+
+    ``obs`` (an :class:`repro.obs.Observability`) records shard spans,
+    cache-hit instants, ``exec.*`` counters mirroring the telemetry, and
+    per-scheme ``replay.*`` counters mirroring the merged totals.
     """
     require(bool(flows), "need at least one flow")
     require(bool(scheme_names), "need at least one scheme")
     require(retries >= 0, "retries must be >= 0")
+    if obs is not None and not obs.enabled:
+        obs = None
     if max_workers is None:
         max_workers = os.cpu_count() or 1
     started = time.perf_counter()
@@ -217,6 +237,8 @@ def run_replay_parallel(
             hit = cache.load(keys[shard])
             if hit is not None:
                 results[shard] = hit
+                if obs is not None:
+                    obs.tracer.instant("cache.hit", "exec", shard=shard.label)
         telemetry.shards_cached = len(results)
         telemetry.cache_corrupt = cache.corrupt - corrupt_before
 
@@ -228,8 +250,15 @@ def run_replay_parallel(
         if local_context is None:
             local_context = ShardContext(topology, timeline, service, config)
         shard_started = time.perf_counter()
+        span_start = obs.tracer.now() if obs is not None else 0.0
         result = local_context.run(shard)
-        telemetry.shard_wall_s.append(time.perf_counter() - shard_started)
+        shard_wall = time.perf_counter() - shard_started
+        telemetry.shard_wall_s.append(shard_wall)
+        if obs is not None:
+            obs.tracer.complete(
+                "shard", "exec", span_start, span_start + shard_wall,
+                shard=shard.label, mode="serial",
+            )
         return result
 
     if pending:
@@ -244,6 +273,7 @@ def run_replay_parallel(
                 (topology, timeline, service, config),
                 shard_timeout_s,
                 retries,
+                obs,
             )
         else:
             for shard in pending:
@@ -260,4 +290,34 @@ def run_replay_parallel(
     merged = merge_results(service, config, plan, results)
     telemetry.wall_time_s = time.perf_counter() - started
     record(telemetry)
+    if obs is not None:
+        _observe_run(obs, telemetry, merged)
     return merged, telemetry
+
+
+def _observe_run(
+    obs: "Observability", telemetry: ExecTelemetry, merged: ReplayResult
+) -> None:
+    """Mirror the run's telemetry and merged totals into the registry.
+
+    The ``replay.*`` counters duplicate ``merged.all_totals()`` exactly
+    (a test holds them to bitwise agreement), which is what lets a run
+    manifest reconcile against the replay result without re-running it.
+    """
+    metrics = obs.metrics
+    metrics.counter("exec.shards_total").inc(telemetry.shards_total)
+    metrics.counter("exec.shards_run").inc(telemetry.shards_run)
+    metrics.counter("exec.shards_cached").inc(telemetry.shards_cached)
+    metrics.counter("exec.shards_retried").inc(telemetry.shards_retried)
+    metrics.counter("exec.shards_fallback").inc(telemetry.shards_fallback)
+    for wall in telemetry.shard_wall_s:
+        metrics.histogram("exec.shard_wall_s").observe(wall)
+    for totals in merged.all_totals():
+        metrics.counter(f"replay.duration_s.{totals.scheme}").inc(
+            totals.duration_s
+        )
+        metrics.counter(f"replay.unavailable_s.{totals.scheme}").inc(
+            totals.unavailable_s
+        )
+        metrics.counter(f"replay.lost_s.{totals.scheme}").inc(totals.lost_s)
+        metrics.counter(f"replay.late_s.{totals.scheme}").inc(totals.late_s)

@@ -20,6 +20,7 @@ __all__ = [
     "reset_session",
     "session_records",
     "session_summary",
+    "session_totals",
 ]
 
 
@@ -78,6 +79,27 @@ class ExecTelemetry:
             self._rows(),
         )
 
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready form (embedded in run manifests and bench output)."""
+        executed = self.shards_run + self.shards_fallback
+        return {
+            "label": self.label,
+            "workers": self.workers,
+            "time_shards": self.time_shards,
+            "shards_total": self.shards_total,
+            "shards_run": self.shards_run,
+            "shards_cached": self.shards_cached,
+            "shards_retried": self.shards_retried,
+            "shards_fallback": self.shards_fallback,
+            "cache_corrupt": self.cache_corrupt,
+            "cache_evicted": self.cache_evicted,
+            "wall_time_s": self.wall_time_s,
+            "busy_s": self.busy_s,
+            "max_shard_s": max(self.shard_wall_s) if self.shard_wall_s else 0.0,
+            "mean_shard_s": self.busy_s / executed if executed else 0.0,
+            "utilization": self.utilization,
+        }
+
 
 # -- session aggregation ---------------------------------------------------------
 
@@ -99,8 +121,13 @@ def reset_session() -> None:
     _SESSION.clear()
 
 
-def session_summary() -> str | None:
-    """One aggregate table over every recorded invocation, or ``None``."""
+def session_totals() -> ExecTelemetry | None:
+    """Every counter summed across recorded invocations, or ``None``.
+
+    Cache-health counters (``cache_corrupt``/``cache_evicted``) are
+    aggregated along with the shard counters, so a corruption observed in
+    any run of the session survives into the aggregate record.
+    """
     if not _SESSION:
         return None
     total = ExecTelemetry(
@@ -118,4 +145,10 @@ def session_summary() -> str | None:
         total.cache_evicted += telemetry.cache_evicted
         total.wall_time_s += telemetry.wall_time_s
         total.shard_wall_s.extend(telemetry.shard_wall_s)
-    return total.summary_table()
+    return total
+
+
+def session_summary() -> str | None:
+    """One aggregate table over every recorded invocation, or ``None``."""
+    total = session_totals()
+    return None if total is None else total.summary_table()

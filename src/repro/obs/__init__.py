@@ -1,0 +1,69 @@
+"""repro.obs -- flight-recorder tracing, metrics, and run manifests.
+
+The observability layer answers the questions the aggregate tables
+cannot: *which link delayed which packet under which scheme*, how deep
+the event queue ran, which shard the execution engine spent its wall
+time on, and what the system was doing in the moments before a chaos
+invariant fired.
+
+Four pieces (see DESIGN.md S19):
+
+* :class:`MetricsRegistry` -- counters, gauges, and fixed-bucket
+  histograms with p50/p99/p999 summaries, registered by dotted name;
+* :class:`Tracer` + :class:`FlightRecorder` -- hierarchical spans keyed
+  off the run's clock, with a bounded ring buffer snapshotted when an
+  invariant fires or a flow goes unhealthy;
+* exporters -- Chrome ``trace_event`` JSON, a JSONL span log, and the
+  per-run ``manifest.json``;
+* :class:`Observability` -- the bundle instrumented components accept
+  (``obs=None`` everywhere means off and costs one identity check).
+"""
+
+from repro.obs.export import (
+    read_spans_jsonl,
+    spans_to_trace_events,
+    write_chrome_trace,
+    write_spans_jsonl,
+)
+from repro.obs.manifest import (
+    MANIFEST_VERSION,
+    RunManifest,
+    read_manifest,
+    topology_fingerprint,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+from repro.obs.runtime import NULL_OBS, Observability
+from repro.obs.trace import NULL_TRACER, FlightRecorder, NullTracer, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "DEFAULT_BUCKETS",
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "FlightRecorder",
+    "Observability",
+    "NULL_OBS",
+    "RunManifest",
+    "MANIFEST_VERSION",
+    "read_manifest",
+    "topology_fingerprint",
+    "spans_to_trace_events",
+    "write_chrome_trace",
+    "write_spans_jsonl",
+    "read_spans_jsonl",
+]

@@ -1,0 +1,129 @@
+"""Span-log exporters: Chrome ``trace_event`` JSON and JSONL.
+
+The Chrome format is the `trace_event` JSON-array flavour that both
+``chrome://tracing`` and Perfetto load directly: complete (``"X"``)
+events for intervals, instant (``"i"``) events for markers, with
+``process_name`` / ``thread_name`` metadata so categories and nodes show
+up as labelled tracks.  The JSONL form is one span per line, loss-free,
+and is what ``repro obs export`` converts from.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.obs.trace import Span
+
+__all__ = [
+    "spans_to_trace_events",
+    "write_chrome_trace",
+    "write_spans_jsonl",
+    "read_spans_jsonl",
+]
+
+#: Seconds -> trace_event microseconds.
+_US = 1e6
+
+
+def _track_label(span: Span) -> str:
+    """Which named track a span lands on inside its category's process."""
+    for key in ("node", "flow", "edge"):
+        value = span.args.get(key)
+        if value is not None:
+            return str(value)
+    return span.category
+
+
+def spans_to_trace_events(spans: Sequence[Span]) -> list[dict]:
+    """Spans -> Chrome ``trace_event`` dicts (with naming metadata)."""
+    events: list[dict] = []
+    pids: dict[str, int] = {}
+    tids: dict[tuple[int, str], int] = {}
+    for span in spans:
+        pid = pids.get(span.category)
+        if pid is None:
+            pid = len(pids) + 1
+            pids[span.category] = pid
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "process_name",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": span.category},
+                }
+            )
+        label = _track_label(span)
+        tid = tids.get((pid, label))
+        if tid is None:
+            tid = len([k for k in tids if k[0] == pid]) + 1
+            tids[(pid, label)] = tid
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": label},
+                }
+            )
+        end_s = span.end_s if span.end_s is not None else span.start_s
+        event = {
+            "name": span.name,
+            "cat": span.category,
+            "pid": pid,
+            "tid": tid,
+            "ts": span.start_s * _US,
+            "args": dict(span.args),
+        }
+        if end_s > span.start_s:
+            event["ph"] = "X"
+            event["dur"] = (end_s - span.start_s) * _US
+        else:
+            event["ph"] = "i"
+            event["s"] = "t"
+        if span.parent_id is not None:
+            event["args"]["parent_span"] = span.parent_id
+        event["args"]["span_id"] = span.span_id
+        events.append(event)
+    return events
+
+
+def write_chrome_trace(spans: Sequence[Span], path: str | Path) -> Path:
+    """Write a ``chrome://tracing`` / Perfetto-loadable trace JSON."""
+    path = Path(path)
+    payload = {
+        "displayTimeUnit": "ms",
+        "traceEvents": spans_to_trace_events(spans),
+    }
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def write_spans_jsonl(spans: Iterable[Span], path: str | Path) -> Path:
+    """Write the loss-free one-span-per-line log."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        for span in spans:
+            handle.write(json.dumps(span.to_dict(), sort_keys=True))
+            handle.write("\n")
+    return path
+
+
+def read_spans_jsonl(path: str | Path) -> list[Span]:
+    """Load a JSONL span log back into :class:`Span` objects."""
+    spans: list[Span] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                spans.append(Span.from_dict(json.loads(line)))
+            except (json.JSONDecodeError, KeyError, TypeError) as error:
+                raise ValueError(
+                    f"{path}:{line_number}: not a span log line ({error})"
+                ) from error
+    return spans

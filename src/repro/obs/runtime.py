@@ -1,0 +1,125 @@
+"""The observability bundle components are instrumented against.
+
+One :class:`Observability` object carries a metrics registry, a tracer,
+and a flight recorder, all sharing a clock.  Instrumented components
+accept ``obs: Observability | None``; ``None`` (the default everywhere)
+means *off* and costs a single identity check on the hot path.  A
+constructed-but-disabled bundle degrades to the no-op singletons, so
+``Observability(enabled=False)`` is also free after construction.
+
+``export`` writes the standard artifact set into one directory:
+
+* ``trace.json`` -- Chrome ``trace_event`` JSON (chrome://tracing, Perfetto);
+* ``spans.jsonl`` -- the loss-free span log;
+* ``manifest.json`` -- the run manifest;
+* ``flight_<k>.json`` -- any flight-recorder snapshots not yet dumped.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Callable, Mapping
+
+from repro.obs.export import write_chrome_trace, write_spans_jsonl
+from repro.obs.manifest import RunManifest
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.obs.trace import NULL_TRACER, FlightRecorder, Tracer
+
+__all__ = ["Observability", "NULL_OBS"]
+
+#: A flow whose on-time fraction falls below this triggers the recorder.
+DEFAULT_HEALTH_THRESHOLD = 0.9
+
+
+class Observability:
+    """Metrics + tracer + flight recorder behind one on/off switch."""
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        clock: Callable[[], float] = time.perf_counter,
+        flight_capacity: int = 256,
+        flight_dir: str | Path | None = None,
+        max_spans: int = 500_000,
+    ) -> None:
+        self.enabled = enabled
+        if enabled:
+            self.metrics: MetricsRegistry = MetricsRegistry()
+            self.flight: FlightRecorder | None = FlightRecorder(
+                flight_capacity, dump_dir=flight_dir
+            )
+            self.tracer: Tracer = Tracer(
+                clock, recorder=self.flight, max_spans=max_spans
+            )
+        else:
+            self.metrics = NULL_REGISTRY
+            self.flight = None
+            self.tracer = NULL_TRACER
+
+    def set_clock(self, clock: Callable[[], float]) -> None:
+        """Re-point the tracer's clock (fresh kernel per scheme run)."""
+        if self.enabled:
+            self.tracer.set_clock(clock)
+
+    # -- health-triggered flight dumps ---------------------------------------------
+
+    def check_flow_health(
+        self,
+        on_time_fractions: Mapping[str, float],
+        threshold: float = DEFAULT_HEALTH_THRESHOLD,
+    ) -> list[str]:
+        """Trigger a flight snapshot for every flow below ``threshold``.
+
+        Returns the unhealthy flow names (empty when all flows are fine
+        or observability is off).
+        """
+        if not self.enabled:
+            return []
+        unhealthy = sorted(
+            name
+            for name, fraction in on_time_fractions.items()
+            if fraction < threshold
+        )
+        for name in unhealthy:
+            self.metrics.counter("obs.flight.unhealthy_flows").inc()
+            self.flight.trigger(
+                f"flow {name} on-time fraction "
+                f"{on_time_fractions[name]:.3f} < {threshold:.3f}",
+                at_s=self.tracer.now(),
+            )
+        return unhealthy
+
+    # -- artifact export -----------------------------------------------------------
+
+    def export(self, out_dir: str | Path, manifest: RunManifest) -> dict[str, Path]:
+        """Write trace.json / spans.jsonl / manifest.json (+ flight dumps).
+
+        The manifest's ``metrics``, ``spans``, and ``flight`` sections are
+        filled in from the live registry/tracer/recorder before writing,
+        so callers only supply the run-identity fields.
+        """
+        out = Path(out_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        paths: dict[str, Path] = {}
+        if not self.enabled:
+            manifest.write(out / "manifest.json")
+            paths["manifest"] = out / "manifest.json"
+            return paths
+        self.tracer.finalize()
+        manifest.metrics = dict(self.metrics.summarize())
+        manifest.spans = {
+            "recorded": len(self.tracer.spans),
+            "dropped": self.tracer.dropped,
+        }
+        manifest.flight = {"triggers": self.flight.triggers}
+        paths["trace"] = write_chrome_trace(self.tracer.spans, out / "trace.json")
+        paths["spans"] = write_spans_jsonl(self.tracer.spans, out / "spans.jsonl")
+        paths["manifest"] = manifest.write(out / "manifest.json")
+        for dumped in self.flight.dump_pending(out):
+            paths[dumped.stem] = dumped
+        return paths
+
+
+#: Process-wide disabled bundle (no-op registry and tracer).
+NULL_OBS = Observability(enabled=False)

@@ -109,11 +109,14 @@ class FlowRoutingDaemon:
             self.node.kernel.schedule(self.update_interval_s, self._tick)
             return
         observed = self.node.observed_view()
+        obs = self.node.network.obs
         try:
             graph = self.policy.update(self.node.kernel.now, observed)
         except Exception:
             # A sick policy must not take the data plane down with it.
             self.policy_errors += 1
+            if obs is not None:
+                obs.metrics.counter("routing.policy_errors").inc()
             graph = self._decision.graph
         if graph != self._decision.graph:
             if not graph_connects(graph, observed) and graph_connects(
@@ -122,13 +125,28 @@ class FlowRoutingDaemon:
                 # The candidate is dead on arrival by our own view while
                 # the installed graph still has a live route: hold it.
                 self.fallbacks += 1
+                if obs is not None:
+                    obs.metrics.counter("routing.fallbacks").inc()
+                    obs.tracer.instant(
+                        "reroute.fallback", "routing", flow=self.flow.name,
+                        held=self._decision.graph.name,
+                        rejected=graph.name,
+                    )
             else:
+                previous = self._decision.graph.name
                 self._decision = _Decision(
                     graph,
                     encode_graph(self.node.topology, graph),
                     self.node.kernel.now,
                 )
                 self.graph_switches += 1
+                if obs is not None:
+                    obs.metrics.counter("routing.switches").inc()
+                    obs.tracer.instant(
+                        "reroute", "routing", flow=self.flow.name,
+                        from_graph=previous, to_graph=graph.name,
+                        observed_edges=len(observed),
+                    )
         self.node.kernel.schedule(self.update_interval_s, self._tick)
 
     # -- queries -----------------------------------------------------------------

@@ -44,6 +44,8 @@ class OverlayHarness:
     # loosely because repro.chaos imports this module.
     injector: object | None = None
     invariants: object | None = None
+    # Observability bundle (None = off); shared by kernel, network, nodes.
+    obs: object | None = None
 
     def add_flow(
         self,
@@ -99,10 +101,44 @@ class OverlayHarness:
                 "this harness already has a fault schedule installed",
             )
             self.invariants = InvariantChecker().attach(self, faults)
+            if self.obs is not None:
+                self.invariants.taps.append(self._on_violation)
             injector = ChaosInjector(self, faults)
             injector.install()
             self.injector = injector
         return self.kernel.run_until(self.kernel.now + duration_s, max_events)
+
+    def _on_violation(self, violation) -> None:
+        """Invariant breach: record it and snapshot the flight recorder."""
+        obs = self.obs
+        obs.metrics.counter("chaos.invariant_violations").inc()
+        obs.tracer.instant(
+            "invariant.violation",
+            "chaos",
+            invariant=violation.invariant,
+            detail=violation.detail,
+        )
+        obs.flight.trigger(
+            f"invariant {violation.invariant}: {violation.detail}",
+            at_s=violation.at_s,
+        )
+
+    def flow_health(self, threshold: float = 0.9) -> list[str]:
+        """Names of flows below ``threshold`` on-time fraction.
+
+        With observability attached each unhealthy flow also triggers a
+        flight-recorder snapshot, preserving the tail of activity that
+        led to the degradation.
+        """
+        fractions = {
+            name: report.on_time_fraction
+            for name, report in self.reports.items()
+        }
+        if self.obs is not None:
+            return self.obs.check_flow_health(fractions, threshold)
+        return sorted(
+            name for name, value in fractions.items() if value < threshold
+        )
 
     def stop_traffic(self) -> None:
         """Stop every sending application (daemons keep running)."""
@@ -133,16 +169,29 @@ def build_overlay(
     seed: int = 0,
     node_config: NodeConfig = NodeConfig(),
     update_interval_s: float = 0.5,
+    obs: object | None = None,
 ) -> OverlayHarness:
-    """Build a whole overlay with one daemon per site and the given flows."""
+    """Build a whole overlay with one daemon per site and the given flows.
+
+    ``obs`` (an :class:`repro.obs.Observability`) instruments the kernel,
+    the network, and every node; its tracer clock is re-pointed at this
+    harness's kernel.  ``None`` builds the uninstrumented overlay.
+    """
     require(topology.frozen, "harness requires a frozen topology")
+    if obs is not None and not getattr(obs, "enabled", False):
+        obs = None
     kernel = EventKernel()
-    network = SimNetwork(topology, timeline, kernel, seed=seed)
+    if obs is not None:
+        obs.set_clock(lambda: kernel.now)
+        kernel.attach_obs(obs)
+    network = SimNetwork(topology, timeline, kernel, seed=seed, obs=obs)
     nodes = {
         node_id: OverlayNode(node_id, topology, network, kernel, node_config)
         for node_id in topology.nodes
     }
-    harness = OverlayHarness(topology, timeline, kernel, network, nodes)
+    harness = OverlayHarness(
+        topology, timeline, kernel, network, nodes, obs=obs
+    )
     service = service or ServiceSpec()
     for flow in flows:
         harness.add_flow(flow, service, scheme, update_interval_s)

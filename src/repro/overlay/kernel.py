@@ -9,9 +9,12 @@ converted at the network layer.
 from __future__ import annotations
 
 import heapq
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.util.validation import require
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (repro.obs is optional)
+    from repro.obs import Observability
 
 __all__ = ["EventKernel"]
 
@@ -24,6 +27,25 @@ class EventKernel:
         self._sequence = 0
         self._queue: list[tuple[float, int, Callable[[], None]]] = []
         self._processed = 0
+        # Observability (None = off, the cost of one identity check).
+        self._obs: "Observability | None" = None
+        self._enqueued_at: dict[int, float] = {}
+
+    def attach_obs(self, obs: "Observability | None") -> None:
+        """Instrument the event loop (queue depth, per-event lag).
+
+        Lag is simulation-time waiting: how far ahead of its enqueue
+        moment an event fires.  Attaching a disabled bundle is a no-op.
+        """
+        self._obs = obs if obs is not None and obs.enabled else None
+
+    def _observe_event(self, time_s: float, sequence: int) -> None:
+        metrics = self._obs.metrics
+        metrics.counter("kernel.events").inc()
+        metrics.histogram("kernel.queue_depth").observe(float(len(self._queue)))
+        metrics.histogram("kernel.lag_s").observe(
+            time_s - self._enqueued_at.pop(sequence, time_s)
+        )
 
     @property
     def now(self) -> float:
@@ -51,6 +73,8 @@ class EventKernel:
             time_s >= self._now,
             f"cannot schedule at {time_s} before now ({self._now})",
         )
+        if self._obs is not None:
+            self._enqueued_at[self._sequence] = self._now
         heapq.heappush(self._queue, (time_s, self._sequence, action))
         self._sequence += 1
 
@@ -64,8 +88,10 @@ class EventKernel:
         while self._queue and self._queue[0][0] <= end_s:
             if max_events is not None and fired >= max_events:
                 break
-            time_s, _seq, action = heapq.heappop(self._queue)
+            time_s, seq, action = heapq.heappop(self._queue)
             self._now = time_s
+            if self._obs is not None:
+                self._observe_event(time_s, seq)
             action()
             fired += 1
             self._processed += 1
@@ -77,8 +103,10 @@ class EventKernel:
         """Drain the queue entirely (bounded); returns events processed."""
         fired = 0
         while self._queue and fired < max_events:
-            time_s, _seq, action = heapq.heappop(self._queue)
+            time_s, seq, action = heapq.heappop(self._queue)
             self._now = time_s
+            if self._obs is not None:
+                self._observe_event(time_s, seq)
             action()
             fired += 1
             self._processed += 1

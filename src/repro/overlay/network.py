@@ -18,12 +18,15 @@ not silently mutated.
 
 from __future__ import annotations
 
-from typing import Callable, Protocol
+from typing import TYPE_CHECKING, Callable, Protocol
 
 from repro.core.graph import Edge, NodeId, Topology
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (repro.obs is optional)
+    from repro.obs import Observability
 from repro.netmodel.conditions import ConditionTimeline
 from repro.overlay.kernel import EventKernel
-from repro.overlay.messages import seal
+from repro.overlay.messages import DataPacket, seal
 from repro.util.rng import DeterministicStream
 from repro.util.validation import require
 
@@ -82,6 +85,7 @@ class SimNetwork:
         kernel: EventKernel,
         seed: int = 0,
         jitter_ms: float = 0.3,
+        obs: "Observability | None" = None,
     ) -> None:
         require(topology.frozen, "network requires a frozen topology")
         self.topology = topology
@@ -94,6 +98,10 @@ class SimNetwork:
         self._message_counter = 0
         #: Optional fault layer (installed by a chaos injector).
         self.chaos: ChaosPlane | None = None
+        #: Observability (None = off; one identity check per send).
+        self.obs: "Observability | None" = (
+            obs if obs is not None and obs.enabled else None
+        )
         # Statistics, per directed edge.
         self.sent: dict[Edge, int] = {}
         self.dropped: dict[Edge, int] = {}
@@ -123,8 +131,12 @@ class SimNetwork:
         self._message_counter += 1
         message_id = self._message_counter
         self.sent[edge] = self.sent.get(edge, 0) + 1
+        if self.obs is not None:
+            self._observe_send(edge, message)
         if self.chaos is not None and self.chaos.blocked(edge):
             self.blackholed += 1
+            if self.obs is not None:
+                self._observe_loss(edge, message, "hop.blackholed")
             return
         now = self.kernel.now
         state = self.timeline.state_at(edge, min(now, self.timeline.duration_s))
@@ -132,6 +144,8 @@ class SimNetwork:
             state.loss_rate, "drop", edge, message_id
         ):
             self.dropped[edge] = self.dropped.get(edge, 0) + 1
+            if self.obs is not None:
+                self._observe_loss(edge, message, "hop.drop")
             return
         latency_ms = self.topology.latency(*edge) + state.extra_latency_ms
         if self.jitter_ms > 0.0:
@@ -140,7 +154,11 @@ class SimNetwork:
             )
         sink = self._sinks.get(to_node)
         if sink is None:
+            if self.obs is not None:
+                self._observe_loss(edge, message, "hop.to_crashed")
             return
+        if self.obs is not None:
+            self._observe_hop(edge, message, latency_ms)
         if self.chaos is None:
             deliver: Callable[[], None] = lambda: sink.receive(from_node, message)
             self.kernel.schedule(latency_ms / 1000.0, deliver)
@@ -175,6 +193,58 @@ class SimNetwork:
                 delay_ms / 1000.0,
                 lambda f=delivered: sink.receive(from_node, f),
             )
+
+    # -- observability -----------------------------------------------------------
+    #
+    # Per-link counters mirror the ``sent``/``dropped`` dicts exactly (a
+    # test holds them to bitwise agreement), and each data-packet hop
+    # becomes a span linked to its packet's journey span, which is what
+    # lets a trace answer "which link delayed which packet".
+
+    @staticmethod
+    def _edge_label(edge: Edge) -> str:
+        return f"{edge[0]}->{edge[1]}"
+
+    def _observe_send(self, edge: Edge, message: object) -> None:
+        metrics = self.obs.metrics
+        metrics.counter(f"net.sent.{self._edge_label(edge)}").inc()
+        metrics.counter(f"net.kind.{type(message).__name__}").inc()
+
+    def _observe_loss(self, edge: Edge, message: object, reason: str) -> None:
+        label = self._edge_label(edge)
+        if reason == "hop.drop":
+            self.obs.metrics.counter(f"net.dropped.{label}").inc()
+        else:
+            self.obs.metrics.counter(f"net.lost.{reason}").inc()
+        if isinstance(message, DataPacket):
+            self.obs.tracer.instant(
+                reason,
+                "net",
+                parent_id=self.obs.tracer.parent_id(
+                    ("pkt", message.flow, message.sequence)
+                ),
+                edge=label,
+                flow=message.flow,
+                seq=message.sequence,
+            )
+
+    def _observe_hop(self, edge: Edge, message: object, latency_ms: float) -> None:
+        if not isinstance(message, DataPacket):
+            return
+        now = self.kernel.now
+        self.obs.tracer.complete(
+            "hop",
+            "net",
+            now,
+            now + latency_ms / 1000.0,
+            parent_id=self.obs.tracer.parent_id(
+                ("pkt", message.flow, message.sequence)
+            ),
+            edge=self._edge_label(edge),
+            flow=message.flow,
+            seq=message.sequence,
+            latency_ms=latency_ms,
+        )
 
     # -- stats -------------------------------------------------------------------
 

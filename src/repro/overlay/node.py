@@ -321,6 +321,13 @@ class OverlayNode:
         monitor = self._monitors[neighbor]
         monitor.declared_dead = True
         self.stats["neighbors_declared_dead"] += 1
+        obs = self.network.obs
+        if obs is not None:
+            obs.metrics.counter("node.neighbors_declared_dead").inc()
+            obs.tracer.instant(
+                "monitor.declare_dead", "control", node=self.node_id,
+                neighbor=neighbor,
+            )
         # Advertise the link as fully lossy regardless of the window
         # estimate -- consecutive silence is stronger evidence than the
         # sliding window, which still remembers pre-outage acks.
@@ -345,6 +352,13 @@ class OverlayNode:
         # fresh evidence rather than after a full window of new probes.
         monitor.outcomes.clear()
         self.stats["neighbors_declared_alive"] += 1
+        obs = self.network.obs
+        if obs is not None:
+            obs.metrics.counter("node.neighbors_declared_alive").inc()
+            obs.tracer.instant(
+                "monitor.declare_alive", "control", node=self.node_id,
+                neighbor=neighbor,
+            )
 
     def _record_outcome(self, neighbor: NodeId, sequence: int, acked: bool) -> None:
         monitor = self._monitors[neighbor]
@@ -440,6 +454,19 @@ class OverlayNode:
         if existing is not None and existing.sequence >= update.sequence:
             return  # old news
         self._lsdb[key] = update
+        obs = self.network.obs
+        if obs is not None:
+            name = "lsa.originate" if flood_from is None else "lsa.accept"
+            obs.metrics.counter(f"node.{name}").inc()
+            obs.tracer.instant(
+                name,
+                "control",
+                node=self.node_id,
+                originator=update.originator,
+                edge=f"{update.edge[0]}->{update.edge[1]}",
+                seq=update.sequence,
+                loss=update.loss_rate,
+            )
         for tap in self.lsa_taps:
             tap(self, update, existing)
         for neighbor in self._neighbors:
@@ -496,11 +523,25 @@ class OverlayNode:
     def originate(self, packet: DataPacket) -> None:
         """Inject a locally generated packet (called by the sending app)."""
         require(packet.source == self.node_id, "originate() at the wrong node")
+        obs = self.network.obs
         if not self._running:
             # A crashed process cannot put packets on the wire; the
             # sending app's counter still records them as sent-and-lost.
             self.stats["originates_dropped"] += 1
+            if obs is not None:
+                obs.metrics.counter("node.originates_dropped").inc()
             return
+        if obs is not None:
+            # Root of the packet's span hierarchy: every hop on every
+            # link links back to this journey span.
+            obs.tracer.open(
+                ("pkt", packet.flow, packet.sequence),
+                "packet.journey",
+                "data",
+                flow=packet.flow,
+                seq=packet.sequence,
+                node=self.node_id,
+            )
         self._handle_data(packet, from_node=None)
 
     def _first_sighting(self, flow: str, sequence: int) -> bool:
@@ -530,11 +571,25 @@ class OverlayNode:
             self.network.send(
                 self.node_id, from_node, LinkAck(self.node_id, packet.flow, packet.sequence)
             )
+        obs = self.network.obs
         if not self._first_sighting(packet.flow, packet.sequence):
             self.stats["duplicates_suppressed"] += 1
+            if obs is not None:
+                obs.metrics.counter("node.duplicates_suppressed").inc()
             return
         if packet.destination == self.node_id:
             self.stats["data_delivered"] += 1
+            if obs is not None:
+                latency_ms = (self.kernel.now - packet.sent_at_s) * 1000.0
+                obs.metrics.counter("node.delivered").inc()
+                obs.metrics.histogram(f"flow.latency_ms.{packet.flow}").observe(
+                    latency_ms
+                )
+                obs.tracer.close(
+                    ("pkt", packet.flow, packet.sequence),
+                    delivered_at=self.node_id,
+                    latency_ms=latency_ms,
+                )
             for tap in self.delivery_taps:
                 tap(self, packet, self.kernel.now)
             callback = self._delivery_callbacks.get(packet.flow)

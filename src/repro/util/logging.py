@@ -1,0 +1,64 @@
+"""Structured stderr logging for the command-line entry points.
+
+The CLI historically used bare ``print(..., file=sys.stderr)`` for its
+error paths.  This module keeps the exact output contract -- one
+``level: message`` line on stderr, no tracebacks -- while routing it
+through the standard :mod:`logging` machinery, so ``--log-level debug``
+can surface diagnostics and library code can log without knowing
+whether it runs under the CLI, pytest, or an importing script.
+
+The handler resolves ``sys.stderr`` at emit time (not at configuration
+time) so pytest's capture fixtures see the output, and the logger
+propagates so ``caplog`` keeps working.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["LOG_LEVELS", "configure_logging", "get_logger"]
+
+#: Accepted ``--log-level`` values, least to most verbose-suppressing.
+LOG_LEVELS = ("debug", "info", "warning", "error")
+
+_ROOT_NAME = "repro"
+
+
+class _DynamicStderrHandler(logging.Handler):
+    """Writes to whatever ``sys.stderr`` is *now* (capsys-friendly)."""
+
+    def emit(self, record: logging.LogRecord) -> None:
+        try:
+            sys.stderr.write(self.format(record) + "\n")
+        except Exception:  # pragma: no cover - never raise from logging
+            self.handleError(record)
+
+
+class _LevelPrefixFormatter(logging.Formatter):
+    """``error: message`` -- the CLI's historical one-line format."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        return f"{record.levelname.lower()}: {record.getMessage()}"
+
+
+def configure_logging(level: str = "warning") -> logging.Logger:
+    """Set up the ``repro`` logger hierarchy for CLI use; idempotent."""
+    if level not in LOG_LEVELS:
+        raise ValueError(
+            f"unknown log level {level!r}; choose from {', '.join(LOG_LEVELS)}"
+        )
+    logger = logging.getLogger(_ROOT_NAME)
+    logger.setLevel(getattr(logging, level.upper()))
+    if not any(
+        isinstance(handler, _DynamicStderrHandler) for handler in logger.handlers
+    ):
+        handler = _DynamicStderrHandler()
+        handler.setFormatter(_LevelPrefixFormatter())
+        logger.addHandler(handler)
+    return logger
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A child of the ``repro`` logger (``name`` without the prefix)."""
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")

@@ -1,0 +1,83 @@
+"""Engine observability: shard spans, cache-hit instants, replay counters."""
+
+from __future__ import annotations
+
+from repro.exec.cache import ResultCache
+from repro.exec.engine import run_replay_parallel
+from repro.obs import Observability
+
+from tests.exec.test_engine import small_case
+from tests.exec.test_plan import SMALL_SCHEMES
+
+
+def _run(obs, cache_dir=None, use_cache=False, **kwargs):
+    topology, timeline, flows, service = small_case()
+    return run_replay_parallel(
+        topology,
+        timeline,
+        flows,
+        service,
+        scheme_names=SMALL_SCHEMES,
+        max_workers=0,
+        use_cache=use_cache,
+        cache=ResultCache(str(cache_dir)) if cache_dir else None,
+        obs=obs,
+        **kwargs,
+    )
+
+
+class TestReplayCounters:
+    def test_counters_mirror_merged_totals_exactly(self):
+        obs = Observability()
+        result, _telemetry = _run(obs)
+        for totals in result.all_totals():
+            scheme = totals.scheme
+            assert (
+                obs.metrics.value(f"replay.duration_s.{scheme}")
+                == totals.duration_s
+            )
+            assert (
+                obs.metrics.value(f"replay.unavailable_s.{scheme}")
+                == totals.unavailable_s
+            )
+            assert obs.metrics.value(f"replay.lost_s.{scheme}") == totals.lost_s
+            assert obs.metrics.value(f"replay.late_s.{scheme}") == totals.late_s
+
+    def test_exec_counters_mirror_telemetry(self):
+        obs = Observability()
+        _result, telemetry = _run(obs)
+        assert obs.metrics.value("exec.shards_total") == telemetry.shards_total
+        assert obs.metrics.value("exec.shards_run") == telemetry.shards_run
+        wall = obs.metrics.summarize()["exec.shard_wall_s"]
+        assert wall["count"] == len(telemetry.shard_wall_s)
+
+
+class TestShardSpans:
+    def test_serial_shards_traced(self):
+        obs = Observability()
+        _result, telemetry = _run(obs)
+        shards = [s for s in obs.tracer.spans if s.name == "shard"]
+        assert len(shards) == telemetry.shards_run
+        assert all(s.args["mode"] == "serial" for s in shards)
+        assert all(s.duration_s >= 0.0 for s in shards)
+
+    def test_cache_hits_become_instants(self, tmp_path):
+        _run(None, cache_dir=tmp_path, use_cache=True)
+        obs = Observability()
+        _result, telemetry = _run(obs, cache_dir=tmp_path, use_cache=True)
+        assert telemetry.shards_cached == telemetry.shards_total
+        hits = [s for s in obs.tracer.spans if s.name == "cache.hit"]
+        assert len(hits) == telemetry.shards_cached
+
+    def test_disabled_obs_records_nothing(self):
+        obs = Observability(enabled=False)
+        _run(obs)
+        assert obs.metrics.summarize() == {}
+        assert obs.tracer.spans == []
+
+    def test_result_unchanged_by_observation(self):
+        plain, _ = _run(None)
+        observed, _ = _run(Observability())
+        from tests.exec.test_plan import assert_exactly_equal
+
+        assert_exactly_equal(plain, observed)

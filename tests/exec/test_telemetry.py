@@ -1,0 +1,90 @@
+"""Telemetry records: dict form and session aggregation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exec.telemetry import (
+    ExecTelemetry,
+    record,
+    reset_session,
+    session_records,
+    session_summary,
+    session_totals,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_session():
+    reset_session()
+    yield
+    reset_session()
+
+
+def _telemetry(**overrides) -> ExecTelemetry:
+    telemetry = ExecTelemetry(
+        label="t",
+        workers=2,
+        shards_total=4,
+        shards_run=3,
+        shards_cached=1,
+        wall_time_s=1.0,
+        shard_wall_s=[0.25, 0.25, 0.5],
+    )
+    for name, value in overrides.items():
+        setattr(telemetry, name, value)
+    return telemetry
+
+
+class TestToDict:
+    def test_all_counters_present(self):
+        payload = _telemetry(cache_corrupt=2, cache_evicted=3).to_dict()
+        assert payload["shards_total"] == 4
+        assert payload["cache_corrupt"] == 2
+        assert payload["cache_evicted"] == 3
+        assert payload["busy_s"] == 1.0
+        assert payload["max_shard_s"] == 0.5
+
+    def test_json_safe(self):
+        import json
+
+        json.dumps(_telemetry().to_dict())
+
+    def test_empty_record(self):
+        payload = ExecTelemetry().to_dict()
+        assert payload["mean_shard_s"] == 0.0
+        assert payload["utilization"] == 0.0
+
+
+class TestSessionAggregation:
+    def test_totals_sum_every_counter(self):
+        record(_telemetry(cache_corrupt=1, cache_evicted=2))
+        record(_telemetry(cache_corrupt=3, cache_evicted=0, shards_retried=1))
+        total = session_totals()
+        assert total.shards_total == 8
+        assert total.shards_run == 6
+        assert total.shards_cached == 2
+        assert total.shards_retried == 1
+        # Cache-health counters must survive aggregation: a corruption
+        # seen in any run of the session shows in the aggregate.
+        assert total.cache_corrupt == 4
+        assert total.cache_evicted == 2
+        assert total.wall_time_s == 2.0
+        assert len(total.shard_wall_s) == 6
+
+    def test_totals_none_when_empty(self):
+        assert session_totals() is None
+        assert session_summary() is None
+
+    def test_summary_table_shows_aggregated_cache_health(self):
+        record(_telemetry(cache_corrupt=1))
+        record(_telemetry(cache_corrupt=2, cache_evicted=5))
+        collapsed = " ".join(session_summary().split())
+        assert "corrupt cache entries 3" in collapsed
+        assert "cache entries evicted 5" in collapsed
+
+    def test_records_are_immutable_view(self):
+        record(_telemetry())
+        assert len(session_records()) == 1
+        reset_session()
+        assert session_records() == ()

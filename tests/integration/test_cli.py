@@ -82,7 +82,7 @@ class TestTraceCommands:
         trace = tmp_path / "t.jsonl"
         main(["generate-trace", str(trace), "--weeks", "0.05", "--seed", "3"])
         capsys.readouterr()
-        assert main(["evaluate", "--trace", str(trace)]) == 0
+        assert main(["evaluate", "--trace-file", str(trace)]) == 0
         output = capsys.readouterr().out
         assert "targeted" in output
         assert "gap cov %" in output

@@ -25,19 +25,19 @@ class TestGracefulErrors:
     def test_malformed_trace_file(self, tmp_path, capsys):
         bad = tmp_path / "bad.jsonl"
         bad.write_text('{"format": "something-else"}\n')
-        code = main(["evaluate", "--trace", str(bad)])
+        code = main(["evaluate", "--trace-file", str(bad)])
         assert code == 2
         assert "not a repro-dgraphs" in capsys.readouterr().err
 
     def test_unreadable_trace_path_is_one_line(self, tmp_path, capsys):
-        code = main(["evaluate", "--trace", str(tmp_path / "missing.jsonl")])
+        code = main(["evaluate", "--trace-file", str(tmp_path / "missing.jsonl")])
         assert code == 2
         err = capsys.readouterr().err
         assert err.startswith("error:")
         assert "Traceback" not in err
 
     def test_trace_path_is_a_directory(self, tmp_path, capsys):
-        code = main(["evaluate", "--trace", str(tmp_path)])
+        code = main(["evaluate", "--trace-file", str(tmp_path)])
         assert code == 2
         assert "error:" in capsys.readouterr().err
 

@@ -1,0 +1,174 @@
+"""CLI observability: ``--trace`` runs, the ``obs`` subcommand, logging."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.obs import read_manifest
+
+EVALUATE = ["evaluate", "--weeks", "0.02", "--seed", "5", "--no-cache"]
+
+
+class TestParser:
+    def test_trace_flags_parse(self):
+        parsed = build_parser().parse_args(
+            EVALUATE + ["--trace", "--trace-out", "artifacts"]
+        )
+        assert parsed.trace is True
+        assert parsed.trace_out == "artifacts"
+
+    def test_trace_defaults_off(self):
+        parsed = build_parser().parse_args(["evaluate"])
+        assert parsed.trace is False
+        assert parsed.trace_out == "trace-out"
+
+    def test_obs_subcommand_registered(self):
+        parsed = build_parser().parse_args(["obs", "summary", "some-dir"])
+        assert parsed.command == "obs"
+        assert parsed.action == "summary"
+        assert parsed.dir == "some-dir"
+
+    def test_log_level_choices(self):
+        parsed = build_parser().parse_args(
+            ["--log-level", "debug", "graphs", "NYC", "SJC"]
+        )
+        assert parsed.log_level == "debug"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["--log-level", "loud", "graphs", "NYC", "SJC"]
+            )
+
+
+class TestEvaluateTrace:
+    @pytest.fixture(scope="class")
+    def artifacts(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("trace-out")
+        assert main(EVALUATE + ["--trace", "--trace-out", str(out)]) == 0
+        return out
+
+    def test_writes_all_three_artifacts(self, artifacts):
+        for name in ("trace.json", "spans.jsonl", "manifest.json"):
+            assert (artifacts / name).exists()
+
+    def test_chrome_trace_loadable(self, artifacts):
+        payload = json.loads((artifacts / "trace.json").read_text())
+        assert payload["displayTimeUnit"] == "ms"
+        events = payload["traceEvents"]
+        assert events
+        assert {event["ph"] for event in events} <= {"M", "X", "i"}
+        for event in events:
+            if event["ph"] == "X":
+                assert event["dur"] >= 0
+
+    def test_manifest_identity_fields(self, artifacts):
+        manifest = read_manifest(artifacts / "manifest.json")
+        assert manifest.label == "evaluate"
+        assert manifest.seed == 5
+        assert manifest.schemes
+        assert manifest.flows
+        assert manifest.exec["shards_run"] > 0
+        assert manifest.spans["recorded"] > 0
+
+    def test_replay_counters_reconcile(self, artifacts):
+        """Per-scheme replay.* counters in the manifest form a coherent
+        accounting: every scheme replayed the same flow-seconds, and the
+        problem time never exceeds it.  (Bitwise agreement with
+        ``ReplayResult.all_totals()`` is locked down at the engine level
+        in tests/exec/test_engine_obs.py.)"""
+        manifest = read_manifest(artifacts / "manifest.json")
+        durations = set()
+        for scheme in manifest.schemes:
+            duration = manifest.metrics[f"replay.duration_s.{scheme}"]["value"]
+            durations.add(duration)
+            for kind in ("unavailable_s", "lost_s", "late_s"):
+                value = manifest.metrics[f"replay.{kind}.{scheme}"]["value"]
+                assert 0.0 <= value <= duration
+        assert len(durations) == 1
+
+    def test_obs_summary(self, artifacts, capsys):
+        assert main(["obs", "summary", str(artifacts)]) == 0
+        output = capsys.readouterr().out
+        assert "run manifest" in output
+        assert "spans recorded" in output
+
+    def test_obs_summary_prefix(self, artifacts, capsys):
+        assert main(
+            ["obs", "summary", str(artifacts), "--prefix", "replay."]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "replay.duration_s." in output
+        assert "[counter]" in output
+
+    def test_obs_export_reproduces_trace(self, artifacts, tmp_path, capsys):
+        out = tmp_path / "rebuilt.json"
+        assert main(
+            ["obs", "export", str(artifacts), "--out", str(out)]
+        ) == 0
+        rebuilt = json.loads(out.read_text())
+        direct = json.loads((artifacts / "trace.json").read_text())
+        assert rebuilt == direct
+
+    def test_untraced_run_writes_nothing(self, tmp_path, capsys):
+        assert main(EVALUATE + ["--trace-out", str(tmp_path / "off")]) == 0
+        assert "wrote trace artifacts" not in capsys.readouterr().out
+        assert not (tmp_path / "off").exists()
+
+
+class TestChaosTrace:
+    def test_chaos_trace_writes_artifacts(self, tmp_path, capsys):
+        out = tmp_path / "chaos-out"
+        code = main(
+            [
+                "chaos",
+                "--duration",
+                "20",
+                "--seed",
+                "7",
+                "--crashes",
+                "0",
+                "--schemes",
+                "static-single",
+                "--trace",
+                "--trace-out",
+                str(out),
+            ]
+        )
+        assert code in (0, 1)  # 1 = invariant violations, still traced
+        manifest = read_manifest(out / "manifest.json")
+        assert manifest.label == "chaos"
+        assert "schedule" in manifest.extra
+        assert (out / "trace.json").exists()
+        capsys.readouterr()
+
+        assert main(["obs", "flight", str(out)]) == 0
+        flight_output = capsys.readouterr().out
+        snapshots = list(out.glob("flight_*.json"))
+        if snapshots:
+            assert snapshots[0].name in flight_output
+        else:
+            assert "no flight snapshots" in flight_output
+
+
+class TestObsErrors:
+    def test_summary_missing_manifest(self, tmp_path, capsys):
+        assert main(["obs", "summary", str(tmp_path)]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "Traceback" not in err
+
+    def test_export_missing_spans(self, tmp_path, capsys):
+        assert main(["obs", "export", str(tmp_path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestLogging:
+    def test_debug_level_accepted(self, capsys):
+        assert main(["--log-level", "debug", "graphs", "NYC", "SJC"]) == 0
+
+    def test_errors_logged_to_stderr(self, tmp_path, capsys):
+        missing = tmp_path / "nope.jsonl"
+        assert main(["classify", "--trace", str(missing)]) == 2
+        assert "error:" in capsys.readouterr().err

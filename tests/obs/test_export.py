@@ -1,0 +1,89 @@
+"""Exporters: Chrome trace_event JSON and the JSONL span log."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    read_spans_jsonl,
+    spans_to_trace_events,
+    write_chrome_trace,
+    write_spans_jsonl,
+)
+from repro.obs.trace import Span
+
+
+def _spans() -> list[Span]:
+    return [
+        Span(1, "packet.journey", "data", 0.0, 0.5, {"flow": "f"}),
+        Span(2, "hop", "net", 0.1, 0.2, {"edge": "a->b"}, parent_id=1),
+        Span(3, "hop.drop", "net", 0.3, 0.3, {"edge": "a->b"}),
+    ]
+
+
+class TestChromeTraceEvents:
+    def test_intervals_and_instants(self):
+        events = spans_to_trace_events(_spans())
+        complete = [e for e in events if e.get("ph") == "X"]
+        instants = [e for e in events if e.get("ph") == "i"]
+        assert len(complete) == 2
+        assert len(instants) == 1
+        assert complete[0]["ts"] == 0.0
+        assert complete[0]["dur"] == pytest.approx(0.5e6)
+        assert instants[0]["s"] == "t"
+
+    def test_metadata_names_processes_and_tracks(self):
+        events = spans_to_trace_events(_spans())
+        metadata = [e for e in events if e["ph"] == "M"]
+        names = {
+            (e["name"], e["args"]["name"]) for e in metadata
+        }
+        assert ("process_name", "data") in names
+        assert ("process_name", "net") in names
+        assert ("thread_name", "a->b") in names
+
+    def test_parent_link_preserved_in_args(self):
+        events = spans_to_trace_events(_spans())
+        hop = next(e for e in events if e.get("args", {}).get("span_id") == 2)
+        assert hop["args"]["parent_span"] == 1
+
+    def test_open_span_rendered_as_instant(self):
+        events = spans_to_trace_events([Span(1, "x", "t", 1.0, None)])
+        event = [e for e in events if e["ph"] != "M"][0]
+        assert event["ph"] == "i"
+
+    def test_written_file_is_loadable_json(self, tmp_path):
+        path = write_chrome_trace(_spans(), tmp_path / "trace.json")
+        payload = json.loads(path.read_text())
+        assert payload["displayTimeUnit"] == "ms"
+        assert isinstance(payload["traceEvents"], list)
+
+
+class TestJsonlRoundTrip:
+    def test_round_trip(self, tmp_path):
+        spans = _spans()
+        path = write_spans_jsonl(spans, tmp_path / "spans.jsonl")
+        loaded = read_spans_jsonl(path)
+        assert [s.to_dict() for s in loaded] == [s.to_dict() for s in spans]
+
+    def test_chrome_export_from_jsonl_matches_direct(self, tmp_path):
+        spans = _spans()
+        path = write_spans_jsonl(spans, tmp_path / "spans.jsonl")
+        assert spans_to_trace_events(read_spans_jsonl(path)) == (
+            spans_to_trace_events(spans)
+        )
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        path.write_text(
+            json.dumps(_spans()[0].to_dict()) + "\n\n"
+        )
+        assert len(read_spans_jsonl(path)) == 1
+
+    def test_malformed_line_reports_position(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        path.write_text('{"id": 1}\nnot json\n')
+        with pytest.raises(ValueError, match=":1:"):
+            read_spans_jsonl(path)

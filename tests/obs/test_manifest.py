@@ -1,0 +1,85 @@
+"""Run manifests: identity fields, round trips, and error reporting."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.graph import Topology
+from repro.obs.manifest import (
+    MANIFEST_VERSION,
+    RunManifest,
+    read_manifest,
+    topology_fingerprint,
+)
+
+
+def _topology(latency: float = 5.0) -> Topology:
+    topology = Topology()
+    topology.add_node("A")
+    topology.add_node("B")
+    topology.add_link("A", "B", latency)
+    return topology.freeze()
+
+
+class TestTopologyFingerprint:
+    def test_stable_across_rebuilds(self):
+        assert topology_fingerprint(_topology()) == topology_fingerprint(
+            _topology()
+        )
+
+    def test_sensitive_to_attributes(self):
+        assert topology_fingerprint(_topology(5.0)) != topology_fingerprint(
+            _topology(6.0)
+        )
+
+    def test_short_hex(self):
+        fingerprint = topology_fingerprint(_topology())
+        assert len(fingerprint) == 16
+        int(fingerprint, 16)
+
+
+class TestRunManifest:
+    def test_write_read_round_trip(self, tmp_path):
+        manifest = RunManifest(
+            label="evaluate",
+            seed=7,
+            schemes=("targeted",),
+            flows=("A->B",),
+            topology="abc123",
+            duration_s=60.0,
+            exec={"shards_run": 4},
+            metrics={"net.sent.A->B": {"type": "counter", "value": 10.0}},
+            spans={"recorded": 12, "dropped": 0},
+            flight={"triggers": 1},
+        )
+        path = manifest.write(tmp_path / "manifest.json")
+        loaded = read_manifest(path)
+        assert loaded.to_dict() == manifest.to_dict()
+
+    def test_version_stamped(self, tmp_path):
+        path = RunManifest(label="x").write(tmp_path / "m.json")
+        assert json.loads(path.read_text())["manifest_version"] == (
+            MANIFEST_VERSION
+        )
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        path = tmp_path / "m.json"
+        payload = RunManifest(label="x").to_dict()
+        payload["manifest_version"] = 999
+        path.write_text(json.dumps(payload))
+        with pytest.raises(Exception, match="version"):
+            read_manifest(path)
+
+    def test_not_json_is_one_line_error(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text("definitely not json")
+        with pytest.raises(ValueError, match="not a JSON manifest"):
+            read_manifest(path)
+
+    def test_missing_label_reported(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps({"manifest_version": MANIFEST_VERSION}))
+        with pytest.raises(ValueError, match="missing"):
+            read_manifest(path)

@@ -6,7 +6,7 @@ import pytest
 
 from repro.netmodel.conditions import ConditionTimeline, Contribution, LinkState
 from repro.netmodel.topology import FlowSpec, ServiceSpec
-from repro.overlay.runner import run_protocol_evaluation
+from repro.overlay.runner import ProtocolRunResult, run_protocol_evaluation
 
 FLOW = FlowSpec("S", "T")
 SERVICE = ServiceSpec(deadline_ms=15.0, send_interval_ms=10.0, rtt_budget_ms=30.0)
@@ -104,6 +104,71 @@ class TestProtocolEvaluation:
         timeline = ConditionTimeline(diamond, 10.0)
         with pytest.raises(Exception):
             run_protocol_evaluation(diamond, timeline, [], SERVICE)
+
+
+class TestDefaultsAndEdgeCases:
+    def test_duration_defaults_to_timeline_minus_margins(self, diamond):
+        """With no explicit duration, the run fills the timeline after
+        warmup and drain -- and must not overrun it."""
+        timeline = ConditionTimeline(diamond, 16.0)
+        results = run_protocol_evaluation(
+            diamond,
+            timeline,
+            [FLOW],
+            SERVICE,
+            scheme_names=("static-single",),
+            warmup_s=5.0,
+            drain_s=1.0,
+            seed=3,
+        )
+        outcome = results["static-single"]
+        # duration_s = 16 - 5 - 1 = 10 s of traffic at 10 ms interval.
+        assert outcome.sent == pytest.approx(1000, abs=5)
+        assert outcome.run_duration_s == pytest.approx(11.0)
+
+    def test_warmup_packets_not_counted(self, diamond):
+        """Traffic starts after warmup, so the report counts only the
+        measured window."""
+        timeline = ConditionTimeline(diamond, 60.0)
+        results = run_protocol_evaluation(
+            diamond,
+            timeline,
+            [FLOW],
+            SERVICE,
+            scheme_names=("static-single",),
+            duration_s=10.0,
+            warmup_s=20.0,
+            seed=3,
+        )
+        # 10 s at 10 ms interval, regardless of the 20 s warmup.
+        assert results["static-single"].sent == pytest.approx(1000, abs=5)
+
+    def test_empty_result_properties(self):
+        outcome = ProtocolRunResult(
+            scheme="x",
+            reports={},
+            messages_sent=0,
+            messages_dropped=0,
+            graph_switches=0,
+            events_processed=0,
+        )
+        assert outcome.sent == 0
+        assert outcome.on_time_fraction == 1.0
+        assert outcome.data_messages_per_packet == 0.0
+        assert outcome.control_messages_per_second == 0.0
+
+    def test_zero_duration_control_rate_guarded(self):
+        outcome = ProtocolRunResult(
+            scheme="x",
+            reports={},
+            messages_sent=5,
+            messages_dropped=0,
+            graph_switches=0,
+            events_processed=9,
+            control_messages=100,
+            run_duration_s=0.0,
+        )
+        assert outcome.control_messages_per_second == 0.0
 
 
 class TestControlPlaneAccounting:

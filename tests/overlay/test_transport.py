@@ -1,0 +1,127 @@
+"""Sending/receiving apps and flow-report accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netmodel.conditions import ConditionTimeline
+from repro.netmodel.topology import FlowSpec, ServiceSpec
+from repro.overlay.harness import build_overlay
+from repro.overlay.transport import FlowReport, ReceivingApp, SendingApp
+
+FLOW = FlowSpec("S", "T")
+SERVICE = ServiceSpec(deadline_ms=15.0, send_interval_ms=10.0, rtt_budget_ms=30.0)
+
+
+def _harness(diamond, duration_s=30.0):
+    timeline = ConditionTimeline(diamond, duration_s)
+    return build_overlay(
+        diamond, timeline, [FLOW], SERVICE, scheme="static-single", seed=3
+    )
+
+
+class TestFlowReport:
+    def test_lost_and_late_derive_from_counts(self):
+        report = FlowReport(FLOW, sent=10, delivered=7, on_time=5)
+        assert report.lost == 3
+        assert report.late == 2
+        assert report.on_time_fraction == 0.5
+
+    def test_nothing_sent_counts_as_perfect(self):
+        report = FlowReport(FLOW)
+        assert report.lost == 0
+        assert report.late == 0
+        assert report.on_time_fraction == 1.0
+
+    def test_all_on_time(self):
+        report = FlowReport(FLOW, sent=4, delivered=4, on_time=4)
+        assert report.on_time_fraction == 1.0
+        assert report.late == 0
+
+
+class TestReceivingApp:
+    def test_must_run_at_destination(self, diamond):
+        harness = _harness(diamond)
+        with pytest.raises(Exception, match="destination"):
+            ReceivingApp(harness.nodes["S"], FLOW, SERVICE)
+
+    def test_deadline_boundary_is_inclusive(self, diamond):
+        """A packet arriving at exactly the deadline is on time."""
+        from repro.overlay.messages import DataPacket
+
+        harness = _harness(diamond)
+        receiver_report = harness.reports[FLOW.name]
+        packet = DataPacket(
+            flow=FLOW.name,
+            source="S",
+            destination="T",
+            sequence=0,
+            sent_at_s=0.0,
+            graph_encoding=b"",
+        )
+        deliver = harness.nodes["T"]._delivery_callbacks[FLOW.name]
+        deliver(packet, SERVICE.deadline_ms / 1000.0)
+        assert receiver_report.on_time == 1
+        deliver(packet, SERVICE.deadline_ms / 1000.0 + 1e-4)
+        assert receiver_report.delivered == 2
+        assert receiver_report.on_time == 1
+        assert receiver_report.late == 1
+
+
+class TestSendingApp:
+    def test_must_run_at_source(self, diamond):
+        harness = _harness(diamond)
+        daemon = harness.daemons[FLOW.name]
+        receiver = ReceivingApp(
+            harness.nodes["T"], FlowSpec("A", "T"), SERVICE
+        )
+        with pytest.raises(Exception, match="source"):
+            SendingApp(harness.nodes["T"], daemon, receiver)
+
+    def test_start_is_idempotent(self, diamond):
+        harness = _harness(diamond)
+        harness.start()
+        harness.senders[FLOW.name].start()  # second call must not double-send
+        harness.run(1.0)
+        report = harness.reports[FLOW.name]
+        # 10 ms interval over 1 s: ~100 packets, not ~200.
+        assert report.sent <= 105
+
+    def test_stop_halts_sending_but_not_delivery(self, diamond):
+        harness = _harness(diamond)
+        harness.start()
+        harness.run(1.0)
+        harness.senders[FLOW.name].stop()
+        sent_at_stop = harness.reports[FLOW.name].sent
+        harness.run(1.0)
+        report = harness.reports[FLOW.name]
+        assert report.sent == sent_at_stop
+        # In-flight packets still landed after the stop.
+        assert report.delivered == report.sent
+
+    def test_sequences_are_consecutive(self, diamond):
+        harness = _harness(diamond)
+        seen = []
+        original = harness.nodes["S"].originate
+
+        def spy(packet):
+            seen.append(packet.sequence)
+            return original(packet)
+
+        harness.nodes["S"].originate = spy
+        harness.start()
+        harness.run(0.5)
+        assert seen == list(range(len(seen)))
+        assert len(seen) > 1
+
+    def test_restart_after_stop_resumes(self, diamond):
+        harness = _harness(diamond)
+        harness.start()
+        harness.run(0.5)
+        sender = harness.senders[FLOW.name]
+        sender.stop()
+        harness.run(0.5)
+        sender.start()
+        sent_before = harness.reports[FLOW.name].sent
+        harness.run(0.5)
+        assert harness.reports[FLOW.name].sent > sent_before
