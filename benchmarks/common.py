@@ -143,6 +143,11 @@ def _telemetry_delta() -> dict | None:
         total.shards_fallback += telemetry.shards_fallback
         total.cache_corrupt += telemetry.cache_corrupt
         total.cache_evicted += telemetry.cache_evicted
+        total.prob_hits += telemetry.prob_hits
+        total.prob_misses += telemetry.prob_misses
+        total.prob_shared_hits += telemetry.prob_shared_hits
+        total.prob_mask_hits += telemetry.prob_mask_hits
+        total.prob_evicted += telemetry.prob_evicted
         total.wall_time_s += telemetry.wall_time_s
         total.shard_wall_s.extend(telemetry.shard_wall_s)
     return total.to_dict()

@@ -65,6 +65,7 @@ from repro.exec.engine import run_replay_parallel
 from repro.netmodel.trace import load_timeline, write_trace
 from repro.simulation.results import ReplayConfig
 from repro.util.logging import LOG_LEVELS, configure_logging, get_logger
+from repro.util.validation import require
 
 __all__ = ["main"]
 
@@ -147,6 +148,11 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         label="cli evaluate",
         obs=obs,
     )
+    require(
+        any(totals.duration_s > 0.0 for totals in result.all_totals()),
+        "replay produced zero accumulation windows -- the trace is empty "
+        "or degenerate; nothing to evaluate",
+    )
     print()
     print(format_scheme_performance_table(result))
     print()
@@ -191,10 +197,10 @@ def _cmd_classify(args: argparse.Namespace) -> int:
     topology = build_reference_topology()
     flows = reference_flows()
     service = ServiceSpec()
-    if args.trace:
+    if args.trace_file:
         from repro.netmodel.trace import read_trace
 
-        _duration, events = read_trace(args.trace, topology)
+        _duration, events = read_trace(args.trace_file, topology)
     else:
         events = generate_events(topology, _scenario(args), seed=args.seed)
     problems = classify_events_for_flows(
@@ -460,6 +466,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-dgraphs",
         description="Dissemination-graph overlay transport (ICDCS 2017 reproduction)",
+        # No prefix abbreviations: ``classify --trace`` must fail loudly
+        # rather than silently match ``--trace-file`` (the historical
+        # ``--trace`` spelling meant something else).
+        allow_abbrev=False,
     )
     parser.add_argument(
         "--log-level",
@@ -517,10 +527,14 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.set_defaults(handler=_cmd_evaluate)
 
     classify = subparsers.add_parser(
-        "classify", help="problem-classification distribution (E1)"
+        "classify",
+        help="problem-classification distribution (E1)",
+        allow_abbrev=False,
     )
     _add_trace_arguments(classify)
-    classify.add_argument("--trace", help="classify this trace file instead")
+    classify.add_argument(
+        "--trace-file", help="classify this condition-trace file instead"
+    )
     classify.set_defaults(handler=_cmd_classify)
 
     graphs = subparsers.add_parser(

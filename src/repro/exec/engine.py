@@ -67,12 +67,31 @@ def _worker_init(
     _WORKER_CONTEXT = ShardContext(topology, timeline, service, config)
 
 
-def _worker_run(shard: ShardSpec) -> tuple[ShardResult, float]:
-    """Run one shard in a pool worker; returns (result, wall seconds)."""
+def _worker_run(shard: ShardSpec) -> tuple[ShardResult, float, dict[str, int]]:
+    """Run one shard in a pool worker.
+
+    Returns ``(result, wall seconds, probability-cache counter delta)``.
+    Workers are separate processes, so cache health has to travel home
+    with each shard as a before/after counter difference; it must *not*
+    ride inside the shard result, whose payload is content-addressed.
+    """
     require(_WORKER_CONTEXT is not None, "worker used before initialization")
+    before = _WORKER_CONTEXT.probability_cache.counters()
     started = time.perf_counter()
     result = _WORKER_CONTEXT.run(shard)
-    return result, time.perf_counter() - started
+    wall = time.perf_counter() - started
+    after = _WORKER_CONTEXT.probability_cache.counters()
+    delta = {name: after[name] - before[name] for name in after}
+    return result, wall, delta
+
+
+def _apply_prob_cache_delta(telemetry: ExecTelemetry, delta: dict[str, int]) -> None:
+    """Fold one shard's probability-cache counter delta into telemetry."""
+    telemetry.prob_hits += delta.get("hits", 0)
+    telemetry.prob_misses += delta.get("misses", 0)
+    telemetry.prob_shared_hits += delta.get("shared_hits", 0)
+    telemetry.prob_mask_hits += delta.get("mask_hits", 0)
+    telemetry.prob_evicted += delta.get("evictions", 0)
 
 
 def _default_executor_factory(
@@ -133,7 +152,9 @@ def _run_pooled(
                     next_queue.append(shard)
                     continue
                 try:
-                    shard_result, shard_wall = future.result(timeout=shard_timeout_s)
+                    shard_result, shard_wall, cache_delta = future.result(
+                        timeout=shard_timeout_s
+                    )
                 except (BrokenExecutor, concurrent.futures.TimeoutError):
                     # A dead worker or a hung shard poisons the whole pool:
                     # tear it down and rebuild before retrying.
@@ -147,6 +168,7 @@ def _run_pooled(
                     results[shard] = shard_result
                     telemetry.shards_run += 1
                     telemetry.shard_wall_s.append(shard_wall)
+                    _apply_prob_cache_delta(telemetry, cache_delta)
                     if obs is not None:
                         # Workers are separate processes; the span is
                         # reconstructed parent-side from the returned wall
@@ -249,11 +271,16 @@ def run_replay_parallel(
         nonlocal local_context
         if local_context is None:
             local_context = ShardContext(topology, timeline, service, config)
+        before = local_context.probability_cache.counters()
         shard_started = time.perf_counter()
         span_start = obs.tracer.now() if obs is not None else 0.0
         result = local_context.run(shard)
         shard_wall = time.perf_counter() - shard_started
         telemetry.shard_wall_s.append(shard_wall)
+        after = local_context.probability_cache.counters()
+        _apply_prob_cache_delta(
+            telemetry, {name: after[name] - before[name] for name in after}
+        )
         if obs is not None:
             obs.tracer.complete(
                 "shard", "exec", span_start, span_start + shard_wall,
@@ -310,6 +337,13 @@ def _observe_run(
     metrics.counter("exec.shards_cached").inc(telemetry.shards_cached)
     metrics.counter("exec.shards_retried").inc(telemetry.shards_retried)
     metrics.counter("exec.shards_fallback").inc(telemetry.shards_fallback)
+    metrics.counter("exec.prob_cache.hits").inc(telemetry.prob_hits)
+    metrics.counter("exec.prob_cache.misses").inc(telemetry.prob_misses)
+    metrics.counter("exec.prob_cache.shared_hits").inc(
+        telemetry.prob_shared_hits
+    )
+    metrics.counter("exec.prob_cache.mask_hits").inc(telemetry.prob_mask_hits)
+    metrics.counter("exec.prob_cache.evicted").inc(telemetry.prob_evicted)
     for wall in telemetry.shard_wall_s:
         metrics.histogram("exec.shard_wall_s").observe(wall)
     for totals in merged.all_totals():

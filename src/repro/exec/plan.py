@@ -42,7 +42,7 @@ from repro.simulation.results import (
 from repro.simulation.timeline import (
     build_decision_timeline,
     decision_boundaries,
-    observed_view,
+    observed_views_with_deltas,
 )
 from repro.util.validation import require
 
@@ -256,11 +256,12 @@ class ShardContext:
         self.service = service
         self.config = config
         self.boundaries = decision_boundaries(timeline, config.detection_delay_s)
-        self.observed_views = [
-            observed_view(timeline, b, config.detection_delay_s)
-            for b in self.boundaries[:-1]
-        ]
-        self.actual_views = [timeline.degraded_at(b) for b in self.boundaries[:-1]]
+        self.observed_views, self.observed_deltas = observed_views_with_deltas(
+            timeline, self.boundaries, config.detection_delay_s
+        )
+        self.actual_views, self.actual_deltas = timeline.degraded_views(
+            list(self.boundaries[:-1])
+        )
         self.probability_cache = _ProbabilityCache(
             service.deadline_ms,
             config.max_lossy_edges,
@@ -281,17 +282,33 @@ class ShardContext:
             detection_delay_s=self.config.detection_delay_s,
             boundaries=list(self.boundaries),
             observed_views=list(self.observed_views),
+            observed_deltas=self.observed_deltas,
         )
+        group = f"{policy.name}/{shard.flow.name}"
         stats = FlowSchemeStats(flow=shard.flow, scheme=policy.name)
         stats.decision_changes = len(spans) - 1
+        last_graph = None
+        probabilities = None
         for index, (start, end, graph) in enumerate(
             _iter_windows(self.boundaries, spans)
         ):
             if end <= shard.start_s or start >= shard.end_s:
+                # A skipped window breaks the delta chain: the held
+                # probabilities no longer describe window ``index - 1``.
+                probabilities = None
                 continue
-            probabilities = self.probability_cache.probabilities(
-                self.topology, graph, self.actual_views[index]
+            unchanged = (
+                probabilities is not None
+                and graph == last_graph
+                and not any(
+                    edge in graph.edges for edge in self.actual_deltas[index]
+                )
             )
+            if not unchanged:
+                probabilities = self.probability_cache.probabilities(
+                    self.topology, graph, self.actual_views[index], group
+                )
+                last_graph = graph
             stats.add_window(
                 start,
                 end,

@@ -38,8 +38,19 @@ class ExecTelemetry:
     shards_fallback: int = 0
     cache_corrupt: int = 0
     cache_evicted: int = 0
+    prob_hits: int = 0
+    prob_misses: int = 0
+    prob_shared_hits: int = 0
+    prob_mask_hits: int = 0
+    prob_evicted: int = 0
     wall_time_s: float = 0.0
     shard_wall_s: list[float] = field(default_factory=list)
+
+    @property
+    def prob_hit_rate(self) -> float:
+        """In-memory probability-cache hit rate over degraded lookups."""
+        lookups = self.prob_hits + self.prob_misses
+        return self.prob_hits / lookups if lookups else 0.0
 
     @property
     def busy_s(self) -> float:
@@ -66,6 +77,14 @@ class ExecTelemetry:
             ["serial fallbacks", str(self.shards_fallback)],
             ["corrupt cache entries", str(self.cache_corrupt)],
             ["cache entries evicted", str(self.cache_evicted)],
+            [
+                "prob-cache hits/misses",
+                f"{self.prob_hits}/{self.prob_misses} "
+                f"({100.0 * self.prob_hit_rate:.0f} %)",
+            ],
+            ["prob-cache shared hits", str(self.prob_shared_hits)],
+            ["prob-cache mask hits", str(self.prob_mask_hits)],
+            ["prob-cache evictions", str(self.prob_evicted)],
             ["workers", str(self.workers) if self.workers else "serial"],
             ["wall time", f"{self.wall_time_s:.2f} s"],
             ["shard time (mean/max)", f"{mean_shard:.2f} / {max_shard:.2f} s"],
@@ -93,6 +112,12 @@ class ExecTelemetry:
             "shards_fallback": self.shards_fallback,
             "cache_corrupt": self.cache_corrupt,
             "cache_evicted": self.cache_evicted,
+            "prob_hits": self.prob_hits,
+            "prob_misses": self.prob_misses,
+            "prob_shared_hits": self.prob_shared_hits,
+            "prob_mask_hits": self.prob_mask_hits,
+            "prob_evicted": self.prob_evicted,
+            "prob_hit_rate": self.prob_hit_rate,
             "wall_time_s": self.wall_time_s,
             "busy_s": self.busy_s,
             "max_shard_s": max(self.shard_wall_s) if self.shard_wall_s else 0.0,
@@ -143,6 +168,11 @@ def session_totals() -> ExecTelemetry | None:
         total.shards_fallback += telemetry.shards_fallback
         total.cache_corrupt += telemetry.cache_corrupt
         total.cache_evicted += telemetry.cache_evicted
+        total.prob_hits += telemetry.prob_hits
+        total.prob_misses += telemetry.prob_misses
+        total.prob_shared_hits += telemetry.prob_shared_hits
+        total.prob_mask_hits += telemetry.prob_mask_hits
+        total.prob_evicted += telemetry.prob_evicted
         total.wall_time_s += telemetry.wall_time_s
         total.shard_wall_s.extend(telemetry.shard_wall_s)
     return total

@@ -176,6 +176,58 @@ class ConditionTimeline:
                 result[edge] = state
         return result
 
+    def degraded_views(
+        self, times: Iterable[float]
+    ) -> tuple[list[dict[Edge, LinkState]], list[frozenset[Edge]]]:
+        """Degraded views of many query times in one incremental walk.
+
+        For non-decreasing ``times``, returns ``(views, deltas)`` where
+        ``views[i]`` equals :meth:`degraded_at` at ``times[i]`` (an empty
+        view for times before the trace starts) and ``deltas[i]`` is the
+        set of edges whose state differs between ``views[i - 1]`` and
+        ``views[i]`` (``deltas[0]`` is relative to an empty view).  The
+        replay engines call this once per boundary list instead of
+        rescanning every edge at every boundary, and feed the deltas to
+        policies and caches so untouched decisions can be skipped.
+        """
+        events: list[tuple[float, Edge, LinkState]] = []
+        for edge, edge_times in self._times.items():
+            states = self._states[edge]
+            for segment_start, state in zip(edge_times, states):
+                events.append((segment_start, edge, state))
+        events.sort(key=lambda event: event[0])
+        views: list[dict[Edge, LinkState]] = []
+        deltas: list[frozenset[Edge]] = []
+        current: dict[Edge, LinkState] = {}
+        pending: dict[Edge, LinkState] = {}
+        cursor = 0
+        previous_time = float("-inf")
+        for time_s in times:
+            require(
+                time_s >= previous_time,
+                f"view query times must be non-decreasing "
+                f"({time_s} after {previous_time})",
+            )
+            previous_time = time_s
+            # Drain every segment start up to the query time; per edge only
+            # the latest one matters, which the dict overwrite keeps.
+            while cursor < len(events) and events[cursor][0] <= time_s:
+                _start, edge, state = events[cursor]
+                pending[edge] = state
+                cursor += 1
+            changed: set[Edge] = set()
+            for edge, state in pending.items():
+                if state.clean:
+                    if current.pop(edge, None) is not None:
+                        changed.add(edge)
+                elif current.get(edge) != state:
+                    current[edge] = state
+                    changed.add(edge)
+            pending.clear()
+            views.append(dict(current))
+            deltas.append(frozenset(changed))
+        return views, deltas
+
     def loss_rates_at(self, time_s: float) -> dict[Edge, float]:
         """Loss rate per degraded edge at ``time_s`` (clean edges omitted)."""
         return {

@@ -59,6 +59,7 @@ class RoutingPolicy(abc.ABC):
         self._flow: FlowSpec | None = None
         self._service: ServiceSpec | None = None
         self._last_update_s = float("-inf")
+        self._observed_changed: frozenset[Edge] | None = None
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -106,12 +107,21 @@ class RoutingPolicy(abc.ABC):
     # -- decisions ------------------------------------------------------------
 
     def update(
-        self, now_s: float, observed: Mapping[Edge, LinkState]
+        self,
+        now_s: float,
+        observed: Mapping[Edge, LinkState],
+        changed: frozenset[Edge] | None = None,
     ) -> DisseminationGraph:
         """Return the graph in effect from ``now_s`` given the observed view.
 
         ``observed`` maps degraded edges to their (believed) state; edges
-        absent from the mapping are believed clean.
+        absent from the mapping are believed clean.  ``changed``, when
+        given, names exactly the edges whose observed state differs from
+        the view of the previous ``update`` call -- an incremental-replay
+        hint that lets caching policies skip recomputation for irrelevant
+        changes.  ``None`` means "unknown; anything may have changed".
+        Callers that pass deltas are responsible for their accuracy: an
+        understated delta silently yields stale decisions.
         """
         require(self._topology is not None, f"policy {self.name} is not attached")
         require(
@@ -120,6 +130,7 @@ class RoutingPolicy(abc.ABC):
             f"({now_s} < {self._last_update_s})",
         )
         self._last_update_s = now_s
+        self._observed_changed = changed
         return self._decide(now_s, observed)
 
     @abc.abstractmethod
@@ -131,6 +142,7 @@ class RoutingPolicy(abc.ABC):
     def reset(self) -> None:
         """Clear temporal state so the policy can replay another trace."""
         self._last_update_s = float("-inf")
+        self._observed_changed = None
 
 
 def degraded_edge_set(

@@ -42,12 +42,14 @@ class _DynamicPolicyBase(RoutingPolicy):
         self.loss_threshold = loss_threshold
         self._cache_key: object = None
         self._cache_graph: DisseminationGraph | None = None
+        self._relevant_edges: frozenset[Edge] = frozenset()
 
     def reset(self) -> None:
         """Clear temporal and cache state for a fresh replay."""
         super().reset()
         self._cache_key = None
         self._cache_graph = None
+        self._relevant_edges = frozenset()
 
     def _fingerprint(self, observed: Mapping[Edge, LinkState]) -> object:
         """What the decision depends on: degraded set + latency inflations."""
@@ -61,13 +63,45 @@ class _DynamicPolicyBase(RoutingPolicy):
         )
         return (degraded, inflations)
 
+    def _delta_is_irrelevant(
+        self, changed: frozenset[Edge], observed: Mapping[Edge, LinkState]
+    ) -> bool:
+        """Can the changed edges possibly alter the fingerprint?
+
+        The fingerprint reads an edge only when it is degraded (loss at or
+        above the threshold) or latency-inflated.  A changed edge that was
+        in neither group of the cached fingerprint and still is in neither
+        contributes nothing before or after -- so the fingerprint, and
+        therefore the decision, is unchanged.
+        """
+        if changed & self._relevant_edges:
+            return False
+        for edge in changed:
+            state = observed.get(edge)
+            if state is not None and (
+                state.loss_rate >= self.loss_threshold
+                or state.extra_latency_ms > 0.0
+            ):
+                return False
+        return True
+
     def _decide(
         self, now_s: float, observed: Mapping[Edge, LinkState]
     ) -> DisseminationGraph:
+        changed = self._observed_changed
+        if (
+            changed is not None
+            and self._cache_graph is not None
+            and self._delta_is_irrelevant(changed, observed)
+        ):
+            return self._cache_graph
         key = self._fingerprint(observed)
         if key != self._cache_key or self._cache_graph is None:
             self._cache_graph = self._recompute(observed, key[0])
             self._cache_key = key
+            self._relevant_edges = key[0].union(
+                edge for edge, _extra in key[1]
+            )
         return self._cache_graph
 
     def _recompute(

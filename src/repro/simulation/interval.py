@@ -6,17 +6,29 @@ individual packets: within every window where (a) all link conditions and
 distribution is identical for every packet, so one exact probability
 computation (:mod:`repro.simulation.reliability`) covers the window.
 
-Two layers of reuse keep multi-week replays fast:
+Three layers of reuse keep multi-week replays fast:
 
-* the merged boundary list and per-boundary observed views are computed
-  once per replay and shared across all (flow, scheme) pairs;
-* probability computations are memoised on ``(graph edge set, relevant
-  conditions)`` -- the same outage evaluated for the same graph across
-  adjacent windows (or different flows) is computed once.
+* the merged boundary list and the per-boundary observed/actual views are
+  computed once per replay (by one incremental delta walk each) and
+  shared across all (flow, scheme) pairs; the changed-edge deltas let
+  policies and the window loop skip boundaries that cannot affect them;
+* probability computations are memoised on a *canonical* key -- the
+  graph relabeled to a deterministic node order plus its effective
+  per-edge latency/loss vectors -- so congruent graphs under congruent
+  conditions share one entry across windows, flows, schemes and time
+  shards;
+* the memo is LRU-bounded (``$REPRO_PROB_CACHE_MAX_BYTES``) so pool
+  workers cannot creep without limit on multi-week replays.
+
+Every layer preserves bitwise-identical output: a canonical-key hit is
+only possible between computations whose float-operation sequences are
+provably identical (the relabeling is monotone in node-name order), and
+a skipped window reuses the exact object a fresh lookup would return.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Iterable, Sequence
 
 from repro.core.dgraph import DisseminationGraph
@@ -27,7 +39,10 @@ from repro.routing.base import RoutingPolicy
 from repro.routing.registry import STANDARD_SCHEME_NAMES, make_policy
 from repro.simulation.reliability import (
     DeliveryProbabilities,
+    MaskClassification,
     ReliabilityLimitError,
+    accumulate_mask_probabilities,
+    classify_delivery_masks,
     delivery_probabilities,
     delivery_probabilities_with_recovery,
 )
@@ -36,15 +51,89 @@ from repro.simulation.timeline import (
     DecisionSpan,
     build_decision_timeline,
     decision_boundaries,
-    observed_view,
+    observed_views_with_deltas,
 )
 from repro.util.validation import require
 
-__all__ = ["replay_flow", "run_replay"]
+__all__ = [
+    "PROB_CACHE_MAX_BYTES_ENV",
+    "default_prob_cache_max_bytes",
+    "replay_flow",
+    "run_replay",
+]
+
+#: Byte cap for the in-memory probability memo (mirrors the disk cache's
+#: ``REPRO_EXEC_CACHE_MAX_BYTES``).  ``0`` means unlimited.
+PROB_CACHE_MAX_BYTES_ENV = "REPRO_PROB_CACHE_MAX_BYTES"
+
+#: Default cap: generous for multi-week replays (hundreds of thousands of
+#: entries) while bounding pool-worker memory creep.
+DEFAULT_PROB_CACHE_MAX_BYTES = 64 * 1024 * 1024
+
+# Deterministic per-entry footprint estimate: a fixed overhead for the
+# dict slot, key/value tuples and the result object, plus a per-edge cost
+# for the canonical structure and latency/loss vectors.  An estimate (not
+# sys.getsizeof) so eviction order is identical across platforms.
+_ENTRY_OVERHEAD_BYTES = 160
+_PER_EDGE_BYTES = 120
+
+_UNSET: object = object()
+
+
+def default_prob_cache_max_bytes() -> int | None:
+    """Cap from ``$REPRO_PROB_CACHE_MAX_BYTES``; ``None`` = unlimited."""
+    raw = os.environ.get(PROB_CACHE_MAX_BYTES_ENV)
+    if not raw:
+        return DEFAULT_PROB_CACHE_MAX_BYTES
+    try:
+        value = int(raw)
+    except ValueError as error:
+        raise ValueError(
+            f"{PROB_CACHE_MAX_BYTES_ENV} must be an integer byte count, "
+            f"got {raw!r}"
+        ) from error
+    if value < 0:
+        raise ValueError(f"{PROB_CACHE_MAX_BYTES_ENV} must be >= 0, got {value}")
+    return value or None
 
 
 class _ProbabilityCache:
-    """Memoises delivery probabilities across windows, flows and schemes."""
+    """Memoises delivery probabilities across windows, flows and schemes.
+
+    Keys are *canonical*: the graph's nodes are relabeled to their rank in
+    sorted-name order and the conditions are reduced to per-slot effective
+    latency and loss vectors.  Two congruent situations -- the same shape
+    under an order-preserving node relabeling, with identical effective
+    latencies and losses -- therefore share one entry across flows,
+    schemes and time shards, where the historical raw key (edge set +
+    endpoints + conditions) could never hit across endpoint pairs.
+
+    Sharing is bitwise-safe: the probability computation consumes the
+    graph only through its sorted-edge order, per-edge latency/loss
+    values, endpoint identity and node-name comparisons (Dijkstra heap
+    tie-breaks), all of which are preserved by a monotone relabeling, so
+    every computation that maps to the same canonical key performs the
+    identical float-operation sequence.
+
+    A second-level *classification* cache (see
+    :class:`~repro.simulation.reliability.MaskClassification`) is keyed
+    without the loss values: windows that differ only in loss rates --
+    the dominant kind of condition change -- skip the whole Dijkstra
+    enumeration and redo only the cheap probability weighting, which is
+    bitwise-identical by construction.
+
+    Entries are LRU-evicted once the estimated footprint exceeds
+    ``max_bytes`` (default ``$REPRO_PROB_CACHE_MAX_BYTES`` or 64 MiB;
+    ``None`` = unlimited), bounding worker memory on multi-week replays.
+    Counters: ``hits``/``misses`` cover degraded-window lookups (as they
+    always have), ``shared_hits`` counts the subset of those hits served
+    from an entry first computed for a *different* ``group`` (the
+    cross-pair sharing raw per-flow keys could not express -- so
+    ``(hits - shared_hits) / (hits + misses)`` is the rate per-group keys
+    would have achieved), ``mask_hits`` counts misses whose
+    Dijkstra enumeration was skipped via a cached classification, and
+    ``evictions`` counts entries dropped by the byte bound.
+    """
 
     def __init__(
         self,
@@ -53,24 +142,124 @@ class _ProbabilityCache:
         hop_recovery: bool = False,
         recovery_extra_ms: float = 10.0,
         max_recovery_lossy_edges: int = 11,
+        max_bytes: int | None = _UNSET,  # type: ignore[assignment]
     ) -> None:
         self.deadline_ms = deadline_ms
         self.max_lossy_edges = max_lossy_edges
         self.hop_recovery = hop_recovery
         self.recovery_extra_ms = recovery_extra_ms
         self.max_recovery_lossy_edges = max_recovery_lossy_edges
-        self._cache: dict[object, DeliveryProbabilities] = {}
-        self._clean_cache: dict[object, DeliveryProbabilities] = {}
+        if max_bytes is _UNSET:
+            max_bytes = default_prob_cache_max_bytes()
+        self.max_bytes = max_bytes
+        # One insertion-ordered store for clean, degraded and
+        # classification entries (the key shapes differ, so they cannot
+        # collide); insertion order doubles as recency order for LRU
+        # eviction.
+        self._entries: dict[
+            tuple,
+            tuple[DeliveryProbabilities | MaskClassification, str | None, int],
+        ] = {}
+        self._bytes = 0
+        # Per-graph canonical forms.  Keyed by the graph value itself;
+        # distinct graphs per replay number in the hundreds, so this memo
+        # is naturally bounded and excluded from the byte cap.
+        self._canonical: dict[
+            DisseminationGraph,
+            tuple[tuple[Edge, ...], tuple, tuple[float, ...], dict[Edge, int]],
+        ] = {}
         self.hits = 0
         self.misses = 0
+        self.shared_hits = 0
+        self.mask_hits = 0
+        self.evictions = 0
         self.recovery_fallbacks = 0
 
-    def _clean_probabilities(
+    def counters(self) -> dict[str, int]:
+        """Snapshot of the health counters (for telemetry deltas)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "shared_hits": self.shared_hits,
+            "mask_hits": self.mask_hits,
+            "evictions": self.evictions,
+            "recovery_fallbacks": self.recovery_fallbacks,
+        }
+
+    def _canonical_graph(
         self, topology: Topology, graph: DisseminationGraph
+    ) -> tuple[tuple[Edge, ...], tuple, tuple[float, ...], dict[Edge, int]]:
+        """``(sorted edges, structure, base latencies, edge->slot)``.
+
+        ``structure`` is the graph with every node replaced by its rank in
+        sorted-name order: relabeled edge list (in sorted-edge order) plus
+        the endpoint ranks.  The relabeling is monotone, which is what
+        makes canonical-key sharing bitwise-exact (see class docstring).
+        """
+        entry = self._canonical.get(graph)
+        if entry is None:
+            edges = graph.sorted_edges()
+            rank = {
+                node: position
+                for position, node in enumerate(sorted(graph.nodes))
+            }
+            structure = (
+                tuple((rank[u], rank[v]) for u, v in edges),
+                rank[graph.source],
+                rank[graph.destination],
+            )
+            base_latency = tuple(topology.latency(u, v) for u, v in edges)
+            slot_of = {edge: slot for slot, edge in enumerate(edges)}
+            entry = (edges, structure, base_latency, slot_of)
+            self._canonical[graph] = entry
+        return entry
+
+    def _lookup(
+        self, key: tuple, group: str | None
+    ) -> DeliveryProbabilities | None:
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            return None
+        self._entries[key] = entry  # re-insert: most recently used
+        result, owner, _cost = entry
+        if owner is not None and group is not None and owner != group:
+            self.shared_hits += 1
+        return result
+
+    def _store(
+        self,
+        key: tuple,
+        result: DeliveryProbabilities | MaskClassification,
+        group: str | None,
+        edge_count: int,
+        extra_bytes: int = 0,
+    ) -> None:
+        cost = _ENTRY_OVERHEAD_BYTES + _PER_EDGE_BYTES * edge_count + extra_bytes
+        self._entries[key] = (result, group, cost)
+        self._bytes += cost
+        if self.max_bytes is None:
+            return
+        while self._bytes > self.max_bytes and self._entries:
+            oldest = next(iter(self._entries))
+            _result, _owner, old_cost = self._entries.pop(oldest)
+            self._bytes -= old_cost
+            self.evictions += 1
+
+    def _clean_probabilities(
+        self,
+        topology: Topology,
+        graph: DisseminationGraph,
+        group: str | None = None,
     ) -> DeliveryProbabilities:
         """Outcome under base conditions (no loss, base latencies)."""
-        key = (graph.edges, graph.source, graph.destination)
-        cached = self._clean_cache.get(key)
+        edges, structure, base_latency, _slot_of = self._canonical_graph(
+            topology, graph
+        )
+        key = (structure, base_latency)
+        # Clean lookups stay outside the hit/miss counters (as they always
+        # have), so they must not feed ``shared_hits`` either -- the
+        # counters would otherwise stop being comparable as rates.
+        cached = self._lookup(key, None)
         if cached is None:
             cached = delivery_probabilities(
                 graph,
@@ -79,7 +268,7 @@ class _ProbabilityCache:
                 lambda edge: 0.0,
                 max_lossy_edges=self.max_lossy_edges,
             )
-            self._clean_cache[key] = cached
+            self._store(key, cached, group, len(edges))
         return cached
 
     def probabilities(
@@ -87,29 +276,41 @@ class _ProbabilityCache:
         topology: Topology,
         graph: DisseminationGraph,
         degraded: dict[Edge, LinkState],
+        group: str | None = None,
     ) -> DeliveryProbabilities:
-        """Delivery probabilities for ``graph`` under ``degraded`` conditions."""
-        relevant = tuple(
-            (edge, degraded[edge]) for edge in graph.sorted_edges() if edge in degraded
+        """Delivery probabilities for ``graph`` under ``degraded`` conditions.
+
+        ``group`` labels the caller (one ``scheme/flow`` pair); it only
+        feeds the ``shared_hits`` counter, never the key.
+        """
+        edges, structure, base_latency, slot_of = self._canonical_graph(
+            topology, graph
         )
+        effective_latency = list(base_latency)
+        loss_vector = [0.0] * len(edges)
+        relevant = False
+        for edge, state in degraded.items():
+            slot = slot_of.get(edge)
+            if slot is None:
+                continue
+            relevant = True
+            effective_latency[slot] = base_latency[slot] + state.extra_latency_ms
+            loss_vector[slot] = state.loss_rate
         if not relevant:
             # Clean graph: outcome depends only on base latencies.
-            return self._clean_probabilities(topology, graph)
-        key = (graph.edges, graph.source, graph.destination, relevant)
-        cached = self._cache.get(key)
+            return self._clean_probabilities(topology, graph, group)
+        key = (structure, tuple(effective_latency), tuple(loss_vector))
+        cached = self._lookup(key, group)
         if cached is not None:
             self.hits += 1
             return cached
         self.misses += 1
 
         def latency_of(edge: Edge) -> float:
-            state = degraded.get(edge)
-            extra = state.extra_latency_ms if state is not None else 0.0
-            return topology.latency(*edge) + extra
+            return effective_latency[slot_of[edge]]
 
         def loss_of(edge: Edge) -> float:
-            state = degraded.get(edge)
-            return state.loss_rate if state is not None else 0.0
+            return loss_vector[slot_of[edge]]
 
         if self.hop_recovery:
 
@@ -140,25 +341,56 @@ class _ProbabilityCache:
                     max_lossy_edges=self.max_lossy_edges,
                 )
         else:
-            result = delivery_probabilities(
-                graph,
-                self.deadline_ms,
-                latency_of,
-                loss_of,
-                max_lossy_edges=self.max_lossy_edges,
+            # Loss values weight the enumeration cases but never change
+            # which cases deliver: the classification is cached on a key
+            # that keeps only each slot's *category* (clean / fractional
+            # / dead), so loss-only condition changes skip the Dijkstra
+            # enumeration entirely.
+            categories = bytes(
+                0 if loss <= 0.0 else 2 if loss >= 1.0 else 1
+                for loss in loss_vector
             )
-        self._cache[key] = result
+            mask_key = ("masks", structure, tuple(effective_latency), categories)
+            mask_entry = self._entries.pop(mask_key, None)
+            if mask_entry is not None:
+                self._entries[mask_key] = mask_entry  # most recently used
+                classification = mask_entry[0]
+                assert isinstance(classification, MaskClassification)
+                self.mask_hits += 1
+            else:
+                classification, _losses = classify_delivery_masks(
+                    graph,
+                    self.deadline_ms,
+                    latency_of,
+                    loss_of,
+                    max_lossy_edges=self.max_lossy_edges,
+                )
+                self._store(
+                    mask_key,
+                    classification,
+                    group,
+                    len(edges),
+                    extra_bytes=len(classification.classes),
+                )
+            losses = [
+                loss_vector[slot] for slot in classification.lossy_slots
+            ]
+            result = accumulate_mask_probabilities(classification, losses)
+        self._store(key, result, group, len(edges))
         return result
 
 
 def _iter_windows(
     boundaries: Sequence[float], spans: Sequence[DecisionSpan]
 ) -> Iterable[tuple[float, float, DisseminationGraph]]:
-    """Intersect boundary windows with (merged) decision spans."""
+    """Intersect boundary windows with (merged) decision spans.
+
+    Boundaries are strictly increasing (``build_decision_timeline``
+    enforces it), so window ``i`` is exactly ``boundaries[i:i + 2]`` --
+    callers index per-boundary views by the enumeration position.
+    """
     span_index = 0
     for start, end in zip(boundaries, boundaries[1:]):
-        if end <= start:
-            continue
         while spans[span_index].end_s <= start:
             span_index += 1
         span = spans[span_index]
@@ -177,17 +409,27 @@ def replay_flow(
     observed_views: Sequence[dict] | None = None,
     actual_views: Sequence[dict] | None = None,
     cache: _ProbabilityCache | None = None,
+    observed_deltas: Sequence[frozenset[Edge]] | None = None,
+    actual_deltas: Sequence[frozenset[Edge]] | None = None,
 ) -> FlowSchemeStats:
-    """Replay one flow under one policy over the whole trace."""
+    """Replay one flow under one policy over the whole trace.
+
+    ``observed_deltas``/``actual_deltas`` are per-boundary changed-edge
+    sets aligned with the views (see
+    :meth:`ConditionTimeline.degraded_views`); when available, boundaries
+    whose changes cannot touch this flow's installed graph reuse the
+    previous window's probabilities without a cache lookup.
+    """
     if boundaries is None:
         boundaries = decision_boundaries(timeline, config.detection_delay_s)
     if observed_views is None:
-        observed_views = [
-            observed_view(timeline, b, config.detection_delay_s)
-            for b in boundaries[:-1]
-        ]
+        observed_views, observed_deltas = observed_views_with_deltas(
+            timeline, boundaries, config.detection_delay_s
+        )
     if actual_views is None:
-        actual_views = [timeline.degraded_at(b) for b in boundaries[:-1]]
+        actual_views, actual_deltas = timeline.degraded_views(
+            list(boundaries[:-1])
+        )
     if cache is None:
         cache = _ProbabilityCache(
             service.deadline_ms,
@@ -205,14 +447,28 @@ def replay_flow(
         detection_delay_s=config.detection_delay_s,
         boundaries=list(boundaries),
         observed_views=list(observed_views),
+        observed_deltas=observed_deltas,
     )
+    group = f"{policy.name}/{flow.name}"
     stats = FlowSchemeStats(flow=flow, scheme=policy.name)
     stats.decision_changes = len(spans) - 1
+    last_graph: DisseminationGraph | None = None
+    probabilities: DeliveryProbabilities | None = None
     for index, (start, end, graph) in enumerate(
         _iter_windows(boundaries, spans)
     ):
         degraded = actual_views[index]
-        probabilities = cache.probabilities(topology, graph, degraded)
+        unchanged = (
+            probabilities is not None
+            and actual_deltas is not None
+            and graph == last_graph
+            and not any(edge in graph.edges for edge in actual_deltas[index])
+        )
+        if not unchanged:
+            # The cache returns the very object a repeated lookup would,
+            # so the reuse above is exactly equivalent to looking up.
+            probabilities = cache.probabilities(topology, graph, degraded, group)
+            last_graph = graph
         stats.add_window(
             start,
             end,
@@ -264,10 +520,10 @@ def run_replay(
     require(bool(flows), "need at least one flow")
     require(bool(scheme_names), "need at least one scheme")
     boundaries = decision_boundaries(timeline, config.detection_delay_s)
-    observed_views = [
-        observed_view(timeline, b, config.detection_delay_s) for b in boundaries[:-1]
-    ]
-    actual_views = [timeline.degraded_at(b) for b in boundaries[:-1]]
+    observed_views, observed_deltas = observed_views_with_deltas(
+        timeline, boundaries, config.detection_delay_s
+    )
+    actual_views, actual_deltas = timeline.degraded_views(list(boundaries[:-1]))
     cache = _ProbabilityCache(
         service.deadline_ms,
         config.max_lossy_edges,
@@ -290,6 +546,8 @@ def run_replay(
                 observed_views=observed_views,
                 actual_views=actual_views,
                 cache=cache,
+                observed_deltas=observed_deltas,
+                actual_deltas=actual_deltas,
             )
             result.add(stats)
     return result

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Callable, Mapping
+from typing import Callable
 
 from repro.core.dgraph import DisseminationGraph
 from repro.core.graph import Edge, NodeId
@@ -28,7 +28,10 @@ from repro.util.validation import require
 
 __all__ = [
     "DeliveryProbabilities",
+    "MaskClassification",
     "ReliabilityLimitError",
+    "accumulate_mask_probabilities",
+    "classify_delivery_masks",
     "delivery_probabilities",
     "delivery_probabilities_with_recovery",
     "on_time_probability",
@@ -71,29 +74,216 @@ class DeliveryProbabilities:
         return max(0.0, 1.0 - self.eventually)
 
 
-def _earliest_arrival(
-    source: NodeId,
-    destination: NodeId,
-    adjacency: Mapping[NodeId, dict[NodeId, float]],
-    present: Mapping[Edge, bool],
+#: Per-mask outcome codes in :attr:`MaskClassification.classes`.
+_MASK_LOST = 0
+_MASK_LATE = 1
+_MASK_ON_TIME = 2
+
+
+@dataclass(frozen=True)
+class MaskClassification:
+    """The loss-value-independent core of :func:`delivery_probabilities`.
+
+    Which enumeration cases arrive on time / at all depends only on the
+    graph structure, the effective latencies and *which* edges are lossy
+    (or dead) -- never on the fractional loss values themselves, which
+    only weight the cases.  Splitting the computation lets the replay
+    engine reuse one classification across every window that differs
+    only in loss rates (the dominant kind of condition change in real
+    traces), skipping the entire ``2^L`` Dijkstra enumeration.
+
+    ``certain`` short-circuits the fast paths whose outcome is decided
+    regardless of the lossy edges' loss values; otherwise ``classes[m]``
+    holds the outcome code of enumeration case ``m`` (bit ``b`` of ``m``
+    = lossy edge ``lossy_slots[b]`` survives) and ``best_on_time``
+    records whether the all-survive case met the deadline (the numerical
+    hygiene cap of the accumulation).
+    """
+
+    certain: DeliveryProbabilities | None
+    lossy_slots: tuple[int, ...] = ()
+    classes: bytes = b""
+    best_on_time: bool = False
+
+
+def classify_delivery_masks(
+    graph: DisseminationGraph,
+    deadline_ms: float,
+    latency_of: Callable[[Edge], float],
+    loss_of: Callable[[Edge], float],
+    max_lossy_edges: int = MAX_EXACT_LOSSY_EDGES,
+) -> tuple[MaskClassification, list[float]]:
+    """Classify every lossy-edge enumeration case of ``graph``.
+
+    Returns the classification plus the loss values read for the lossy
+    slots (in slot order), so :func:`accumulate_mask_probabilities` can
+    finish the computation without consulting ``loss_of`` again.
+    """
+    require(deadline_ms > 0, f"deadline must be positive, got {deadline_ms}")
+    edges, rank, adjacency = _index_graph(graph)
+    latencies: list[float] = []
+    present: list[bool] = []
+    lossy_slots: list[int] = []
+    losses: list[float] = []
+    for slot, edge in enumerate(edges):
+        loss = loss_of(edge)
+        require(0.0 <= loss <= 1.0, f"loss out of range on {edge!r}: {loss}")
+        latency = latency_of(edge)
+        require(latency >= 0.0, f"negative latency on {edge!r}: {latency}")
+        latencies.append(latency)
+        # Certain edges: zero loss always survives, total loss never does;
+        # fractional-loss slots are toggled during enumeration.
+        present.append(loss <= 0.0)
+        if 0.0 < loss < 1.0:
+            lossy_slots.append(slot)
+            losses.append(loss)
+    if len(lossy_slots) > max_lossy_edges:
+        raise ReliabilityLimitError(
+            f"{len(lossy_slots)} lossy edges exceed the exact-enumeration cap "
+            f"({max_lossy_edges})"
+        )
+
+    source, destination = rank[graph.source], rank[graph.destination]
+
+    # Fast path: all certain edges surviving already decides both outcomes.
+    baseline = _earliest_arrival_indexed(
+        source, destination, adjacency, latencies, present
+    )
+    if baseline <= deadline_ms:
+        certain = DeliveryProbabilities(on_time=1.0, eventually=1.0)
+        return MaskClassification(certain=certain), losses
+    if not lossy_slots:
+        on_time = 1.0 if baseline <= deadline_ms else 0.0
+        eventually = 1.0 if baseline < _INF else 0.0
+        certain = DeliveryProbabilities(on_time=on_time, eventually=eventually)
+        return MaskClassification(certain=certain), losses
+
+    # Fast path the other way: even with every lossy edge surviving the
+    # packet cannot arrive (e.g. deadline impossible) -- probability 0.
+    for slot in lossy_slots:
+        present[slot] = True
+    best_case = _earliest_arrival_indexed(
+        source, destination, adjacency, latencies, present
+    )
+    if not best_case < _INF:
+        certain = DeliveryProbabilities(on_time=0.0, eventually=0.0)
+        return MaskClassification(certain=certain), losses
+    best_on_time = best_case <= deadline_ms
+
+    count = len(lossy_slots)
+    classes = bytearray(1 << count)
+    for mask in range(1 << count):
+        for bit, slot in enumerate(lossy_slots):
+            present[slot] = bool(mask >> bit & 1)
+        arrival = _earliest_arrival_indexed(
+            source, destination, adjacency, latencies, present
+        )
+        if arrival <= deadline_ms:
+            classes[mask] = _MASK_ON_TIME
+        elif arrival < _INF:
+            classes[mask] = _MASK_LATE
+    classification = MaskClassification(
+        certain=None,
+        lossy_slots=tuple(lossy_slots),
+        classes=bytes(classes),
+        best_on_time=best_on_time,
+    )
+    return classification, losses
+
+
+def accumulate_mask_probabilities(
+    classification: MaskClassification, losses: list[float]
+) -> DeliveryProbabilities:
+    """Weight a classification by the lossy edges' current loss values.
+
+    ``losses`` aligns with ``classification.lossy_slots``.  The
+    accumulation performs the identical float-operation sequence as the
+    historical fused loop (same per-mask multiply order, same mask
+    order, same final clamps), so reusing a cached classification is
+    bitwise-exact.
+    """
+    if classification.certain is not None:
+        return classification.certain
+    on_time_total = 0.0
+    eventually_total = 0.0
+    classes = classification.classes
+    for mask in range(len(classes)):
+        probability = 1.0
+        for bit, loss in enumerate(losses):
+            if mask >> bit & 1:
+                probability *= 1.0 - loss
+            else:
+                probability *= loss
+        if probability == 0.0:
+            continue
+        outcome = classes[mask]
+        if outcome == _MASK_ON_TIME:
+            on_time_total += probability
+            eventually_total += probability
+        elif outcome == _MASK_LATE:
+            eventually_total += probability
+    if not classification.best_on_time:
+        on_time_total = 0.0  # numerical hygiene: cannot exceed best case
+    return DeliveryProbabilities(
+        on_time=min(1.0, on_time_total), eventually=min(1.0, eventually_total)
+    )
+
+
+def _index_graph(
+    graph: DisseminationGraph,
+) -> tuple[tuple[Edge, ...], dict[NodeId, int], list[list[tuple[int, int]]]]:
+    """Compile a graph to rank-indexed adjacency lists for the enumeration.
+
+    Nodes are relabeled to their rank in sorted-name order; edges keep
+    their :meth:`DisseminationGraph.sorted_edges` position as a *slot*
+    into parallel latency/presence arrays.  Because the relabeling is
+    monotone in node-name order, the enumeration below performs the very
+    same float operations in the very same order as the historical
+    name-keyed dictionaries did (edge iteration order and Dijkstra heap
+    tie-breaks both follow the sort order) -- only the interpreter-level
+    cost of hashing strings is gone.  This is the replay engine's single
+    hottest code path.
+    """
+    edges = graph.sorted_edges()
+    rank = {node: position for position, node in enumerate(sorted(graph.nodes))}
+    adjacency: list[list[tuple[int, int]]] = [[] for _ in rank]
+    for slot, (u, v) in enumerate(edges):
+        adjacency[rank[u]].append((rank[v], slot))
+    return edges, rank, adjacency
+
+
+def _earliest_arrival_indexed(
+    source: int,
+    destination: int,
+    adjacency: list[list[tuple[int, int]]],
+    latency: list[float],
+    present: list[bool],
 ) -> float:
-    """Dijkstra over the edges marked present; returns arrival or inf."""
-    best: dict[NodeId, float] = {source: 0.0}
-    heap: list[tuple[float, NodeId]] = [(0.0, source)]
+    """Dijkstra over the slots marked present; returns arrival or inf.
+
+    Bitwise-equal to the historical name-keyed-dictionary Dijkstra: the
+    rank relabeling preserves heap tie-break order, so the arithmetic is
+    literally the same sequence of float additions and comparisons.
+    """
+    best = [_INF] * len(adjacency)
+    best[source] = 0.0
+    heap = [(0.0, source)]
+    pop = heapq.heappop
+    push = heapq.heappush
     while heap:
-        time_now, node = heapq.heappop(heap)
+        time_now, node = pop(heap)
         if node == destination:
             return time_now
-        if time_now > best.get(node, _INF):
+        if time_now > best[node]:
             continue
-        for neighbor, latency in adjacency.get(node, {}).items():
-            if not present[(node, neighbor)]:
+        for neighbor, slot in adjacency[node]:
+            if not present[slot]:
                 continue
-            candidate = time_now + latency
-            if candidate < best.get(neighbor, _INF):
+            candidate = time_now + latency[slot]
+            if candidate < best[neighbor]:
                 best[neighbor] = candidate
-                heapq.heappush(heap, (candidate, neighbor))
-    return best.get(destination, _INF)
+                push(heap, (candidate, neighbor))
+    return best[destination]
 
 
 def delivery_probabilities_with_recovery(
@@ -119,28 +309,28 @@ def delivery_probabilities_with_recovery(
     retransmission's flight time, on the order of three link latencies.
     """
     require(deadline_ms > 0, f"deadline must be positive, got {deadline_ms}")
-    adjacency: dict[NodeId, dict[NodeId, float]] = {}
-    certain: dict[Edge, bool] = {}
-    lossy: list[tuple[Edge, float]] = []
-    for edge in graph.sorted_edges():
+    edges, rank, adjacency = _index_graph(graph)
+    latency: list[float] = []
+    present: list[bool] = []
+    lossy: list[tuple[int, float]] = []
+    for slot, edge in enumerate(edges):
         loss = loss_of(edge)
         require(0.0 <= loss <= 1.0, f"loss out of range on {edge!r}: {loss}")
-        adjacency.setdefault(edge[0], {})[edge[1]] = latency_of(edge)
-        if loss <= 0.0:
-            certain[edge] = True
-        elif loss >= 1.0:
-            # Even the retransmission is lost: permanently dead.
-            certain[edge] = False
-        else:
-            certain[edge] = False
-            lossy.append((edge, loss))
+        latency.append(latency_of(edge))
+        # Zero loss always survives; total loss never does (even the
+        # retransmission is lost: permanently dead).
+        present.append(loss <= 0.0)
+        if 0.0 < loss < 1.0:
+            lossy.append((slot, loss))
     if len(lossy) > max_lossy_edges:
         raise ReliabilityLimitError(
             f"{len(lossy)} lossy edges exceed the recovery-enumeration cap "
             f"({max_lossy_edges})"
         )
-    source, destination = graph.source, graph.destination
-    baseline = _earliest_arrival(source, destination, adjacency, certain)
+    source, destination = rank[graph.source], rank[graph.destination]
+    baseline = _earliest_arrival_indexed(
+        source, destination, adjacency, latency, present
+    )
     if baseline <= deadline_ms:
         return DeliveryProbabilities(on_time=1.0, eventually=1.0)
     if not lossy:
@@ -150,39 +340,37 @@ def delivery_probabilities_with_recovery(
     on_time_total = 0.0
     eventually_total = 0.0
     count = len(lossy)
-    present = dict(certain)
-    slow_latency = {edge: recovery_latency_of(edge) for edge, _loss in lossy}
-    base_latency = {edge: latency_of(edge) for edge, _loss in lossy}
+    slow_latency = [recovery_latency_of(edges[slot]) for slot, _loss in lossy]
+    base_latency = [latency_of(edges[slot]) for slot, _loss in lossy]
     # Edge states: 0 = fast, 1 = recovered (slow), 2 = dead.
     total_states = 3**count
     for code in range(total_states):
         probability = 1.0
         value = code
-        for edge, loss in lossy:
+        for position, (slot, loss) in enumerate(lossy):
             state = value % 3
             value //= 3
             if state == 0:
                 probability *= 1.0 - loss
-                adjacency[edge[0]][edge[1]] = base_latency[edge]
-                present[edge] = True
+                latency[slot] = base_latency[position]
+                present[slot] = True
             elif state == 1:
                 probability *= loss * (1.0 - loss)
-                adjacency[edge[0]][edge[1]] = slow_latency[edge]
-                present[edge] = True
+                latency[slot] = slow_latency[position]
+                present[slot] = True
             else:
                 probability *= loss * loss
-                present[edge] = False
+                present[slot] = False
         if probability == 0.0:
             continue
-        arrival = _earliest_arrival(source, destination, adjacency, present)
+        arrival = _earliest_arrival_indexed(
+            source, destination, adjacency, latency, present
+        )
         if arrival <= deadline_ms:
             on_time_total += probability
             eventually_total += probability
         elif arrival < _INF:
             eventually_total += probability
-    # Restore base latencies for callers sharing the adjacency view.
-    for edge, _loss in lossy:
-        adjacency[edge[0]][edge[1]] = base_latency[edge]
     return DeliveryProbabilities(
         on_time=min(1.0, on_time_total), eventually=min(1.0, eventually_total)
     )
@@ -201,77 +389,16 @@ def delivery_probabilities(
     latency and loss rate.  Raises :class:`ReliabilityLimitError` when the
     graph contains more than ``max_lossy_edges`` edges with fractional
     loss.
+
+    Implemented as :func:`classify_delivery_masks` (the Dijkstra
+    enumeration) followed by :func:`accumulate_mask_probabilities` (the
+    loss-value weighting); callers that see repeated loss-only condition
+    changes can cache the classification and skip the first phase.
     """
-    require(deadline_ms > 0, f"deadline must be positive, got {deadline_ms}")
-    adjacency: dict[NodeId, dict[NodeId, float]] = {}
-    certain: dict[Edge, bool] = {}
-    lossy: list[tuple[Edge, float]] = []
-    for edge in graph.sorted_edges():
-        loss = loss_of(edge)
-        require(0.0 <= loss <= 1.0, f"loss out of range on {edge!r}: {loss}")
-        latency = latency_of(edge)
-        require(latency >= 0.0, f"negative latency on {edge!r}: {latency}")
-        adjacency.setdefault(edge[0], {})[edge[1]] = latency
-        if loss <= 0.0:
-            certain[edge] = True
-        elif loss >= 1.0:
-            certain[edge] = False
-        else:
-            certain[edge] = False  # toggled during enumeration
-            lossy.append((edge, loss))
-    if len(lossy) > max_lossy_edges:
-        raise ReliabilityLimitError(
-            f"{len(lossy)} lossy edges exceed the exact-enumeration cap "
-            f"({max_lossy_edges})"
-        )
-
-    source, destination = graph.source, graph.destination
-
-    # Fast path: all certain edges surviving already decides both outcomes.
-    baseline = _earliest_arrival(source, destination, adjacency, certain)
-    if baseline <= deadline_ms:
-        return DeliveryProbabilities(on_time=1.0, eventually=1.0)
-    if not lossy:
-        on_time = 1.0 if baseline <= deadline_ms else 0.0
-        eventually = 1.0 if baseline < _INF else 0.0
-        return DeliveryProbabilities(on_time=on_time, eventually=eventually)
-
-    # Fast path the other way: even with every lossy edge surviving the
-    # packet cannot arrive (e.g. deadline impossible) -- probability 0.
-    present = dict(certain)
-    for edge, _loss in lossy:
-        present[edge] = True
-    best_case = _earliest_arrival(source, destination, adjacency, present)
-    best_on_time = best_case <= deadline_ms
-    best_eventually = best_case < _INF
-    if not best_eventually:
-        return DeliveryProbabilities(on_time=0.0, eventually=0.0)
-
-    on_time_total = 0.0
-    eventually_total = 0.0
-    count = len(lossy)
-    for mask in range(1 << count):
-        probability = 1.0
-        for bit, (edge, loss) in enumerate(lossy):
-            if mask >> bit & 1:
-                present[edge] = True
-                probability *= 1.0 - loss
-            else:
-                present[edge] = False
-                probability *= loss
-        if probability == 0.0:
-            continue
-        arrival = _earliest_arrival(source, destination, adjacency, present)
-        if arrival <= deadline_ms:
-            on_time_total += probability
-            eventually_total += probability
-        elif arrival < _INF:
-            eventually_total += probability
-    if not best_on_time:
-        on_time_total = 0.0  # numerical hygiene: cannot exceed best case
-    return DeliveryProbabilities(
-        on_time=min(1.0, on_time_total), eventually=min(1.0, eventually_total)
+    classification, losses = classify_delivery_masks(
+        graph, deadline_ms, latency_of, loss_of, max_lossy_edges
     )
+    return accumulate_mask_probabilities(classification, losses)
 
 
 def on_time_probability(

@@ -88,3 +88,59 @@ class TestSessionAggregation:
         assert len(session_records()) == 1
         reset_session()
         assert session_records() == ()
+
+
+class TestProbCacheCounters:
+    def test_to_dict_carries_prob_counters(self):
+        payload = _telemetry(
+            prob_hits=6,
+            prob_misses=2,
+            prob_shared_hits=3,
+            prob_mask_hits=1,
+            prob_evicted=4,
+        ).to_dict()
+        assert payload["prob_hits"] == 6
+        assert payload["prob_misses"] == 2
+        assert payload["prob_shared_hits"] == 3
+        assert payload["prob_mask_hits"] == 1
+        assert payload["prob_evicted"] == 4
+        assert payload["prob_hit_rate"] == pytest.approx(0.75)
+
+    def test_hit_rate_zero_without_lookups(self):
+        assert ExecTelemetry().prob_hit_rate == 0.0
+
+    def test_totals_sum_prob_counters(self):
+        record(_telemetry(prob_hits=10, prob_misses=5, prob_evicted=1))
+        record(
+            _telemetry(
+                prob_hits=2,
+                prob_misses=1,
+                prob_shared_hits=2,
+                prob_mask_hits=3,
+                prob_evicted=1,
+            )
+        )
+        total = session_totals()
+        assert total.prob_hits == 12
+        assert total.prob_misses == 6
+        assert total.prob_shared_hits == 2
+        assert total.prob_mask_hits == 3
+        assert total.prob_evicted == 2
+
+    def test_summary_table_shows_prob_cache_rows(self):
+        # Satellite (c): eviction telemetry must be user-visible, not
+        # just a counter buried in the JSON payload.
+        record(
+            _telemetry(
+                prob_hits=8,
+                prob_misses=2,
+                prob_shared_hits=3,
+                prob_mask_hits=5,
+                prob_evicted=7,
+            )
+        )
+        collapsed = " ".join(session_summary().split())
+        assert "prob-cache hits/misses 8/2 (80 %)" in collapsed
+        assert "prob-cache shared hits 3" in collapsed
+        assert "prob-cache mask hits 5" in collapsed
+        assert "prob-cache evictions 7" in collapsed

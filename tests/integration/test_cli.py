@@ -74,9 +74,15 @@ class TestTraceCommands:
         ) == 0
         assert trace.exists()
         capsys.readouterr()
-        assert main(["classify", "--trace", str(trace)]) == 0
+        assert main(["classify", "--trace-file", str(trace)]) == 0
         output = capsys.readouterr().out
         assert "destination" in output
+
+    def test_classify_rejects_old_trace_spelling(self, tmp_path, capsys):
+        # ``--trace`` was the pre-PR-4 spelling; classify and evaluate now
+        # agree on ``--trace-file`` for condition-trace inputs.
+        with pytest.raises(SystemExit):
+            main(["classify", "--trace", str(tmp_path / "t.jsonl")])
 
     def test_evaluate_from_trace(self, tmp_path, capsys):
         trace = tmp_path / "t.jsonl"
@@ -87,6 +93,19 @@ class TestTraceCommands:
         assert "targeted" in output
         assert "gap cov %" in output
         assert "msgs/pkt" in output
+
+    def test_evaluate_exits_nonzero_on_zero_windows(self, monkeypatch, capsys):
+        from repro.exec.telemetry import ExecTelemetry
+        from repro.netmodel.topology import ServiceSpec
+        from repro.simulation.results import ReplayConfig, ReplayResult
+
+        def empty_replay(*_args, **_kwargs):
+            return ReplayResult(ServiceSpec(), ReplayConfig()), ExecTelemetry()
+
+        monkeypatch.setattr("repro.cli.run_replay_parallel", empty_replay)
+        assert main(["evaluate", "--weeks", "0.01", "--seed", "5"]) == 2
+        # the empty result tables must not have been printed
+        assert "gap cov %" not in capsys.readouterr().out
 
     def test_evaluate_generates_when_no_trace(self, capsys):
         assert main(["evaluate", "--weeks", "0.02", "--seed", "5", "--no-cache"]) == 0

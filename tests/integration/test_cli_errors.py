@@ -18,7 +18,7 @@ class TestGracefulErrors:
         assert "unknown scenario preset" in err
 
     def test_missing_trace_file(self, capsys):
-        code = main(["classify", "--trace", "/nonexistent/trace.jsonl"])
+        code = main(["classify", "--trace-file", "/nonexistent/trace.jsonl"])
         assert code == 2
         assert "error:" in capsys.readouterr().err
 

@@ -170,5 +170,5 @@ class TestLogging:
 
     def test_errors_logged_to_stderr(self, tmp_path, capsys):
         missing = tmp_path / "nope.jsonl"
-        assert main(["classify", "--trace", str(missing)]) == 2
+        assert main(["classify", "--trace-file", str(missing)]) == 2
         assert "error:" in capsys.readouterr().err

@@ -212,3 +212,96 @@ class TestPropertyBased:
         for start, end in tl.segments():
             state = tl.state_at(EDGE, (start + end) / 2)
             assert 0.0 <= state.loss_rate <= 1.0
+
+
+class TestDegradedViews:
+    def test_matches_per_time_degraded_at(self, topology):
+        tl = timeline(
+            topology,
+            Contribution(EDGE, 10.0, 30.0, LinkState(0.4)),
+            Contribution(EDGE, 20.0, 50.0, LinkState(0.2, 15.0)),
+            Contribution(OTHER, 25.0, 60.0, LinkState(0.0, 40.0)),
+        )
+        times = [0.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 45.0, 55.0, 70.0]
+        views, deltas = tl.degraded_views(times)
+        assert len(views) == len(deltas) == len(times)
+        for time_s, view in zip(times, views):
+            assert view == tl.degraded_at(time_s)
+
+    def test_deltas_are_exact(self, topology):
+        tl = timeline(
+            topology,
+            Contribution(EDGE, 10.0, 30.0, LinkState(0.4)),
+            Contribution(OTHER, 25.0, 60.0, LinkState(0.0, 40.0)),
+        )
+        times = [0.0, 12.0, 26.0, 35.0, 65.0]
+        views, deltas = tl.degraded_views(times)
+        previous: dict = {}
+        for view, delta in zip(views, deltas):
+            changed = {
+                edge
+                for edge in set(previous) | set(view)
+                if previous.get(edge) != view.get(edge)
+            }
+            assert delta == changed
+            previous = view
+
+    def test_change_and_revert_between_queries_nets_out(self, topology):
+        # A blip that starts and ends entirely between two query times
+        # leaves both views identical; the delta must be empty, not the
+        # union of the intermediate transitions.
+        tl = timeline(
+            topology, Contribution(EDGE, 20.0, 25.0, LinkState(0.8))
+        )
+        views, deltas = tl.degraded_views([10.0, 30.0])
+        assert views == [{}, {}]
+        assert deltas == [frozenset(), frozenset()]
+
+    def test_negative_times_are_clean(self, topology):
+        tl = timeline(topology, Contribution(EDGE, 0.0, 30.0, LinkState(0.8)))
+        views, deltas = tl.degraded_views([-5.0, -1.0, 0.0])
+        assert views[0] == {}
+        assert views[1] == {}
+        assert views[2] == tl.degraded_at(0.0)
+        assert deltas[2] == frozenset({EDGE})
+
+    def test_rejects_decreasing_times(self, topology):
+        tl = timeline(topology)
+        with pytest.raises(ValidationError, match="non-decreasing"):
+            tl.degraded_views([10.0, 5.0])
+
+    def test_repeated_time_empty_delta(self, topology):
+        tl = timeline(topology, Contribution(EDGE, 0.0, 30.0, LinkState(0.8)))
+        views, deltas = tl.degraded_views([10.0, 10.0])
+        assert views[0] == views[1]
+        assert deltas[1] == frozenset()
+
+    @given(
+        query_times=st.lists(
+            st.floats(-10.0, 110.0, allow_nan=False), min_size=1, max_size=12
+        ).map(sorted)
+    )
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_walk_always_matches_point_queries(self, diamond, query_times):
+        tl = ConditionTimeline(
+            diamond,
+            100.0,
+            [
+                Contribution(EDGE, 10.0, 30.0, LinkState(0.4)),
+                Contribution(EDGE, 20.0, 50.0, LinkState(0.2, 15.0)),
+                Contribution(OTHER, 25.0, 60.0, LinkState(0.0, 40.0)),
+                Contribution(OTHER, 80.0, 95.0, LinkState(1.0)),
+            ],
+        )
+        views, _deltas = tl.degraded_views(query_times)
+        for time_s, view in zip(query_times, views):
+            if 0.0 <= time_s <= 100.0:
+                assert view == tl.degraded_at(time_s)
+            else:
+                # degraded_at rejects out-of-range queries; the walk
+                # reports them as clean instead.
+                assert view == {}

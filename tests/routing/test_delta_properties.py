@@ -1,0 +1,134 @@
+"""Delta-hinted dynamic policies must match their un-hinted behaviour.
+
+PR 5 lets the replay engines pass ``changed`` sets to ``update`` so the
+dynamic schemes can skip recomputation when no relevant edge moved.  The
+hint is an optimization, never a semantic: for every update sequence the
+hinted policy must return exactly the graphs a hint-free policy returns.
+The regression case that motivated these tests: a degraded edge whose
+``extra_latency_ms`` changes while the degraded *set* stays identical
+must still trigger a recompute, because the fingerprint's inflation
+component moved even though the exclusion set did not.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.netmodel.conditions import LinkState
+from repro.netmodel.topology import FlowSpec, ServiceSpec
+from repro.routing import DynamicSinglePathPolicy, DynamicTwoDisjointPolicy
+
+FLOW = FlowSpec("NYC", "SJC")
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+# A handful of reference-topology edges around the NYC->SJC flow; enough
+# to exercise reroutes, fallbacks, and irrelevant far-away changes.
+EDGES = (
+    ("NYC", "CHI"),
+    ("NYC", "WAS"),
+    ("CHI", "DEN"),
+    ("DEN", "SJC"),
+    ("SEA", "SJC"),
+    ("LAX", "SJC"),
+)
+
+link_states = st.builds(
+    LinkState,
+    loss_rate=st.sampled_from([0.0, 0.01, 0.05, 0.5, 1.0]),
+    extra_latency_ms=st.sampled_from([0.0, 5.0, 50.0]),
+)
+views = st.dictionaries(st.sampled_from(EDGES), link_states, max_size=4)
+view_sequences = st.lists(views, min_size=1, max_size=8)
+
+
+def true_delta(previous, current):
+    return frozenset(
+        edge
+        for edge in set(previous) | set(current)
+        if previous.get(edge) != current.get(edge)
+    )
+
+
+class TestInflationChangeRecomputes:
+    def test_degraded_edge_inflation_change_reroutes(self, diamond):
+        """Same degraded set, new inflation: the decision must move.
+
+        Both upstream links are lossy, so the policy is in its penalized
+        fallback and routes via the lower-latency S->A.  Inflating S->A
+        while the degraded set stays {S->A, S->B} must flip the choice to
+        S->B -- a cache that keyed only on the degraded set would not.
+        """
+        policy = DynamicSinglePathPolicy().attach(
+            diamond, FlowSpec("S", "T"), ServiceSpec()
+        )
+        both_lossy = {
+            ("S", "A"): LinkState(loss_rate=0.9),
+            ("S", "B"): LinkState(loss_rate=0.9),
+        }
+        baseline = policy.update(0.0, both_lossy, changed=None)
+        assert ("S", "A") in baseline.edges
+        inflated = {
+            ("S", "A"): LinkState(loss_rate=0.9, extra_latency_ms=50.0),
+            ("S", "B"): LinkState(loss_rate=0.9),
+        }
+        rerouted = policy.update(
+            1.0, inflated, changed=frozenset({("S", "A")})
+        )
+        assert ("S", "B") in rerouted.edges
+        assert ("S", "A") not in rerouted.edges
+
+    def test_subthreshold_inflation_change_recomputes(self, diamond):
+        """An inflation on a *clean* edge is relevant too."""
+        policy = DynamicSinglePathPolicy().attach(
+            diamond, FlowSpec("S", "T"), ServiceSpec()
+        )
+        baseline = policy.update(0.0, {}, changed=None)
+        assert ("S", "A") in baseline.edges
+        rerouted = policy.update(
+            1.0,
+            {("S", "A"): LinkState(extra_latency_ms=50.0)},
+            changed=frozenset({("S", "A")}),
+        )
+        assert ("S", "A") not in rerouted.edges
+
+
+class TestHintedMatchesUnhinted:
+    @given(sequence=view_sequences)
+    @SETTINGS
+    def test_dynamic_single(self, reference_topology, sequence):
+        hinted = DynamicSinglePathPolicy().attach(
+            reference_topology, FLOW, ServiceSpec()
+        )
+        plain = DynamicSinglePathPolicy().attach(
+            reference_topology, FLOW, ServiceSpec()
+        )
+        previous: dict = {}
+        for step, view in enumerate(sequence):
+            delta = true_delta(previous, view)
+            with_hint = hinted.update(float(step), view, changed=delta)
+            without = plain.update(float(step), view, changed=None)
+            assert with_hint == without, (step, view, delta)
+            previous = view
+
+    @given(sequence=view_sequences)
+    @SETTINGS
+    def test_dynamic_two_disjoint(self, reference_topology, sequence):
+        hinted = DynamicTwoDisjointPolicy().attach(
+            reference_topology, FLOW, ServiceSpec()
+        )
+        plain = DynamicTwoDisjointPolicy().attach(
+            reference_topology, FLOW, ServiceSpec()
+        )
+        previous: dict = {}
+        for step, view in enumerate(sequence):
+            delta = true_delta(previous, view)
+            with_hint = hinted.update(float(step), view, changed=delta)
+            without = plain.update(float(step), view, changed=None)
+            assert with_hint == without, (step, view, delta)
+            previous = view

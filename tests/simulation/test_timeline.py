@@ -9,10 +9,12 @@ from repro.netmodel.topology import FlowSpec, ServiceSpec
 from repro.routing.dynamic import DynamicSinglePathPolicy
 from repro.routing.static import StaticSinglePathPolicy
 from repro.simulation.timeline import (
+    _BOUNDARY_EPS,
     build_decision_timeline,
     decision_boundaries,
     graph_at,
     observed_view,
+    observed_views_with_deltas,
 )
 
 FLOW = FlowSpec("S", "T")
@@ -48,6 +50,35 @@ class TestBoundaries:
         )
         boundaries = decision_boundaries(tl, 10.0)
         assert all(b <= 100.0 for b in boundaries)
+
+    def test_near_duplicate_boundaries_are_merged(self, diamond):
+        # The 5.0 change's echo lands at 6.0; a second change begins
+        # within float noise of it.  Regression: the merged list used to
+        # keep both, creating a zero-width accumulation window.
+        tl = diamond_timeline(
+            diamond,
+            Contribution(("S", "A"), 5.0, 50.0, LinkState(0.5)),
+            Contribution(("A", "T"), 6.0 + _BOUNDARY_EPS / 2.0, 60.0, LinkState(0.5)),
+        )
+        boundaries = decision_boundaries(tl, 1.0)
+        near_six = [b for b in boundaries if 5.5 < b < 6.5]
+        assert near_six == [6.0]
+        for left, right in zip(boundaries, boundaries[1:]):
+            assert right - left > _BOUNDARY_EPS
+
+    def test_duration_survives_nearby_boundary(self, diamond):
+        # A change within float noise of the trace end must not displace
+        # the exact closing boundary.
+        tl = diamond_timeline(
+            diamond,
+            Contribution(
+                ("S", "A"), 10.0, 100.0 - _BOUNDARY_EPS / 2.0, LinkState(0.5)
+            ),
+        )
+        boundaries = decision_boundaries(tl, 0.0)
+        assert boundaries[-1] == 100.0
+        assert boundaries.count(100.0) == 1
+        assert all(b == 100.0 or b < 100.0 - _BOUNDARY_EPS for b in boundaries)
 
 
 class TestObservedView:
@@ -123,3 +154,61 @@ class TestDecisionSpans:
         policy = StaticSinglePathPolicy()
         build_decision_timeline(diamond, tl, FLOW, ServiceSpec(), policy, 1.0)
         assert policy.flow == FLOW
+
+    def test_zero_width_boundaries_rejected(self, diamond):
+        tl = diamond_timeline(diamond)
+        with pytest.raises(ValueError, match="strictly increasing"):
+            build_decision_timeline(
+                diamond,
+                tl,
+                FLOW,
+                ServiceSpec(),
+                StaticSinglePathPolicy(),
+                detection_delay_s=1.0,
+                boundaries=[0.0, 1.0, 1.0, 2.0],
+                observed_views=[{}, {}, {}],
+            )
+
+    def test_single_boundary_rejected(self, diamond):
+        tl = diamond_timeline(diamond)
+        with pytest.raises(ValueError, match="at least two"):
+            build_decision_timeline(
+                diamond,
+                tl,
+                FLOW,
+                ServiceSpec(),
+                StaticSinglePathPolicy(),
+                detection_delay_s=1.0,
+                boundaries=[0.0],
+                observed_views=[],
+            )
+
+
+class TestObservedViewsWithDeltas:
+    def test_matches_per_boundary_views(self, diamond):
+        tl = diamond_timeline(
+            diamond,
+            Contribution(("S", "A"), 10.0, 20.0, LinkState(0.5)),
+            Contribution(("A", "T"), 15.0, 30.0, LinkState(0.0, 25.0)),
+        )
+        boundaries = decision_boundaries(tl, 1.0)
+        views, deltas = observed_views_with_deltas(tl, boundaries, 1.0)
+        assert len(views) == len(deltas) == len(boundaries) - 1
+        expected = [observed_view(tl, b, 1.0) for b in boundaries[:-1]]
+        assert views == expected
+
+    def test_deltas_name_exactly_the_changed_edges(self, diamond):
+        tl = diamond_timeline(
+            diamond, Contribution(("S", "A"), 10.0, 20.0, LinkState(0.5))
+        )
+        boundaries = decision_boundaries(tl, 1.0)
+        views, deltas = observed_views_with_deltas(tl, boundaries, 1.0)
+        previous: dict = {}
+        for view, delta in zip(views, deltas):
+            changed = {
+                edge
+                for edge in set(previous) | set(view)
+                if previous.get(edge) != view.get(edge)
+            }
+            assert delta == changed
+            previous = view
