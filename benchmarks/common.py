@@ -36,7 +36,7 @@ import os
 from pathlib import Path
 
 from repro.exec.engine import run_replay_parallel
-from repro.exec.telemetry import ExecTelemetry, session_records
+from repro.exec.telemetry import aggregate_telemetry, session_records
 from repro.netmodel.scenarios import WEEK_S, Scenario, generate_timeline
 from repro.netmodel.topology import (
     ServiceSpec,
@@ -128,29 +128,8 @@ def _telemetry_delta() -> dict | None:
     then documents that the bench reused an earlier replay.
     """
     records = session_records()[_telemetry_mark:]
-    if not records:
-        return None
-    total = ExecTelemetry(
-        label=f"bench ({len(records)} run(s))",
-        workers=max(t.workers for t in records),
-        time_shards=max(t.time_shards for t in records),
-    )
-    for telemetry in records:
-        total.shards_total += telemetry.shards_total
-        total.shards_run += telemetry.shards_run
-        total.shards_cached += telemetry.shards_cached
-        total.shards_retried += telemetry.shards_retried
-        total.shards_fallback += telemetry.shards_fallback
-        total.cache_corrupt += telemetry.cache_corrupt
-        total.cache_evicted += telemetry.cache_evicted
-        total.prob_hits += telemetry.prob_hits
-        total.prob_misses += telemetry.prob_misses
-        total.prob_shared_hits += telemetry.prob_shared_hits
-        total.prob_mask_hits += telemetry.prob_mask_hits
-        total.prob_evicted += telemetry.prob_evicted
-        total.wall_time_s += telemetry.wall_time_s
-        total.shard_wall_s.extend(telemetry.shard_wall_s)
-    return total.to_dict()
+    total = aggregate_telemetry(records, label=f"bench ({len(records)} run(s))")
+    return None if total is None else total.to_dict()
 
 
 def flush_bench_json(exp: str) -> Path:

@@ -17,7 +17,13 @@ Subcommands mirror the evaluation workflow:
   result cache;
 * ``obs`` -- inspect a traced run's artifacts: ``summary`` (manifest),
   ``export`` (rebuild Chrome trace JSON from the span log), ``flight``
-  (list flight-recorder snapshots).
+  (list flight-recorder snapshots);
+* ``serve`` -- start the evaluation daemon (:mod:`repro.serve`): a
+  long-lived localhost HTTP service with warm caches, admission
+  control, and streaming JSONL results;
+* ``client`` -- talk to a running daemon: ``evaluate`` / ``classify`` /
+  ``chaos`` submit work, ``status`` and ``shutdown`` manage it, and
+  ``submit --file`` sends a raw JSON request document.
 
 ``evaluate`` and ``chaos`` accept ``--trace`` to record the run with
 the :mod:`repro.obs` observability layer and ``--trace-out`` to choose
@@ -461,6 +467,169 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import ServeConfig, serve_main
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        max_active=args.max_active,
+        max_queue=args.max_queue,
+        workers=args.workers,
+        contexts=args.contexts,
+        cache_dir=args.cache_dir,
+        use_disk_cache=not args.no_cache,
+    )
+    return asyncio.run(serve_main(config))
+
+
+def _split_names(value: str | None) -> tuple[str, ...] | None:
+    if value is None:
+        return None
+    names = tuple(name.strip() for name in value.split(",") if name.strip())
+    return names or None
+
+
+def _client_request(args: argparse.Namespace):
+    """Build the wire payload for one ``repro client`` invocation."""
+    import json
+
+    from repro.serve import ChaosRequest, ClassifyRequest, EvaluateRequest
+
+    if args.action == "submit":
+        try:
+            with open(args.file, encoding="utf-8") as handle:
+                return json.load(handle)
+        except json.JSONDecodeError as error:
+            raise ValueError(
+                f"request file {args.file} is not valid JSON: {error}"
+            ) from error
+    if args.action == "evaluate":
+        return EvaluateRequest(
+            weeks=args.weeks,
+            seed=args.seed,
+            preset=args.preset,
+            deadline_ms=args.deadline_ms,
+            detection_delay_s=args.detection_delay_s,
+            time_shards=args.time_shards,
+            workers=args.workers,
+            schemes=_split_names(args.schemes),
+            flows=_split_names(args.flows),
+            use_cache=not args.no_cache,
+        )
+    if args.action == "classify":
+        return ClassifyRequest(
+            weeks=args.weeks,
+            seed=args.seed,
+            preset=args.preset,
+            deadline_ms=args.deadline_ms,
+        )
+    assert args.action == "chaos"
+    return ChaosRequest(
+        seed=args.seed,
+        duration_s=args.duration,
+        schemes=_split_names(args.schemes) or ("targeted", "static-single"),
+        flows=_split_names(args.flows),
+        crashes=args.crashes,
+        blackholes=args.blackholes,
+        partitions=args.partitions,
+        stalls=args.stalls,
+        message_windows=args.message_windows,
+        deadline_ms=args.deadline_ms,
+        send_interval_ms=args.send_interval_ms,
+    )
+
+
+def _print_client_result(args: argparse.Namespace, result: dict, manifest: dict) -> int:
+    """Render a served result; returns the exit code (chaos violations -> 1)."""
+    import json
+
+    if args.json:
+        print(json.dumps({"result": result, "manifest": manifest}, indent=1,
+                         sort_keys=True))
+    elif args.action == "evaluate" or "schemes" in result:
+        print(f"{'scheme':<22} {'availability':>13} {'avg msgs/pkt':>13}")
+        for row in result.get("schemes", ()):
+            print(
+                f"{row['scheme']:<22} {row['availability']:>13.6f} "
+                f"{row['average_cost_messages']:>13.2f}"
+            )
+    elif "distribution" in result:
+        print(f"{'category':<28} {'fraction':>9} {'count':>6}")
+        counts = result.get("counts", {})
+        for category, fraction in sorted(result["distribution"].items()):
+            print(
+                f"{category:<28} {fraction:>9.4f} "
+                f"{counts.get(category, 0):>6}"
+            )
+    elif "rows" in result:
+        print(f"{'scheme':<22} {'flow':<12} {'sent':>6} {'on-time':>8} "
+              f"{'fraction':>9} {'violations':>11}")
+        for row in result["rows"]:
+            print(
+                f"{row['scheme']:<22} {row['flow']:<12} {row['sent']:>6} "
+                f"{row['on_time']:>8} {row['on_time_fraction']:>9.3f} "
+                f"{row['violations']:>11}"
+            )
+    serve_extra = manifest.get("extra", {}).get("serve", {})
+    cache_bits = []
+    if "context_warm" in serve_extra:
+        cache_bits.append(f"context_warm={serve_extra['context_warm']}")
+    if "shards_cached" in serve_extra:
+        cache_bits.append(f"shards_cached={serve_extra['shards_cached']}")
+    if cache_bits and not args.json:
+        print(f"cache: {' '.join(cache_bits)}")
+    violations = result.get("violations")
+    if violations:
+        _LOG.error("%d invariant violation(s) reported by the server", violations)
+        return 1
+    return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve import ServeClient, ServerError, ServerRejected
+
+    client = ServeClient(host=args.host, port=args.port, timeout_s=args.timeout)
+    if args.action == "status":
+        print(json.dumps(client.status(), indent=1, sort_keys=True))
+        return 0
+    if args.action == "shutdown":
+        outcome = client.shutdown()
+        print(
+            f"server drained and stopped: {outcome.get('completed', 0)} "
+            f"completed, {outcome.get('failed', 0)} failed, "
+            f"{outcome.get('rejected', 0)} rejected"
+        )
+        return 0
+    request = _client_request(args)
+    try:
+        result, manifest, progress = client.run(request)
+    except ServerRejected as rejected:
+        hint = (
+            f"; retry in {rejected.retry_after_s:g}s"
+            if rejected.retry_after_s is not None
+            else ""
+        )
+        _LOG.error("request rejected: %s%s", rejected.reason, hint)
+        return 1
+    except ServerError as error:
+        _LOG.error("request failed: %s", error)
+        return 1
+    if not args.json:
+        for event in progress:
+            detail = ", ".join(
+                f"{key}={value}"
+                for key, value in sorted(event.items())
+                if key not in ("event", "phase")
+            )
+            print(f"[{event.get('phase')}] {detail}")
+    return _print_client_result(args, result, manifest)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -616,6 +785,137 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", help="(export) output path (default: <dir>/trace.json)"
     )
     obs.set_defaults(handler=_cmd_obs)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="start the evaluation daemon (warm caches, admission control, "
+        "streaming JSONL results)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8787,
+        help="TCP port (default: 8787; 0 picks an ephemeral port)",
+    )
+    serve.add_argument(
+        "--max-active",
+        type=int,
+        default=2,
+        help="requests running concurrently (default: 2)",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=8,
+        help="admitted requests allowed to wait for a slot; beyond this "
+        "the server answers 429 with a Retry-After hint (default: 8)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="per-request cap on exec worker processes "
+        "(0 = in-process serial; default: 0)",
+    )
+    serve.add_argument(
+        "--contexts",
+        type=int,
+        default=4,
+        help="warm shard-context LRU capacity (default: 4)",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        help="shared result cache directory (default: $REPRO_EXEC_CACHE_DIR "
+        "or ~/.cache/repro-dgraphs/exec)",
+    )
+    serve.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="serve without the content-addressed disk cache",
+    )
+    serve.set_defaults(handler=_cmd_serve)
+
+    client = subparsers.add_parser(
+        "client", help="talk to a running evaluation daemon"
+    )
+    client_common = argparse.ArgumentParser(add_help=False)
+    client_common.add_argument("--host", default="127.0.0.1")
+    client_common.add_argument("--port", type=int, default=8787)
+    client_common.add_argument(
+        "--timeout", type=float, default=600.0, help="socket timeout (seconds)"
+    )
+    client_common.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw result and manifest as JSON",
+    )
+    actions = client.add_subparsers(dest="action", required=True)
+
+    c_eval = actions.add_parser(
+        "evaluate", parents=[client_common], help="submit an evaluation request"
+    )
+    c_eval.add_argument("--weeks", type=float, default=1.0)
+    c_eval.add_argument("--seed", type=int, default=7)
+    c_eval.add_argument("--preset", default="default")
+    c_eval.add_argument("--deadline-ms", type=float, default=65.0)
+    c_eval.add_argument("--detection-delay-s", type=float, default=1.0)
+    c_eval.add_argument("--time-shards", type=int, default=1)
+    c_eval.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="requested worker processes (capped by the server's budget)",
+    )
+    c_eval.add_argument("--schemes", help="comma-separated scheme names")
+    c_eval.add_argument("--flows", help="comma-separated flow names")
+    c_eval.add_argument(
+        "--no-cache", action="store_true", help="ask the server to skip its disk cache"
+    )
+    c_eval.set_defaults(handler=_cmd_client)
+
+    c_classify = actions.add_parser(
+        "classify", parents=[client_common], help="submit a classification request"
+    )
+    c_classify.add_argument("--weeks", type=float, default=1.0)
+    c_classify.add_argument("--seed", type=int, default=7)
+    c_classify.add_argument("--preset", default="default")
+    c_classify.add_argument("--deadline-ms", type=float, default=65.0)
+    c_classify.set_defaults(handler=_cmd_client)
+
+    c_chaos = actions.add_parser(
+        "chaos", parents=[client_common], help="submit a chaos request"
+    )
+    c_chaos.add_argument("--seed", type=int, default=7)
+    c_chaos.add_argument("--duration", type=float, default=30.0)
+    c_chaos.add_argument("--schemes", help="comma-separated scheme names")
+    c_chaos.add_argument("--flows", help="comma-separated flow names")
+    c_chaos.add_argument("--crashes", type=int, default=1)
+    c_chaos.add_argument("--blackholes", type=int, default=1)
+    c_chaos.add_argument("--partitions", type=int, default=0)
+    c_chaos.add_argument("--stalls", type=int, default=0)
+    c_chaos.add_argument("--message-windows", type=int, default=0)
+    c_chaos.add_argument("--deadline-ms", type=float, default=65.0)
+    c_chaos.add_argument("--send-interval-ms", type=float, default=50.0)
+    c_chaos.set_defaults(handler=_cmd_client)
+
+    c_status = actions.add_parser(
+        "status", parents=[client_common], help="print the server status JSON"
+    )
+    c_status.set_defaults(handler=_cmd_client)
+
+    c_shutdown = actions.add_parser(
+        "shutdown", parents=[client_common], help="drain and stop the server"
+    )
+    c_shutdown.set_defaults(handler=_cmd_client)
+
+    c_submit = actions.add_parser(
+        "submit",
+        parents=[client_common],
+        help="submit a raw JSON request document",
+    )
+    c_submit.add_argument("--file", required=True, help="path to the request JSON")
+    c_submit.set_defaults(handler=_cmd_client)
 
     return parser
 

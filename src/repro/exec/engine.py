@@ -212,6 +212,7 @@ def run_replay_parallel(
     executor_factory: Callable | None = None,
     label: str = "replay",
     obs: "Observability | None" = None,
+    context: ShardContext | None = None,
 ) -> tuple[ReplayResult, ExecTelemetry]:
     """Replay every flow under every scheme via the execution engine.
 
@@ -222,6 +223,16 @@ def run_replay_parallel(
     ``obs`` (an :class:`repro.obs.Observability`) records shard spans,
     cache-hit instants, ``exec.*`` counters mirroring the telemetry, and
     per-scheme ``replay.*`` counters mirroring the merged totals.
+
+    ``context`` supplies a pre-built (warm) :class:`ShardContext` for
+    in-process shard runs, so a long-lived caller (the ``repro serve``
+    daemon) reuses the probability memo and mask-classification cache
+    across invocations.  It MUST have been built from the same topology,
+    timeline, service and config; results stay bitwise-identical because
+    cache sharing is canonical-key exact.  When the context's cache is
+    shared with concurrent invocations, the per-run ``prob_*`` counter
+    deltas may include the other runs' activity (telemetry only -- the
+    replay output is unaffected).
     """
     require(bool(flows), "need at least one flow")
     require(bool(scheme_names), "need at least one scheme")
@@ -244,11 +255,11 @@ def run_replay_parallel(
     if use_cache:
         if cache is None:
             cache = ResultCache(cache_dir)
-        context = context_key(topology, timeline, service, config)
+        context_digest = context_key(topology, timeline, service, config)
         corrupt_before = cache.corrupt
         for shard in plan:
             keys[shard] = shard_key(
-                context,
+                context_digest,
                 shard.flow,
                 shard.scheme,
                 shard.start_s,
@@ -265,7 +276,7 @@ def run_replay_parallel(
         telemetry.cache_corrupt = cache.corrupt - corrupt_before
 
     pending = [shard for shard in plan if shard not in results]
-    local_context: ShardContext | None = None
+    local_context: ShardContext | None = context
 
     def run_locally(shard: ShardSpec) -> ShardResult:
         nonlocal local_context

@@ -1,26 +1,44 @@
 """Executor telemetry: what ran where, and how long it took.
 
 Every engine invocation produces one :class:`ExecTelemetry` record and
-appends it to a process-wide session register, so entry points that run
-many replays (the bench suite, seed sweeps) can print one aggregate
-summary at the end -- shards run vs. served from cache, retries, serial
-fallbacks, wall time, and worker utilization.
+appends it to the *current* :class:`TelemetrySession`, so entry points
+that run many replays (the bench suite, seed sweeps) can print one
+aggregate summary at the end -- shards run vs. served from cache,
+retries, serial fallbacks, wall time, and worker utilization.
+
+Sessions are scoped, not process-global: the default session covers the
+whole process (the historical behaviour), while :func:`telemetry_session`
+installs a fresh session for the current context.  The current session
+lives in a :mod:`contextvars` variable, so concurrently running requests
+(the ``repro serve`` daemon runs each request under its own session via
+``asyncio.to_thread``, which copies the context) record into disjoint
+registers -- ``session_totals`` never bleeds counts between requests.
+A plain ``threading.Thread`` starts from an empty context and therefore
+records into the process-wide default session unless the thread enters
+``telemetry_session`` itself.
 """
 
 from __future__ import annotations
 
+import contextvars
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Iterator, Sequence
 
 from repro.util.tables import render_table
 
 __all__ = [
     "ExecTelemetry",
+    "TelemetrySession",
+    "aggregate_telemetry",
+    "current_session",
     "record",
     "reset_session",
     "session_records",
     "session_summary",
     "session_totals",
+    "telemetry_session",
 ]
 
 
@@ -128,39 +146,24 @@ class ExecTelemetry:
 
 # -- session aggregation ---------------------------------------------------------
 
-_SESSION: list[ExecTelemetry] = []
 
-
-def record(telemetry: ExecTelemetry) -> None:
-    """Append one engine invocation to the session register."""
-    _SESSION.append(telemetry)
-
-
-def session_records() -> Sequence[ExecTelemetry]:
-    """All engine invocations recorded so far in this process."""
-    return tuple(_SESSION)
-
-
-def reset_session() -> None:
-    """Forget all recorded invocations (used by tests and long sessions)."""
-    _SESSION.clear()
-
-
-def session_totals() -> ExecTelemetry | None:
-    """Every counter summed across recorded invocations, or ``None``.
+def aggregate_telemetry(
+    records: Sequence[ExecTelemetry], label: str | None = None
+) -> ExecTelemetry | None:
+    """Every counter summed across ``records``, or ``None`` when empty.
 
     Cache-health counters (``cache_corrupt``/``cache_evicted``) are
     aggregated along with the shard counters, so a corruption observed in
     any run of the session survives into the aggregate record.
     """
-    if not _SESSION:
+    if not records:
         return None
     total = ExecTelemetry(
-        label=f"session ({len(_SESSION)} runs)",
-        workers=max(t.workers for t in _SESSION),
-        time_shards=max(t.time_shards for t in _SESSION),
+        label=label or f"session ({len(records)} runs)",
+        workers=max(t.workers for t in records),
+        time_shards=max(t.time_shards for t in records),
     )
-    for telemetry in _SESSION:
+    for telemetry in records:
         total.shards_total += telemetry.shards_total
         total.shards_run += telemetry.shards_run
         total.shards_cached += telemetry.shards_cached
@@ -176,6 +179,87 @@ def session_totals() -> ExecTelemetry | None:
         total.wall_time_s += telemetry.wall_time_s
         total.shard_wall_s.extend(telemetry.shard_wall_s)
     return total
+
+
+class TelemetrySession:
+    """One scope of engine invocations (a process, or one served request).
+
+    Appends are lock-protected: one session may legitimately receive
+    records from several threads (a request that fans out replays).
+    """
+
+    def __init__(self, label: str = "session") -> None:
+        self.label = label
+        self._records: list[ExecTelemetry] = []
+        self._lock = threading.Lock()
+
+    def add(self, telemetry: ExecTelemetry) -> None:
+        with self._lock:
+            self._records.append(telemetry)
+
+    def records(self) -> Sequence[ExecTelemetry]:
+        with self._lock:
+            return tuple(self._records)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+
+    def totals(self) -> ExecTelemetry | None:
+        """Aggregate record over this session's invocations, or ``None``."""
+        records = self.records()
+        return aggregate_telemetry(
+            records, label=f"{self.label} ({len(records)} runs)"
+        )
+
+
+#: The process-wide default session (the historical register).
+_DEFAULT_SESSION = TelemetrySession("session")
+
+_CURRENT_SESSION: contextvars.ContextVar[TelemetrySession] = (
+    contextvars.ContextVar("exec_telemetry_session", default=_DEFAULT_SESSION)
+)
+
+
+def current_session() -> TelemetrySession:
+    """The session engine invocations record into in this context."""
+    return _CURRENT_SESSION.get()
+
+
+@contextmanager
+def telemetry_session(label: str = "session") -> Iterator[TelemetrySession]:
+    """Scope a fresh session to the current context.
+
+    Engine invocations inside the ``with`` block (including work handed
+    to ``asyncio.to_thread``, which copies the context) record into the
+    yielded session instead of the enclosing one.
+    """
+    session = TelemetrySession(label)
+    token = _CURRENT_SESSION.set(session)
+    try:
+        yield session
+    finally:
+        _CURRENT_SESSION.reset(token)
+
+
+def record(telemetry: ExecTelemetry) -> None:
+    """Append one engine invocation to the current session's register."""
+    current_session().add(telemetry)
+
+
+def session_records() -> Sequence[ExecTelemetry]:
+    """All engine invocations recorded so far in the current session."""
+    return current_session().records()
+
+
+def reset_session() -> None:
+    """Forget the current session's records (tests and long sessions)."""
+    current_session().clear()
+
+
+def session_totals() -> ExecTelemetry | None:
+    """Every counter summed across the current session, or ``None``."""
+    return current_session().totals()
 
 
 def session_summary() -> str | None:

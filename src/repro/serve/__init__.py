@@ -1,0 +1,62 @@
+"""Evaluation-as-a-service: a warm daemon in front of the exec engine.
+
+``repro serve`` starts a long-lived localhost HTTP daemon that accepts
+evaluation, classification, and chaos requests as JSON and streams
+results back as JSONL events.  What the daemon buys over the cold CLI
+is *warmth*: the probability memo, the mask-classification cache, and
+the content-addressed exec shard cache all survive between requests, so
+repeated or overlapping workloads skip straight to cached work -- while
+the execution engine's exact-equivalence contract keeps every served
+result bitwise identical to a cold serial run.
+
+Layering (each module depends only on those above it):
+
+* :mod:`repro.serve.schema` -- versioned wire protocol (requests, events);
+* :mod:`repro.serve.state` -- server-lifetime warm state and counters;
+* :mod:`repro.serve.scheduler` -- admission control and graceful drain;
+* :mod:`repro.serve.session` -- one request, executed in a worker thread;
+* :mod:`repro.serve.server` -- the asyncio HTTP daemon itself;
+* :mod:`repro.serve.client` -- the matching ``repro client`` library.
+"""
+
+from repro.serve.client import ServeClient, ServerError, ServerRejected
+from repro.serve.schema import (
+    PROTOCOL_VERSION,
+    ChaosRequest,
+    ClassifyRequest,
+    EvaluateRequest,
+    Request,
+    parse_request,
+    request_to_payload,
+)
+from repro.serve.scheduler import RequestRejected, Scheduler
+from repro.serve.server import (
+    DEFAULT_PORT,
+    EvalServer,
+    ServeConfig,
+    ServerThread,
+    serve_main,
+)
+from repro.serve.state import ContextCache, ServeRuntime
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "DEFAULT_PORT",
+    "ChaosRequest",
+    "ClassifyRequest",
+    "ContextCache",
+    "EvalServer",
+    "EvaluateRequest",
+    "Request",
+    "RequestRejected",
+    "Scheduler",
+    "ServeClient",
+    "ServeConfig",
+    "ServeRuntime",
+    "ServerError",
+    "ServerRejected",
+    "ServerThread",
+    "parse_request",
+    "request_to_payload",
+    "serve_main",
+]

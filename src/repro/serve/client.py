@@ -1,0 +1,190 @@
+"""Client for the evaluation daemon (``repro client`` under the hood).
+
+A thin ``http.client`` wrapper speaking the :mod:`repro.serve.schema`
+protocol: ``submit`` POSTs one request document and yields the chunked
+JSONL event stream as parsed dicts; ``status`` and ``shutdown`` are
+single JSON round-trips.
+
+Failure mapping keeps CLI errors one-line: a connection refusal becomes
+``ValidationError("server unreachable ...")``, an admission rejection
+becomes :class:`ServerRejected` (so callers can surface the
+``retry_after_s`` hint), and any HTTP error status with an ``error``
+event body becomes :class:`ServerError` carrying that one-line text.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+from typing import Iterator
+
+from repro.serve.schema import Request, request_to_payload
+from repro.util.validation import ValidationError
+
+__all__ = ["ServeClient", "ServerError", "ServerRejected"]
+
+
+class ServerError(Exception):
+    """The server answered with an error status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServerRejected(ServerError):
+    """Admission control turned the request away (429/503)."""
+
+    def __init__(
+        self, status: int, reason: str, retry_after_s: float | None
+    ) -> None:
+        super().__init__(status, reason)
+        self.reason = reason
+        self.retry_after_s = retry_after_s
+
+
+class ServeClient:
+    """One server endpoint; each call opens a fresh connection."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8787, timeout_s: float = 600.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+
+    # -- plumbing --------------------------------------------------------------
+
+    def _connect(self) -> http.client.HTTPConnection:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s
+        )
+        try:
+            connection.connect()
+        except (ConnectionRefusedError, socket.gaierror, OSError) as error:
+            connection.close()
+            raise ValidationError(
+                f"server unreachable at {self.host}:{self.port} "
+                f"(is `repro serve` running?): {error}"
+            ) from error
+        return connection
+
+    @staticmethod
+    def _read_json(response: http.client.HTTPResponse) -> dict:
+        try:
+            return json.loads(response.read().decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ServerError(
+                response.status, f"malformed server response: {error}"
+            ) from error
+
+    @classmethod
+    def _raise_for_status(
+        cls, response: http.client.HTTPResponse
+    ) -> None:
+        if response.status < 400:
+            return
+        payload = cls._read_json(response)
+        if payload.get("event") == "rejected":
+            retry_after = payload.get("retry_after_s")
+            raise ServerRejected(
+                response.status,
+                str(payload.get("reason", "rejected")),
+                float(retry_after) if retry_after is not None else None,
+            )
+        raise ServerError(
+            response.status,
+            str(payload.get("error", f"server returned {response.status}")),
+        )
+
+    # -- endpoints -------------------------------------------------------------
+
+    def status(self) -> dict:
+        """One ``GET /v1/status`` round-trip."""
+        connection = self._connect()
+        try:
+            connection.request("GET", "/v1/status")
+            response = connection.getresponse()
+            self._raise_for_status(response)
+            return self._read_json(response)
+        finally:
+            connection.close()
+
+    def shutdown(self) -> dict:
+        """Ask the server to drain and stop; returns its final counters."""
+        connection = self._connect()
+        try:
+            connection.request("POST", "/v1/shutdown")
+            response = connection.getresponse()
+            self._raise_for_status(response)
+            return self._read_json(response)
+        finally:
+            connection.close()
+
+    def submit(self, request: Request | dict) -> Iterator[dict]:
+        """Submit one request and yield its event stream as dicts.
+
+        ``request`` may be a typed request object or an already-shaped
+        wire payload (a dict with ``version``/``kind``).  Raises
+        :class:`ServerRejected` on 429/503 and :class:`ServerError` on
+        any other error status; events after acceptance (including a
+        terminal ``error`` event) are yielded to the caller as data.
+        """
+        payload = (
+            request if isinstance(request, dict) else request_to_payload(request)
+        )
+        body = json.dumps(payload).encode("utf-8")
+        connection = self._connect()
+        try:
+            connection.request(
+                "POST",
+                "/v1/submit",
+                body=body,
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            self._raise_for_status(response)
+            # http.client strips the chunked framing; readline() yields
+            # exactly the JSONL lines the server wrote.
+            while True:
+                line = response.readline()
+                if not line:
+                    return
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    yield json.loads(line.decode("utf-8"))
+                except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                    raise ServerError(
+                        response.status, f"malformed event line: {error}"
+                    ) from error
+        finally:
+            connection.close()
+
+    def run(self, request: Request | dict) -> tuple[dict, dict, list[dict]]:
+        """Submit and collect: returns (result, manifest, progress events).
+
+        Raises :class:`ServerError` if the stream ends in an ``error``
+        event or without a result/manifest pair.
+        """
+        result: dict | None = None
+        manifest: dict | None = None
+        progress: list[dict] = []
+        for event in self.submit(request):
+            name = event.get("event")
+            if name == "result":
+                result = event.get("data", {})
+            elif name == "manifest":
+                manifest = event.get("data", {})
+            elif name == "error":
+                raise ServerError(
+                    int(event.get("code", 500)),
+                    str(event.get("error", "request failed")),
+                )
+            elif name == "progress":
+                progress.append(event)
+        if result is None or manifest is None:
+            raise ServerError(500, "stream ended before result and manifest")
+        return result, manifest, progress

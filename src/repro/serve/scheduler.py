@@ -1,0 +1,148 @@
+"""Admission control for the evaluation daemon.
+
+The scheduler bounds how much work the daemon accepts: at most
+``max_active`` requests run concurrently and at most ``max_queue`` more
+may wait for a slot.  A request beyond that is rejected *immediately*
+with a ``retry_after_s`` hint (HTTP 429 semantics) instead of piling up
+latency for everyone -- the reliable-service framing of the paper
+applied to the evaluation plane: predictable service for admitted work
+beats best-effort service for unbounded work.
+
+``drain()`` implements graceful shutdown (SIGTERM): new submissions are
+rejected with 503 semantics while everything already admitted -- active
+*and* queued -- runs to completion; the coroutine returns once the
+scheduler is idle.
+
+All state lives on the event loop (no locks); request bodies execute in
+worker threads, but admission, release, and the queue-depth gauge are
+loop-only transitions.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from contextlib import asynccontextmanager
+from typing import AsyncIterator
+
+from repro.obs import Observability
+from repro.util.validation import require
+
+__all__ = ["RequestRejected", "Scheduler"]
+
+#: retry-after fallback before any request has completed (seconds).
+_DEFAULT_WALL_GUESS_S = 1.0
+
+
+class RequestRejected(Exception):
+    """Admission control turned a request away.
+
+    ``status`` is the HTTP status to answer with (429 queue-full, 503
+    draining); ``retry_after_s`` is the client's back-off hint.
+    """
+
+    def __init__(self, reason: str, retry_after_s: float, status: int) -> None:
+        super().__init__(reason)
+        self.reason = reason
+        self.retry_after_s = retry_after_s
+        self.status = status
+
+
+class Scheduler:
+    """Bounded concurrency + bounded queue + graceful drain."""
+
+    def __init__(
+        self,
+        max_active: int = 2,
+        max_queue: int = 8,
+        obs: Observability | None = None,
+    ) -> None:
+        require(max_active >= 1, f"max_active must be >= 1, got {max_active}")
+        require(max_queue >= 0, f"max_queue must be >= 0, got {max_queue}")
+        self.max_active = max_active
+        self.max_queue = max_queue
+        self.active = 0
+        self.queued = 0
+        self.draining = False
+        self._semaphore = asyncio.Semaphore(max_active)
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._recent_wall_s: deque[float] = deque(maxlen=16)
+        self._obs = obs
+
+    # -- admission -------------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        """Requests currently admitted (active + queued)."""
+        return self.active + self.queued
+
+    def retry_after_s(self) -> float:
+        """Back-off hint: queue drain time at the recent mean wall time."""
+        if self._recent_wall_s:
+            mean_wall = sum(self._recent_wall_s) / len(self._recent_wall_s)
+        else:
+            mean_wall = _DEFAULT_WALL_GUESS_S
+        waves = (self.depth // self.max_active) + 1
+        return round(max(0.1, mean_wall * waves), 3)
+
+    @asynccontextmanager
+    async def slot(self) -> AsyncIterator[None]:
+        """Admit one request and hold a run slot for the ``with`` body.
+
+        Raises :class:`RequestRejected` without queueing when the server
+        is draining or the queue is full.
+        """
+        if self.draining:
+            raise RequestRejected(
+                "server is draining", self.retry_after_s(), status=503
+            )
+        if self.depth >= self.max_active + self.max_queue:
+            raise RequestRejected(
+                f"queue full ({self.queued} waiting, {self.active} active)",
+                self.retry_after_s(),
+                status=429,
+            )
+        self.queued += 1
+        self._idle.clear()
+        self._note_depth()
+        try:
+            await self._semaphore.acquire()
+        except BaseException:
+            self.queued -= 1
+            self._note_depth()
+            self._check_idle()
+            raise
+        self.queued -= 1
+        self.active += 1
+        self._note_depth()
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.active -= 1
+            self._semaphore.release()
+            self._recent_wall_s.append(time.perf_counter() - started)
+            self._note_depth()
+            self._check_idle()
+
+    # -- drain -----------------------------------------------------------------
+
+    async def drain(self) -> None:
+        """Stop admitting; return once all admitted work has finished."""
+        self.draining = True
+        if self.depth == 0:
+            self._idle.set()
+        await self._idle.wait()
+
+    # -- internals -------------------------------------------------------------
+
+    def _check_idle(self) -> None:
+        if self.depth == 0:
+            self._idle.set()
+
+    def _note_depth(self) -> None:
+        if self._obs is not None:
+            self._obs.metrics.gauge("serve.queue_depth").set(self.queued)
+            self._obs.metrics.gauge("serve.active").set(self.active)

@@ -1,0 +1,317 @@
+"""One served request, executed end to end in a worker thread.
+
+``execute_request`` dispatches a validated request against the shared
+:class:`~repro.serve.state.ServeRuntime` and returns ``(result payload,
+run manifest)``.  It runs inside ``asyncio.to_thread``; the event loop
+passes an ``emit`` callback for streaming ``progress`` events back to
+the client while the work is still running.
+
+Telemetry scoping: every request runs under its own
+:func:`repro.exec.telemetry.telemetry_session`, so the exec counters in
+its manifest cover exactly the engine invocations this request
+triggered -- concurrently running requests never bleed into each
+other's ``session_totals``.  (``asyncio.to_thread`` copies the caller's
+context, but the session is entered *inside* the thread here, which
+scopes it regardless of how the thread was spawned.)
+
+Bitwise equivalence: the evaluation path is the execution engine's
+(`run_replay_parallel`), fed with a warm shard context and the shared
+disk cache; both layers preserve exact equality with a cold serial
+replay, so serving changes latency, never results.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.exec.engine import run_replay_parallel
+from repro.exec.telemetry import telemetry_session
+from repro.netmodel.scenarios import WEEK_S, generate_timeline
+from repro.netmodel.presets import preset_scenario
+from repro.netmodel.topology import ServiceSpec
+from repro.obs import RunManifest, topology_fingerprint
+from repro.routing.registry import STANDARD_SCHEME_NAMES, make_policy
+from repro.serve.schema import (
+    ChaosRequest,
+    ClassifyRequest,
+    EvaluateRequest,
+    Request,
+    make_event,
+)
+from repro.serve.state import ServeRuntime
+from repro.simulation.results import ReplayConfig
+from repro.util.validation import fail, require
+
+__all__ = ["execute_request"]
+
+Emit = Callable[[dict], None]
+
+
+def _progress(emit: Emit, phase: str, **detail: object) -> None:
+    emit(make_event("progress", phase=phase, **detail))
+
+
+def execute_request(
+    runtime: ServeRuntime, request: Request, request_id: str, emit: Emit
+) -> tuple[dict, RunManifest]:
+    """Run one request to completion; returns (result payload, manifest)."""
+    if isinstance(request, EvaluateRequest):
+        return _run_evaluate(runtime, request, request_id, emit)
+    if isinstance(request, ClassifyRequest):
+        return _run_classify(runtime, request, request_id, emit)
+    if isinstance(request, ChaosRequest):
+        return _run_chaos(runtime, request, request_id, emit)
+    fail(f"unsupported request kind {type(request).__name__}")
+
+
+# -- evaluate ---------------------------------------------------------------------
+
+
+def _run_evaluate(
+    runtime: ServeRuntime, request: EvaluateRequest, request_id: str, emit: Emit
+) -> tuple[dict, RunManifest]:
+    topology = runtime.topology
+    schemes = tuple(request.schemes or STANDARD_SCHEME_NAMES)
+    for scheme in schemes:
+        make_policy(scheme)  # unknown names fail before any work
+    flows = runtime.select_flows(request.flows)
+    service = ServiceSpec(deadline_ms=request.deadline_ms)
+    config = ReplayConfig(detection_delay_s=request.detection_delay_s)
+
+    _progress(emit, "generate-trace", weeks=request.weeks, seed=request.seed)
+    scenario = preset_scenario(
+        request.preset, duration_s=request.weeks * WEEK_S
+    )
+    events, timeline = generate_timeline(topology, scenario, seed=request.seed)
+
+    context, context_warm = runtime.contexts.get(
+        topology, timeline, service, config
+    )
+    workers = min(request.workers, runtime.worker_budget)
+    _progress(
+        emit,
+        "replay",
+        events=len(events),
+        schemes=list(schemes),
+        flows=len(flows),
+        workers=workers,
+        context_warm=context_warm,
+    )
+    with telemetry_session(f"serve/{request_id}") as session:
+        result, telemetry = run_replay_parallel(
+            topology,
+            timeline,
+            flows,
+            service,
+            schemes,
+            config,
+            max_workers=workers,
+            time_shards=request.time_shards,
+            use_cache=request.use_cache and runtime.result_cache is not None,
+            cache=runtime.result_cache if request.use_cache else None,
+            label=f"serve {request_id}",
+            context=context,
+        )
+    require(
+        any(totals.duration_s > 0.0 for totals in result.all_totals()),
+        "replay produced zero accumulation windows -- the trace is empty "
+        "or degenerate; nothing to evaluate",
+    )
+    payload = {
+        "events": len(events),
+        "duration_s": timeline.duration_s,
+        "schemes": [
+            {
+                "scheme": totals.scheme,
+                "flows": totals.flows,
+                "duration_s": totals.duration_s,
+                "unavailable_s": totals.unavailable_s,
+                "lost_s": totals.lost_s,
+                "late_s": totals.late_s,
+                "availability": totals.availability,
+                "average_cost_messages": totals.average_cost_messages,
+            }
+            for totals in result.all_totals()
+        ],
+        "pairs": [
+            {
+                "scheme": stats.scheme,
+                "flow": stats.flow.name,
+                "duration_s": stats.duration_s,
+                "unavailable_s": stats.unavailable_s,
+                "lost_s": stats.lost_s,
+                "late_s": stats.late_s,
+                "message_seconds": stats.message_seconds,
+                "decision_changes": stats.decision_changes,
+            }
+            for stats in result
+        ],
+    }
+    totals = session.totals()
+    manifest = RunManifest(
+        label="serve evaluate",
+        seed=request.seed,
+        schemes=schemes,
+        flows=tuple(flow.name for flow in flows),
+        topology=topology_fingerprint(topology),
+        duration_s=timeline.duration_s,
+        exec=totals.to_dict() if totals is not None else None,
+        extra={
+            "serve": {
+                "request_id": request_id,
+                "kind": request.kind,
+                "context_warm": context_warm,
+                "workers": workers,
+                "shards_cached": telemetry.shards_cached,
+            }
+        },
+    )
+    return payload, manifest
+
+
+# -- classify ---------------------------------------------------------------------
+
+
+def _run_classify(
+    runtime: ServeRuntime, request: ClassifyRequest, request_id: str, emit: Emit
+) -> tuple[dict, RunManifest]:
+    from collections import Counter
+
+    from repro.analysis.classify import (
+        classification_distribution,
+        classify_events_for_flows,
+    )
+    from repro.netmodel.scenarios import generate_events
+
+    topology = runtime.topology
+    flows = runtime.select_flows(None)
+    _progress(emit, "generate-trace", weeks=request.weeks, seed=request.seed)
+    scenario = preset_scenario(
+        request.preset, duration_s=request.weeks * WEEK_S
+    )
+    events = generate_events(topology, scenario, seed=request.seed)
+    _progress(emit, "classify", events=len(events))
+    problems = classify_events_for_flows(
+        topology, flows, events, request.deadline_ms
+    )
+    counts = Counter(problem.category for problem in problems)
+    distribution = classification_distribution(problems)
+    payload = {
+        "events": len(events),
+        "problems": len(problems),
+        "distribution": dict(distribution),
+        "counts": dict(counts),
+    }
+    manifest = RunManifest(
+        label="serve classify",
+        seed=request.seed,
+        flows=tuple(flow.name for flow in flows),
+        topology=topology_fingerprint(topology),
+        duration_s=scenario.duration_s,
+        extra={"serve": {"request_id": request_id, "kind": request.kind}},
+    )
+    return payload, manifest
+
+
+# -- chaos ------------------------------------------------------------------------
+
+
+def _run_chaos(
+    runtime: ServeRuntime, request: ChaosRequest, request_id: str, emit: Emit
+) -> tuple[dict, RunManifest]:
+    from repro.chaos import ChaosSpec, generate_fault_schedule
+    from repro.netmodel.conditions import ConditionTimeline
+    from repro.overlay.harness import build_overlay
+
+    topology = runtime.topology
+    for scheme in request.schemes:
+        make_policy(scheme)  # unknown names fail before the run
+    flows = runtime.select_flows(request.flows, default=runtime.flows[:2])
+    service = ServiceSpec(
+        deadline_ms=request.deadline_ms,
+        send_interval_ms=request.send_interval_ms,
+    )
+    protected = frozenset(
+        endpoint
+        for flow in flows
+        for endpoint in (flow.source, flow.destination)
+    )
+    spec = ChaosSpec(
+        duration_s=request.duration_s,
+        crashes=request.crashes,
+        blackholes=request.blackholes,
+        partitions=request.partitions,
+        stalls=request.stalls,
+        message_fault_windows=request.message_windows,
+        protected_nodes=protected,
+    )
+    schedule = generate_fault_schedule(
+        topology,
+        spec,
+        seed=request.seed,
+        flows=tuple(flow.name for flow in flows),
+    )
+    rows = []
+    total_violations = 0
+    violation_details: list[dict] = []
+    for scheme in request.schemes:
+        _progress(
+            emit,
+            "chaos",
+            scheme=scheme,
+            faults=len(schedule),
+            schedule=schedule.fingerprint(),
+        )
+        timeline = ConditionTimeline(topology, request.duration_s + 1.0)
+        harness = build_overlay(
+            topology, timeline, flows, service, scheme, seed=request.seed
+        )
+        harness.start()
+        harness.run(request.duration_s, faults=schedule)
+        harness.stop_traffic()
+        harness.invariants.check_convergence()
+        violations = harness.invariants.violations
+        total_violations += len(violations)
+        for violation in violations:
+            violation_details.append(
+                {
+                    "scheme": scheme,
+                    "at_s": violation.at_s,
+                    "invariant": violation.invariant,
+                    "detail": violation.detail,
+                }
+            )
+        for flow in flows:
+            report = harness.reports[flow.name]
+            rows.append(
+                {
+                    "scheme": scheme,
+                    "flow": flow.name,
+                    "sent": report.sent,
+                    "on_time": report.on_time,
+                    "on_time_fraction": report.on_time_fraction,
+                    "violations": len(violations),
+                }
+            )
+    payload = {
+        "schedule": schedule.fingerprint(),
+        "faults": len(schedule),
+        "rows": rows,
+        "violations": total_violations,
+        "violation_details": violation_details,
+    }
+    manifest = RunManifest(
+        label="serve chaos",
+        seed=request.seed,
+        schemes=tuple(request.schemes),
+        flows=tuple(flow.name for flow in flows),
+        topology=topology_fingerprint(topology),
+        duration_s=request.duration_s,
+        extra={
+            "serve": {"request_id": request_id, "kind": request.kind},
+            "schedule": schedule.fingerprint(),
+            "faults": len(schedule),
+            "violations": total_violations,
+        },
+    )
+    return payload, manifest

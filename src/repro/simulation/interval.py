@@ -29,6 +29,7 @@ a skipped window reuses the exact object a fresh lookup would return.
 from __future__ import annotations
 
 import os
+import threading
 from typing import Iterable, Sequence
 
 from repro.core.dgraph import DisseminationGraph
@@ -125,6 +126,15 @@ class _ProbabilityCache:
     Entries are LRU-evicted once the estimated footprint exceeds
     ``max_bytes`` (default ``$REPRO_PROB_CACHE_MAX_BYTES`` or 64 MiB;
     ``None`` = unlimited), bounding worker memory on multi-week replays.
+
+    The cache is thread-safe: one lock guards every lookup, insert,
+    eviction, and counter update, so concurrent replays (the ``repro
+    serve`` daemon shares one warm cache across requests) cannot corrupt
+    the store or the hit/miss/eviction telemetry.  The expensive
+    probability computation itself runs outside the lock; two threads
+    missing on the same key may both compute it, but the values are
+    deterministic and the duplicate store replaces the first entry
+    without double-counting its footprint.
     Counters: ``hits``/``misses`` cover degraded-window lookups (as they
     always have), ``shared_hits`` counts the subset of those hits served
     from an entry first computed for a *different* ``group`` (the
@@ -174,17 +184,21 @@ class _ProbabilityCache:
         self.mask_hits = 0
         self.evictions = 0
         self.recovery_fallbacks = 0
+        # Single lock around lookup/insert/evict and counter updates; see
+        # the class docstring for the concurrency contract.
+        self._lock = threading.Lock()
 
     def counters(self) -> dict[str, int]:
         """Snapshot of the health counters (for telemetry deltas)."""
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "shared_hits": self.shared_hits,
-            "mask_hits": self.mask_hits,
-            "evictions": self.evictions,
-            "recovery_fallbacks": self.recovery_fallbacks,
-        }
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "shared_hits": self.shared_hits,
+                "mask_hits": self.mask_hits,
+                "evictions": self.evictions,
+                "recovery_fallbacks": self.recovery_fallbacks,
+            }
 
     def _canonical_graph(
         self, topology: Topology, graph: DisseminationGraph
@@ -196,35 +210,42 @@ class _ProbabilityCache:
         the endpoint ranks.  The relabeling is monotone, which is what
         makes canonical-key sharing bitwise-exact (see class docstring).
         """
-        entry = self._canonical.get(graph)
-        if entry is None:
-            edges = graph.sorted_edges()
-            rank = {
-                node: position
-                for position, node in enumerate(sorted(graph.nodes))
-            }
-            structure = (
-                tuple((rank[u], rank[v]) for u, v in edges),
-                rank[graph.source],
-                rank[graph.destination],
-            )
-            base_latency = tuple(topology.latency(u, v) for u, v in edges)
-            slot_of = {edge: slot for slot, edge in enumerate(edges)}
-            entry = (edges, structure, base_latency, slot_of)
-            self._canonical[graph] = entry
-        return entry
+        with self._lock:
+            entry = self._canonical.get(graph)
+            if entry is None:
+                edges = graph.sorted_edges()
+                rank = {
+                    node: position
+                    for position, node in enumerate(sorted(graph.nodes))
+                }
+                structure = (
+                    tuple((rank[u], rank[v]) for u, v in edges),
+                    rank[graph.source],
+                    rank[graph.destination],
+                )
+                base_latency = tuple(topology.latency(u, v) for u, v in edges)
+                slot_of = {edge: slot for slot, edge in enumerate(edges)}
+                entry = (edges, structure, base_latency, slot_of)
+                self._canonical[graph] = entry
+            return entry
 
     def _lookup(
-        self, key: tuple, group: str | None
+        self, key: tuple, group: str | None, count: bool = False
     ) -> DeliveryProbabilities | None:
-        entry = self._entries.pop(key, None)
-        if entry is None:
-            return None
-        self._entries[key] = entry  # re-insert: most recently used
-        result, owner, _cost = entry
-        if owner is not None and group is not None and owner != group:
-            self.shared_hits += 1
-        return result
+        """One locked lookup; ``count`` feeds the hit/miss counters."""
+        with self._lock:
+            entry = self._entries.pop(key, None)
+            if entry is None:
+                if count:
+                    self.misses += 1
+                return None
+            self._entries[key] = entry  # re-insert: most recently used
+            result, owner, _cost = entry
+            if count:
+                self.hits += 1
+            if owner is not None and group is not None and owner != group:
+                self.shared_hits += 1
+            return result
 
     def _store(
         self,
@@ -235,15 +256,21 @@ class _ProbabilityCache:
         extra_bytes: int = 0,
     ) -> None:
         cost = _ENTRY_OVERHEAD_BYTES + _PER_EDGE_BYTES * edge_count + extra_bytes
-        self._entries[key] = (result, group, cost)
-        self._bytes += cost
-        if self.max_bytes is None:
-            return
-        while self._bytes > self.max_bytes and self._entries:
-            oldest = next(iter(self._entries))
-            _result, _owner, old_cost = self._entries.pop(oldest)
-            self._bytes -= old_cost
-            self.evictions += 1
+        with self._lock:
+            # A concurrent thread may have stored this key between our
+            # miss and this store: replace without double-counting.
+            previous = self._entries.pop(key, None)
+            if previous is not None:
+                self._bytes -= previous[2]
+            self._entries[key] = (result, group, cost)
+            self._bytes += cost
+            if self.max_bytes is None:
+                return
+            while self._bytes > self.max_bytes and self._entries:
+                oldest = next(iter(self._entries))
+                _result, _owner, old_cost = self._entries.pop(oldest)
+                self._bytes -= old_cost
+                self.evictions += 1
 
     def _clean_probabilities(
         self,
@@ -300,11 +327,9 @@ class _ProbabilityCache:
             # Clean graph: outcome depends only on base latencies.
             return self._clean_probabilities(topology, graph, group)
         key = (structure, tuple(effective_latency), tuple(loss_vector))
-        cached = self._lookup(key, group)
+        cached = self._lookup(key, group, count=True)
         if cached is not None:
-            self.hits += 1
             return cached
-        self.misses += 1
 
         def latency_of(edge: Edge) -> float:
             return effective_latency[slot_of[edge]]
@@ -332,7 +357,8 @@ class _ProbabilityCache:
                 # Too many simultaneously lossy edges for ternary
                 # enumeration: fall back to the no-recovery computation,
                 # a conservative lower bound on delivery.
-                self.recovery_fallbacks += 1
+                with self._lock:
+                    self.recovery_fallbacks += 1
                 result = delivery_probabilities(
                     graph,
                     self.deadline_ms,
@@ -351,12 +377,14 @@ class _ProbabilityCache:
                 for loss in loss_vector
             )
             mask_key = ("masks", structure, tuple(effective_latency), categories)
-            mask_entry = self._entries.pop(mask_key, None)
+            with self._lock:
+                mask_entry = self._entries.pop(mask_key, None)
+                if mask_entry is not None:
+                    self._entries[mask_key] = mask_entry  # most recently used
+                    self.mask_hits += 1
             if mask_entry is not None:
-                self._entries[mask_key] = mask_entry  # most recently used
                 classification = mask_entry[0]
                 assert isinstance(classification, MaskClassification)
-                self.mask_hits += 1
             else:
                 classification, _losses = classify_delivery_masks(
                     graph,

@@ -144,3 +144,68 @@ class TestProbCacheCounters:
         assert "prob-cache shared hits 3" in collapsed
         assert "prob-cache mask hits 5" in collapsed
         assert "prob-cache evictions 7" in collapsed
+
+
+class TestScopedSessions:
+    # Satellite: concurrent serve requests each need their own session;
+    # session_totals must never bleed between them.
+
+    def test_nested_session_scopes_records(self):
+        from repro.exec.telemetry import telemetry_session
+
+        record(_telemetry())
+        with telemetry_session("inner") as session:
+            assert session_records() == ()  # fresh scope, not the default's
+            record(_telemetry())
+            assert len(session.records()) == 1
+            assert session_totals().label == "inner (1 runs)"
+        # leaving the scope restores the default session untouched
+        assert len(session_records()) == 1
+
+    def test_session_object_outlives_scope(self):
+        from repro.exec.telemetry import telemetry_session
+
+        with telemetry_session("kept") as session:
+            record(_telemetry())
+        assert len(session.records()) == 1
+        assert session.totals().shards_run == 3
+
+    def test_concurrent_thread_sessions_do_not_bleed(self):
+        import threading
+
+        from repro.exec.telemetry import telemetry_session
+
+        totals = {}
+        barrier = threading.Barrier(3)
+
+        def worker(name: str, count: int):
+            with telemetry_session(name) as session:
+                barrier.wait()  # all sessions live before any records
+                for _ in range(count):
+                    record(_telemetry())
+                barrier.wait()  # all records in before any totals
+                totals[name] = session.totals()
+
+        threads = [
+            threading.Thread(target=worker, args=(f"s{index}", index + 1))
+            for index in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for index in range(3):
+            assert totals[f"s{index}"].label == f"s{index} ({index + 1} runs)"
+            assert totals[f"s{index}"].shards_run == 3 * (index + 1)
+        assert session_records() == ()  # nothing leaked into the default
+
+    def test_aggregate_telemetry_standalone(self):
+        from repro.exec.telemetry import aggregate_telemetry
+
+        total = aggregate_telemetry(
+            [_telemetry(), _telemetry()], label="combined"
+        )
+        assert total is not None
+        assert total.label == "combined"
+        assert total.shards_total == 8
+        assert aggregate_telemetry([]) is None

@@ -60,3 +60,62 @@ class TestGracefulErrors:
         code = main(["chaos", "--duration", "3"])
         assert code == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestServeClientErrors:
+    # Satellite: daemon/client failures are one-line errors, not
+    # tracebacks -- busy port, unreachable server, malformed request.
+
+    def test_serve_port_in_use(self, capsys):
+        import socket
+
+        blocker = socket.socket()
+        try:
+            blocker.bind(("127.0.0.1", 0))
+            blocker.listen(1)
+            port = blocker.getsockname()[1]
+            code = main(["serve", "--port", str(port)])
+        finally:
+            blocker.close()
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "already in use" in err
+        assert "Traceback" not in err
+
+    def test_client_server_unreachable(self, capsys):
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()  # nothing listens here any more
+        code = main(["client", "status", "--port", str(port)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "server unreachable" in err
+        assert "Traceback" not in err
+
+    def test_client_malformed_request_file(self, tmp_path, capsys):
+        bad = tmp_path / "request.json"
+        bad.write_text("{not json")
+        # The file is rejected before any connection is attempted, so a
+        # dead port is fine here.
+        code = main(["client", "submit", "--file", str(bad), "--port", "1"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "not valid JSON" in err
+        assert "Traceback" not in err
+
+    def test_client_missing_request_file(self, tmp_path, capsys):
+        code = main(
+            ["client", "submit", "--file", str(tmp_path / "nope.json"),
+             "--port", "1"]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_client_invalid_field_value(self, capsys):
+        # Schema validation fires client-side before any network use.
+        code = main(["client", "evaluate", "--weeks", "-1", "--port", "1"])
+        assert code == 2
+        assert "weeks" in capsys.readouterr().err

@@ -1,0 +1,186 @@
+"""Admission control: bounded concurrency, bounded queue, graceful drain.
+
+All tests drive the scheduler on a private event loop with explicit
+events, so admission ordering is deterministic -- no sleeps, no races.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.serve.scheduler import RequestRejected, Scheduler
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+async def _hold(scheduler: Scheduler, release: asyncio.Event, started: asyncio.Event):
+    async with scheduler.slot():
+        started.set()
+        await release.wait()
+
+
+class TestAdmission:
+    def test_runs_up_to_max_active(self):
+        async def scenario():
+            scheduler = Scheduler(max_active=2, max_queue=2)
+            release = asyncio.Event()
+            started = [asyncio.Event() for _ in range(2)]
+            tasks = [
+                asyncio.create_task(_hold(scheduler, release, started[i]))
+                for i in range(2)
+            ]
+            await asyncio.gather(*(event.wait() for event in started))
+            assert scheduler.active == 2
+            assert scheduler.queued == 0
+            release.set()
+            await asyncio.gather(*tasks)
+            assert scheduler.depth == 0
+
+        run(scenario())
+
+    def test_excess_requests_wait_in_queue(self):
+        async def scenario():
+            scheduler = Scheduler(max_active=1, max_queue=2)
+            release = asyncio.Event()
+            started = [asyncio.Event() for _ in range(3)]
+            tasks = [
+                asyncio.create_task(_hold(scheduler, release, started[i]))
+                for i in range(3)
+            ]
+            await started[0].wait()
+            await asyncio.sleep(0)  # let the other two reach the semaphore
+            assert scheduler.active == 1
+            assert scheduler.queued == 2
+            release.set()
+            await asyncio.gather(*tasks)
+            # everyone eventually ran
+            assert all(event.is_set() for event in started)
+
+        run(scenario())
+
+    def test_rejects_when_queue_full_with_429(self):
+        async def scenario():
+            scheduler = Scheduler(max_active=1, max_queue=1)
+            release = asyncio.Event()
+            started = [asyncio.Event() for _ in range(2)]
+            tasks = [
+                asyncio.create_task(_hold(scheduler, release, started[i]))
+                for i in range(2)
+            ]
+            await started[0].wait()
+            await asyncio.sleep(0)
+            assert scheduler.depth == 2  # 1 active + 1 queued: full
+            with pytest.raises(RequestRejected) as excinfo:
+                async with scheduler.slot():
+                    pass
+            assert excinfo.value.status == 429
+            assert excinfo.value.retry_after_s > 0
+            release.set()
+            await asyncio.gather(*tasks)
+
+        run(scenario())
+
+    def test_zero_queue_still_admits_up_to_max_active(self):
+        async def scenario():
+            scheduler = Scheduler(max_active=1, max_queue=0)
+            release = asyncio.Event()
+            started = asyncio.Event()
+            task = asyncio.create_task(_hold(scheduler, release, started))
+            await started.wait()
+            with pytest.raises(RequestRejected):
+                async with scheduler.slot():
+                    pass
+            release.set()
+            await task
+
+        run(scenario())
+
+    def test_slot_released_on_body_failure(self):
+        async def scenario():
+            scheduler = Scheduler(max_active=1, max_queue=0)
+            with pytest.raises(RuntimeError):
+                async with scheduler.slot():
+                    raise RuntimeError("boom")
+            assert scheduler.depth == 0
+            async with scheduler.slot():  # the slot is usable again
+                assert scheduler.active == 1
+
+        run(scenario())
+
+
+class TestDrain:
+    def test_drain_rejects_new_work_with_503(self):
+        async def scenario():
+            scheduler = Scheduler(max_active=2, max_queue=2)
+            await scheduler.drain()
+            with pytest.raises(RequestRejected) as excinfo:
+                async with scheduler.slot():
+                    pass
+            assert excinfo.value.status == 503
+
+        run(scenario())
+
+    def test_drain_waits_for_active_and_queued(self):
+        async def scenario():
+            scheduler = Scheduler(max_active=1, max_queue=2)
+            release = asyncio.Event()
+            started = [asyncio.Event() for _ in range(3)]
+            finished: list[int] = []
+
+            async def job(index: int):
+                async with scheduler.slot():
+                    started[index].set()
+                    await release.wait()
+                    finished.append(index)
+
+            tasks = [asyncio.create_task(job(i)) for i in range(3)]
+            await started[0].wait()
+            await asyncio.sleep(0)
+            drainer = asyncio.create_task(scheduler.drain())
+            await asyncio.sleep(0)
+            assert not drainer.done()  # admitted work still running
+            release.set()
+            await asyncio.gather(*tasks)
+            await drainer
+            # drain returned only once every admitted job had finished
+            assert sorted(finished) == [0, 1, 2]
+            assert scheduler.depth == 0
+
+        run(scenario())
+
+    def test_drain_returns_immediately_when_idle(self):
+        async def scenario():
+            scheduler = Scheduler()
+            await asyncio.wait_for(scheduler.drain(), timeout=1.0)
+
+        run(scenario())
+
+
+class TestRetryAfter:
+    def test_default_guess_before_any_completion(self):
+        async def scenario():
+            scheduler = Scheduler(max_active=2, max_queue=2)
+            assert scheduler.retry_after_s() == 1.0  # one wave at the default
+
+        run(scenario())
+
+    def test_scales_with_observed_wall_times(self):
+        async def scenario():
+            scheduler = Scheduler(max_active=1, max_queue=4)
+            scheduler._recent_wall_s.extend([2.0, 4.0])  # mean 3.0
+            assert scheduler.retry_after_s() == pytest.approx(3.0)
+            scheduler.active = 1
+            scheduler.queued = 1  # depth 2 -> three waves at max_active=1
+            assert scheduler.retry_after_s() == pytest.approx(9.0)
+
+        run(scenario())
+
+    def test_validates_bounds(self):
+        with pytest.raises(ValueError):
+            Scheduler(max_active=0)
+        with pytest.raises(ValueError):
+            Scheduler(max_queue=-1)

@@ -1,0 +1,111 @@
+"""Wire schema: strict validation, round-tripping, event shape."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.schema import (
+    PROTOCOL_VERSION,
+    ChaosRequest,
+    ClassifyRequest,
+    EvaluateRequest,
+    make_event,
+    parse_request,
+    request_to_payload,
+)
+from repro.util.validation import ValidationError
+
+
+def _evaluate_payload(**overrides) -> dict:
+    payload = {"version": PROTOCOL_VERSION, "kind": "evaluate"}
+    payload.update(overrides)
+    return payload
+
+
+class TestParseRequest:
+    def test_minimal_evaluate_uses_defaults(self):
+        request = parse_request(_evaluate_payload())
+        assert isinstance(request, EvaluateRequest)
+        assert request.weeks == 1.0
+        assert request.seed == 7
+        assert request.schemes is None
+        assert request.use_cache is True
+
+    def test_full_evaluate_round_trips(self):
+        request = EvaluateRequest(
+            weeks=0.25,
+            seed=11,
+            schemes=("targeted", "static-single"),
+            flows=("NYC->LAX",),
+            time_shards=4,
+            workers=2,
+        )
+        payload = request_to_payload(request)
+        assert payload["version"] == PROTOCOL_VERSION
+        assert payload["kind"] == "evaluate"
+        assert payload["schemes"] == ["targeted", "static-single"]  # JSON lists
+        assert parse_request(payload) == request
+
+    def test_classify_and_chaos_round_trip(self):
+        for request in (
+            ClassifyRequest(weeks=0.5, seed=3),
+            ChaosRequest(seed=9, duration_s=20.0, crashes=2),
+        ):
+            assert parse_request(request_to_payload(request)) == request
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ValidationError, match="JSON object"):
+            parse_request([1, 2, 3])
+
+    def test_rejects_wrong_version(self):
+        with pytest.raises(ValidationError, match="protocol version"):
+            parse_request({"version": 99, "kind": "evaluate"})
+
+    def test_rejects_missing_version(self):
+        with pytest.raises(ValidationError, match="protocol version"):
+            parse_request({"kind": "evaluate"})
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValidationError, match="unknown request kind"):
+            parse_request({"version": PROTOCOL_VERSION, "kind": "frobnicate"})
+
+    def test_rejects_unknown_fields(self):
+        with pytest.raises(ValidationError, match="unknown field.*turbo"):
+            parse_request(_evaluate_payload(turbo=True))
+
+    def test_rejects_wrong_types(self):
+        with pytest.raises(ValidationError, match="weeks"):
+            parse_request(_evaluate_payload(weeks="many"))
+        with pytest.raises(ValidationError, match="seed"):
+            parse_request(_evaluate_payload(seed=1.5))
+        with pytest.raises(ValidationError, match="use_cache"):
+            parse_request(_evaluate_payload(use_cache="yes"))
+
+    def test_bool_is_not_an_integer(self):
+        # JSON true must not sneak in where an int is expected.
+        with pytest.raises(ValidationError, match="seed"):
+            parse_request(_evaluate_payload(seed=True))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValidationError, match="weeks"):
+            parse_request(_evaluate_payload(weeks=0.0))
+        with pytest.raises(ValidationError, match="time_shards"):
+            parse_request(_evaluate_payload(time_shards=0))
+        with pytest.raises(ValidationError, match="crashes"):
+            parse_request(
+                {"version": PROTOCOL_VERSION, "kind": "chaos", "crashes": -1}
+            )
+
+    def test_rejects_empty_name_lists(self):
+        with pytest.raises(ValidationError, match="schemes"):
+            parse_request(_evaluate_payload(schemes=[]))
+
+    def test_wire_lists_become_tuples(self):
+        request = parse_request(_evaluate_payload(schemes=["targeted"]))
+        assert request.schemes == ("targeted",)
+
+
+class TestMakeEvent:
+    def test_shape(self):
+        event = make_event("progress", phase="replay", events=3)
+        assert event == {"event": "progress", "phase": "replay", "events": 3}
