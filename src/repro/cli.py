@@ -141,19 +141,30 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
             f"(seed {args.seed})"
         )
     config = ReplayConfig(detection_delay_s=args.detection_delay_s)
-    result, telemetry = run_replay_parallel(
-        topology,
-        timeline,
-        flows,
-        service,
-        config=config,
-        max_workers=args.workers,
-        time_shards=args.time_shards,
-        use_cache=not args.no_cache,
-        cache_dir=args.cache_dir,
-        label="cli evaluate",
-        obs=obs,
-    )
+    profiler = None
+    if args.profile:
+        from repro.obs.profile import SamplingProfiler
+
+        profiler = SamplingProfiler(
+            interval_s=args.profile_interval_ms / 1000.0
+        ).start()
+    try:
+        result, telemetry = run_replay_parallel(
+            topology,
+            timeline,
+            flows,
+            service,
+            config=config,
+            max_workers=args.workers,
+            time_shards=args.time_shards,
+            use_cache=not args.no_cache,
+            cache_dir=args.cache_dir,
+            label="cli evaluate",
+            obs=obs,
+        )
+    finally:
+        if profiler is not None:
+            profiler.stop()
     require(
         any(totals.duration_s > 0.0 for totals in result.all_totals()),
         "replay produced zero accumulation windows -- the trace is empty "
@@ -181,9 +192,17 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         export_scheme_performance(result, directory / "scheme_performance.csv")
         export_per_flow_coverage(result, directory / "per_flow_coverage.csv")
         print(f"\nwrote CSVs to {directory}/")
+    if profiler is not None:
+        print()
+        print(profiler.format_top_table())
     if obs is not None:
+        from pathlib import Path
+
         from repro.obs import RunManifest, topology_fingerprint
 
+        extra = {}
+        if profiler is not None:
+            extra["profile"] = profiler.report()
         manifest = RunManifest(
             label="evaluate",
             seed=args.seed,
@@ -192,8 +211,13 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
             topology=topology_fingerprint(topology),
             duration_s=timeline.duration_s,
             exec=telemetry.to_dict(),
+            extra=extra,
         )
         paths = obs.export(args.trace_out, manifest)
+        if profiler is not None:
+            paths["profile"] = profiler.write_collapsed(
+                Path(args.trace_out) / "profile.collapsed"
+            )
         names = ", ".join(sorted(path.name for path in paths.values()))
         print(f"\nwrote trace artifacts to {args.trace_out}/: {names}")
     return 0
@@ -285,6 +309,17 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     from repro.obs import read_manifest, read_spans_jsonl, write_chrome_trace
     from repro.util.tables import render_table
 
+    if args.action == "watch":
+        from repro.obs.watch import watch
+        from repro.serve.client import ServeClient
+
+        client = ServeClient(host=args.host, port=args.port, timeout_s=30.0)
+        try:
+            return watch(client.metrics, interval_s=args.interval,
+                         iterations=args.iterations)
+        except KeyboardInterrupt:
+            return 0
+    require(args.dir is not None, f"obs {args.action} requires a directory")
     directory = Path(args.dir)
     if args.action == "summary":
         manifest = read_manifest(directory / "manifest.json")
@@ -341,6 +376,72 @@ def _cmd_obs(args: argparse.Namespace) -> int:
                 f"{len(payload.get('spans', []))} span(s) -- "
                 f"{payload.get('reason')}"
             )
+    return 0
+
+
+def _current_branch() -> str:
+    """Best-effort branch name: CI env var, then git, then ``main``."""
+    import os
+    import subprocess
+
+    for variable in ("GITHUB_HEAD_REF", "GITHUB_REF_NAME"):
+        name = os.environ.get(variable)
+        if name:
+            return name
+    try:
+        name = subprocess.run(
+            ["git", "rev-parse", "--abbrev-ref", "HEAD"],
+            capture_output=True, text=True, timeout=5.0,
+        ).stdout.strip()
+        if name and name != "HEAD":
+            return name
+    except (OSError, subprocess.SubprocessError):
+        pass
+    return "main"
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.obs.history import (
+        check,
+        format_finding,
+        github_annotation,
+        history_path,
+        ingest,
+        summarize,
+    )
+
+    branch = args.branch or _current_branch()
+    if args.action == "ingest":
+        entries = ingest(
+            args.bench_out, args.history_dir, branch, commit=args.commit
+        )
+        target = history_path(args.history_dir, branch)
+        if not entries:
+            print(f"no BENCH_*.json artifacts in {args.bench_out}; "
+                  f"{target} unchanged")
+            return 0
+        names = ", ".join(entry["experiment"] for entry in entries)
+        print(f"appended {len(entries)} entr(y/ies) to {target}: {names}")
+        return 0
+    # check
+    findings = check(
+        args.history_dir,
+        branch,
+        window=args.window,
+        rel_threshold=args.rel_threshold,
+        mad_factor=args.mad_factor,
+    )
+    counts = summarize(findings)
+    for finding in findings:
+        print(format_finding(finding))
+        if args.annotate:
+            print(github_annotation(finding))
+    print(
+        f"bench history [{branch}]: {counts['regression']} regression(s), "
+        f"{counts['shift']} shift(s), {counts['improvement']} improvement(s)"
+    )
+    if args.strict and counts["regression"]:
+        return 1
     return 0
 
 
@@ -693,6 +794,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="result cache directory (default: $REPRO_EXEC_CACHE_DIR or "
         "~/.cache/repro-dgraphs/exec)",
     )
+    evaluate.add_argument(
+        "--profile",
+        action="store_true",
+        help="attach the sampling wall-clock profiler to the replay and "
+        "print its top self-time frames (with --trace, also writes "
+        "profile.collapsed into --trace-out and embeds the summary in "
+        "the run manifest)",
+    )
+    evaluate.add_argument(
+        "--profile-interval-ms",
+        type=float,
+        default=5.0,
+        help="sampling period of --profile in milliseconds (default: 5)",
+    )
     evaluate.set_defaults(handler=_cmd_evaluate)
 
     classify = subparsers.add_parser(
@@ -770,11 +885,16 @@ def build_parser() -> argparse.ArgumentParser:
     cache.set_defaults(handler=_cmd_cache)
 
     obs = subparsers.add_parser(
-        "obs", help="inspect a traced run's observability artifacts"
+        "obs",
+        help="inspect a traced run's observability artifacts, or watch a "
+        "live daemon's metrics endpoint",
     )
-    obs.add_argument("action", choices=("summary", "export", "flight"))
+    obs.add_argument("action", choices=("summary", "export", "flight", "watch"))
     obs.add_argument(
-        "dir", help="artifact directory written by --trace-out"
+        "dir",
+        nargs="?",
+        help="artifact directory written by --trace-out "
+        "(summary/export/flight only)",
     )
     obs.add_argument(
         "--prefix",
@@ -784,7 +904,83 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument(
         "--out", help="(export) output path (default: <dir>/trace.json)"
     )
+    obs.add_argument("--host", default="127.0.0.1", help="(watch) daemon host")
+    obs.add_argument(
+        "--port", type=int, default=8787, help="(watch) daemon port"
+    )
+    obs.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="(watch) seconds between polls (default: 2)",
+    )
+    obs.add_argument(
+        "--iterations",
+        type=int,
+        help="(watch) stop after this many frames (default: run until ^C)",
+    )
     obs.set_defaults(handler=_cmd_obs)
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="track benchmark artifacts over time and flag regressions",
+    )
+    bench_actions = bench.add_subparsers(dest="bench_command", required=True)
+    history = bench_actions.add_parser(
+        "history",
+        help="append BENCH_<exp>.json artifacts to the per-branch history "
+        "and check the newest run against the noise band",
+    )
+    history.add_argument("action", choices=("ingest", "check"))
+    history.add_argument(
+        "--bench-out",
+        default="bench-out",
+        help="(ingest) directory holding BENCH_<exp>.json artifacts "
+        "(default: bench-out)",
+    )
+    history.add_argument(
+        "--history-dir",
+        default="bench-history",
+        help="directory of per-branch history files (default: bench-history)",
+    )
+    history.add_argument(
+        "--branch",
+        help="history branch (default: $GITHUB_HEAD_REF / $GITHUB_REF_NAME / "
+        "git HEAD / main)",
+    )
+    history.add_argument(
+        "--commit", default="", help="(ingest) commit id to stamp entries with"
+    )
+    history.add_argument(
+        "--window",
+        type=int,
+        default=20,
+        help="(check) trailing baseline window per workload (default: 20)",
+    )
+    history.add_argument(
+        "--rel-threshold",
+        type=float,
+        default=0.05,
+        help="(check) relative floor of the noise band (default: 0.05)",
+    )
+    history.add_argument(
+        "--mad-factor",
+        type=float,
+        default=3.0,
+        help="(check) MAD multiplier of the noise band (default: 3)",
+    )
+    history.add_argument(
+        "--annotate",
+        action="store_true",
+        help="(check) also print GitHub Actions annotation lines "
+        "(regressions as warnings -- soft fail)",
+    )
+    history.add_argument(
+        "--strict",
+        action="store_true",
+        help="(check) exit 1 when any regression is flagged",
+    )
+    history.set_defaults(handler=_cmd_bench)
 
     serve = subparsers.add_parser(
         "serve",

@@ -31,6 +31,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only (repro.obs is optional)
 
 from repro.core.graph import Topology
 from repro.exec.cache import ResultCache
+from repro.obs.trace import TraceContext, Tracer, spans_to_relative
 from repro.exec.hashing import context_key, shard_key
 from repro.exec.plan import (
     ShardContext,
@@ -54,6 +55,7 @@ _MAX_POOL_REBUILDS = 2
 # -- worker-process side ---------------------------------------------------------
 
 _WORKER_CONTEXT: ShardContext | None = None
+_WORKER_TRACE: TraceContext | None = None
 
 
 def _worker_init(
@@ -61,28 +63,48 @@ def _worker_init(
     timeline: ConditionTimeline,
     service: ServiceSpec,
     config: ReplayConfig,
+    trace_wire: dict | None = None,
 ) -> None:
     """Pool initializer: build the shared replay state once per worker."""
-    global _WORKER_CONTEXT
+    global _WORKER_CONTEXT, _WORKER_TRACE
     _WORKER_CONTEXT = ShardContext(topology, timeline, service, config)
+    _WORKER_TRACE = (
+        TraceContext.from_wire(trace_wire) if trace_wire is not None else None
+    )
 
 
-def _worker_run(shard: ShardSpec) -> tuple[ShardResult, float, dict[str, int]]:
+def _worker_run(
+    shard: ShardSpec,
+) -> tuple[ShardResult, float, dict[str, int], list[dict] | None]:
     """Run one shard in a pool worker.
 
-    Returns ``(result, wall seconds, probability-cache counter delta)``.
-    Workers are separate processes, so cache health has to travel home
-    with each shard as a before/after counter difference; it must *not*
-    ride inside the shard result, whose payload is content-addressed.
+    Returns ``(result, wall seconds, probability-cache counter delta,
+    worker spans)``.  Workers are separate processes, so cache health has
+    to travel home with each shard as a before/after counter difference;
+    it must *not* ride inside the shard result, whose payload is
+    content-addressed.  When the parent propagated a trace context
+    (``_worker_init``'s ``trace_wire``), the shard runs under a local
+    tracer whose spans carry the parent's trace id and are shipped back
+    clock-relative (see :func:`repro.obs.trace.spans_to_relative`) for
+    the parent to graft into its own trace tree.
     """
     require(_WORKER_CONTEXT is not None, "worker used before initialization")
     before = _WORKER_CONTEXT.probability_cache.counters()
     started = time.perf_counter()
-    result = _WORKER_CONTEXT.run(shard)
+    worker_spans: list[dict] | None = None
+    if _WORKER_TRACE is not None:
+        tracer = Tracer(time.perf_counter, trace_id=_WORKER_TRACE.trace_id)
+        tracer.context = {"trace_id": tracer.trace_id, "pid": os.getpid()}
+        root = tracer.open("shard", "worker.shard", "exec", shard=shard.label)
+        result = _WORKER_CONTEXT.run(shard, tracer=tracer, parent_id=root.span_id)
+        tracer.close("shard")
+        worker_spans = spans_to_relative(tracer.spans, base_s=started)
+    else:
+        result = _WORKER_CONTEXT.run(shard)
     wall = time.perf_counter() - started
     after = _WORKER_CONTEXT.probability_cache.counters()
     delta = {name: after[name] - before[name] for name in after}
-    return result, wall, delta
+    return result, wall, delta, worker_spans
 
 
 def _apply_prob_cache_delta(telemetry: ExecTelemetry, delta: dict[str, int]) -> None:
@@ -116,6 +138,7 @@ def _run_pooled(
     shard_timeout_s: float | None,
     retries: int,
     obs: "Observability | None" = None,
+    parent_span_id: int | None = None,
 ) -> None:
     """Run ``pending`` on a worker pool; fall back serially on failure."""
     attempts = {shard: 0 for shard in pending}
@@ -152,8 +175,8 @@ def _run_pooled(
                     next_queue.append(shard)
                     continue
                 try:
-                    shard_result, shard_wall, cache_delta = future.result(
-                        timeout=shard_timeout_s
+                    shard_result, shard_wall, cache_delta, worker_spans = (
+                        future.result(timeout=shard_timeout_s)
                     )
                 except (BrokenExecutor, concurrent.futures.TimeoutError):
                     # A dead worker or a hung shard poisons the whole pool:
@@ -174,10 +197,20 @@ def _run_pooled(
                         # reconstructed parent-side from the returned wall
                         # time, ending at the moment the result arrived.
                         end = obs.tracer.now()
-                        obs.tracer.complete(
+                        shard_span = obs.tracer.complete(
                             "shard", "exec", end - shard_wall, end,
+                            parent_id=parent_span_id,
                             shard=shard.label, mode="pool",
                         )
+                        if worker_spans:
+                            # Worker times are offsets from its shard
+                            # start; re-base them onto this clock so the
+                            # worker tree nests inside the shard span.
+                            obs.tracer.graft(
+                                worker_spans,
+                                base_s=end - shard_wall,
+                                parent_id=shard_span.span_id,
+                            )
             if broken:
                 executor.shutdown(wait=False, cancel_futures=True)
                 executor = None
@@ -242,6 +275,11 @@ def run_replay_parallel(
     if max_workers is None:
         max_workers = os.cpu_count() or 1
     started = time.perf_counter()
+    root_span_id: int | None = None
+    if obs is not None:
+        root_span_id = obs.tracer.open(
+            ("replay", label), "replay", "exec", label=label
+        ).span_id
     plan = build_plan(timeline, flows, scheme_names, config, time_shards)
     telemetry = ExecTelemetry(
         label=label,
@@ -271,7 +309,10 @@ def run_replay_parallel(
             if hit is not None:
                 results[shard] = hit
                 if obs is not None:
-                    obs.tracer.instant("cache.hit", "exec", shard=shard.label)
+                    obs.tracer.instant(
+                        "cache.hit", "exec",
+                        parent_id=root_span_id, shard=shard.label,
+                    )
         telemetry.shards_cached = len(results)
         telemetry.cache_corrupt = cache.corrupt - corrupt_before
 
@@ -295,12 +336,17 @@ def run_replay_parallel(
         if obs is not None:
             obs.tracer.complete(
                 "shard", "exec", span_start, span_start + shard_wall,
-                shard=shard.label, mode="serial",
+                parent_id=root_span_id, shard=shard.label, mode="serial",
             )
         return result
 
     if pending:
         if max_workers > 0 and len(pending) > 1:
+            trace_wire = (
+                obs.tracer.trace_context(root_span_id).to_wire()
+                if obs is not None
+                else None
+            )
             _run_pooled(
                 pending,
                 results,
@@ -308,10 +354,11 @@ def run_replay_parallel(
                 run_locally,
                 executor_factory or _default_executor_factory,
                 max_workers,
-                (topology, timeline, service, config),
+                (topology, timeline, service, config, trace_wire),
                 shard_timeout_s,
                 retries,
                 obs,
+                root_span_id,
             )
         else:
             for shard in pending:
@@ -329,6 +376,11 @@ def run_replay_parallel(
     telemetry.wall_time_s = time.perf_counter() - started
     record(telemetry)
     if obs is not None:
+        obs.tracer.close(
+            ("replay", label),
+            shards_total=telemetry.shards_total,
+            shards_cached=telemetry.shards_cached,
+        )
         _observe_run(obs, telemetry, merged)
     return merged, telemetry
 

@@ -270,9 +270,18 @@ class ShardContext:
             max_recovery_lossy_edges=config.max_recovery_lossy_edges,
         )
 
-    def run(self, shard: ShardSpec) -> ShardResult:
-        """Execute one shard: full policy stepping, windowed accumulation."""
+    def run(
+        self, shard: ShardSpec, tracer=None, parent_id: int | None = None
+    ) -> ShardResult:
+        """Execute one shard: full policy stepping, windowed accumulation.
+
+        ``tracer`` (a :class:`repro.obs.Tracer`, or ``None`` for the
+        uninstrumented hot path) records the shard's two phases --
+        policy stepping and window accumulation -- as child spans of
+        ``parent_id``.
+        """
         policy = make_policy(shard.scheme)
+        phase_start = tracer.now() if tracer is not None else 0.0
         spans = build_decision_timeline(
             self.topology,
             self.timeline,
@@ -284,6 +293,12 @@ class ShardContext:
             observed_views=list(self.observed_views),
             observed_deltas=self.observed_deltas,
         )
+        if tracer is not None:
+            tracer.complete(
+                "shard.policy", "exec", phase_start, tracer.now(),
+                parent_id=parent_id, shard=shard.label,
+            )
+            phase_start = tracer.now()
         group = f"{policy.name}/{shard.flow.name}"
         stats = FlowSchemeStats(flow=shard.flow, scheme=policy.name)
         stats.decision_changes = len(spans) - 1
@@ -318,6 +333,12 @@ class ShardContext:
                 probabilities.lost,
                 probabilities.late,
                 collect=True,
+            )
+        if tracer is not None:
+            tracer.complete(
+                "shard.windows", "exec", phase_start, tracer.now(),
+                parent_id=parent_id, shard=shard.label,
+                decision_changes=stats.decision_changes,
             )
         windows: list[WindowRecord] | None = stats.windows
         if shard.full_range and not self.config.collect_windows:

@@ -41,7 +41,15 @@ from repro.obs.metrics import (
     NullRegistry,
 )
 from repro.obs.runtime import NULL_OBS, Observability
-from repro.obs.trace import NULL_TRACER, FlightRecorder, NullTracer, Span, Tracer
+from repro.obs.trace import (
+    NULL_TRACER,
+    FlightRecorder,
+    NullTracer,
+    Span,
+    TraceContext,
+    Tracer,
+    spans_to_relative,
+)
 
 __all__ = [
     "Counter",
@@ -52,10 +60,12 @@ __all__ = [
     "NULL_REGISTRY",
     "DEFAULT_BUCKETS",
     "Span",
+    "TraceContext",
     "Tracer",
     "NullTracer",
     "NULL_TRACER",
     "FlightRecorder",
+    "spans_to_relative",
     "Observability",
     "NULL_OBS",
     "RunManifest",

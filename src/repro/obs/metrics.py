@@ -114,11 +114,16 @@ class Histogram:
         """The smallest bucket bound covering quantile ``q`` of the data.
 
         Exact extremes are substituted at the ends (q=0 -> min, q=1 ->
-        max); an empty histogram answers 0.0.
+        max).  An empty histogram has no quantiles: asking for one is a
+        caller bug and raises rather than inventing a 0.0 that would
+        read as a real (and suspiciously perfect) latency.
         """
         require(0.0 <= q <= 1.0, "quantile must be in [0, 1]")
-        if self.count == 0:
-            return 0.0
+        require(
+            self.count > 0,
+            f"histogram {self.name!r} is empty: quantiles are undefined "
+            "(check .count before asking)",
+        )
         if q <= 0.0:
             return self.min
         target = math.ceil(q * self.count)

@@ -1,0 +1,212 @@
+"""Stdlib-only sampling wall-clock profiler.
+
+A daemon thread wakes every ``interval_s`` and snapshots the target
+thread's stack via ``sys._current_frames()``.  No tracing hooks, no
+instrumentation of the profiled code: the cost is one dict lookup and a
+frame walk per sample, which keeps overhead low enough to leave on for
+real runs (the CI guard in ``benchmarks/bench_profile_overhead.py``
+holds it under 10 % on the E2 workload).
+
+Two outputs:
+
+* :meth:`SamplingProfiler.collapsed` -- collapsed-stack lines
+  (``frame;frame;leaf count``), the flamegraph interchange format
+  consumed by ``flamegraph.pl``, speedscope, and friends;
+* :meth:`SamplingProfiler.report` -- a JSON-safe summary (sample count,
+  effective rate, top-N self-time frames) embedded into run manifests
+  under ``extra["profile"]``.
+
+Wall-clock sampling deliberately includes blocking time (I/O, lock
+waits, pool round-trips): for the replay engine the interesting
+question is "where did the seconds go", not "where did the CPU spin".
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from collections import Counter
+from pathlib import Path
+
+from repro.util.validation import require
+
+__all__ = ["SamplingProfiler", "frame_label"]
+
+#: Default time between samples (5 ms ~ 200 Hz).
+DEFAULT_INTERVAL_S = 0.005
+
+#: Stacks deeper than this are truncated at the root end.
+MAX_DEPTH = 128
+
+
+def frame_label(filename: str, function: str) -> str:
+    """One stack frame as ``filestem:function`` (no ``;``, no spaces).
+
+    The file stem keeps labels short and stable across checkouts; the
+    collapsed-stack format reserves ``;`` and space, so both are
+    scrubbed defensively.
+    """
+    stem = Path(filename).stem or "?"
+    label = f"{stem}:{function}"
+    return label.replace(";", ",").replace(" ", "_")
+
+
+class SamplingProfiler:
+    """Periodic stack snapshots of one thread, aggregated by stack.
+
+    Use as a context manager around the region to profile::
+
+        with SamplingProfiler() as profiler:
+            expensive_work()
+        print(profiler.collapsed())
+
+    The profiler targets the thread that *created* it by default, which
+    is the right thing both for the CLI (main thread) and for a served
+    request (its worker thread creates the profiler inside the thread).
+    """
+
+    def __init__(
+        self,
+        interval_s: float = DEFAULT_INTERVAL_S,
+        target_thread_id: int | None = None,
+        max_depth: int = MAX_DEPTH,
+    ) -> None:
+        require(interval_s > 0.0, "sampling interval must be positive")
+        require(max_depth >= 1, "max_depth must be >= 1")
+        self.interval_s = interval_s
+        self.max_depth = max_depth
+        self.target_thread_id = (
+            target_thread_id
+            if target_thread_id is not None
+            else threading.get_ident()
+        )
+        #: stack tuple (root first) -> number of samples observing it.
+        self.stacks: Counter[tuple[str, ...]] = Counter()
+        self.samples = 0
+        self.duration_s = 0.0
+        self._stop = threading.Event()
+        self._sampler: threading.Thread | None = None
+        self._started_at = 0.0
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> "SamplingProfiler":
+        """Begin sampling (idempotent start is a bug; raises)."""
+        require(self._sampler is None, "profiler already started")
+        self._stop.clear()
+        self._started_at = time.perf_counter()
+        self._sampler = threading.Thread(
+            target=self._sample_loop, name="repro-profiler", daemon=True
+        )
+        self._sampler.start()
+        return self
+
+    def stop(self) -> "SamplingProfiler":
+        """Stop sampling and wait for the sampler thread to exit."""
+        if self._sampler is None:
+            return self
+        self._stop.set()
+        self._sampler.join()
+        self._sampler = None
+        self.duration_s += time.perf_counter() - self._started_at
+        return self
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, *_exc_info) -> None:
+        self.stop()
+
+    # -- sampling --------------------------------------------------------------
+
+    def _sample_loop(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            frame = sys._current_frames().get(self.target_thread_id)
+            if frame is None:
+                continue  # target thread finished; keep waiting for stop
+            stack: list[str] = []
+            depth = 0
+            while frame is not None and depth < self.max_depth:
+                code = frame.f_code
+                stack.append(frame_label(code.co_filename, code.co_name))
+                frame = frame.f_back
+                depth += 1
+            stack.reverse()
+            self.stacks[tuple(stack)] += 1
+            self.samples += 1
+
+    # -- output ----------------------------------------------------------------
+
+    def collapsed(self) -> str:
+        """Collapsed-stack lines (``a;b;c count``), sorted for stability."""
+        lines = [
+            ";".join(stack) + f" {count}"
+            for stack, count in sorted(self.stacks.items())
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def write_collapsed(self, path: str | Path) -> Path:
+        """Write :meth:`collapsed` output to ``path`` (parents created)."""
+        out = Path(path)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(self.collapsed())
+        return out
+
+    def top(self, n: int = 10) -> list[dict]:
+        """Top ``n`` frames by self time (the sampled leaf frame).
+
+        Each row carries ``self`` (samples where the frame was the
+        leaf), ``total`` (samples where it appeared anywhere), and the
+        corresponding fractions of all samples.
+        """
+        require(n >= 1, "top-N needs n >= 1")
+        self_counts: Counter[str] = Counter()
+        total_counts: Counter[str] = Counter()
+        for stack, count in self.stacks.items():
+            self_counts[stack[-1]] += count
+            for label in set(stack):
+                total_counts[label] += count
+        rows = []
+        for label, self_count in self_counts.most_common(n):
+            rows.append(
+                {
+                    "frame": label,
+                    "self": self_count,
+                    "total": total_counts[label],
+                    "self_fraction": self_count / self.samples,
+                    "total_fraction": total_counts[label] / self.samples,
+                }
+            )
+        return rows
+
+    def report(self, top_n: int = 10) -> dict:
+        """JSON-safe summary for run manifests (``extra["profile"]``)."""
+        return {
+            "interval_s": self.interval_s,
+            "samples": self.samples,
+            "duration_s": round(self.duration_s, 6),
+            "rate_hz": (
+                round(self.samples / self.duration_s, 3)
+                if self.duration_s > 0
+                else 0.0
+            ),
+            "distinct_stacks": len(self.stacks),
+            "top": self.top(top_n) if self.samples else [],
+        }
+
+    def format_top_table(self, n: int = 10) -> str:
+        """The top-N self-time table as printable text."""
+        if not self.samples:
+            return "profiler: no samples collected (run too short?)"
+        lines = [
+            f"profiler: {self.samples} samples @ {self.interval_s * 1e3:g} ms"
+            f" over {self.duration_s:.2f}s",
+            f"{'self%':>7} {'total%':>7}  frame",
+        ]
+        for row in self.top(n):
+            lines.append(
+                f"{100 * row['self_fraction']:6.1f}% "
+                f"{100 * row['total_fraction']:6.1f}%  {row['frame']}"
+            )
+        return "\n".join(lines)

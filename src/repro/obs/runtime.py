@@ -111,6 +111,7 @@ class Observability:
         manifest.spans = {
             "recorded": len(self.tracer.spans),
             "dropped": self.tracer.dropped,
+            "trace_id": self.tracer.trace_id,
         }
         manifest.flight = {"triggers": self.flight.triggers}
         paths["trace"] = write_chrome_trace(self.tracer.spans, out / "trace.json")

@@ -20,13 +20,75 @@ preserved even when the full span log would be unaffordable to keep.
 from __future__ import annotations
 
 import json
+import uuid
 from collections import deque
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Hashable, Mapping
+from typing import Callable, Hashable, Mapping, Sequence
 
 from repro.util.validation import require
 
-__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER", "FlightRecorder"]
+__all__ = [
+    "Span",
+    "TraceContext",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "FlightRecorder",
+    "spans_to_relative",
+]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The cross-process trace handle: trace id + parent span id.
+
+    This is the wire format shipped across the process-pool boundary
+    (documented in DESIGN.md S22): the parent serialises its tracer's
+    ``trace_id`` plus the span the remote work should hang under, the
+    worker adopts it, and every worker-side span then carries the parent
+    trace id -- so the merged export is one tree, not a forest of
+    orphan worker traces.
+    """
+
+    trace_id: str
+    parent_span_id: int | None = None
+
+    def to_wire(self) -> dict:
+        """JSON/pickle-safe form (what crosses the pool boundary)."""
+        return {"trace_id": self.trace_id, "parent_span_id": self.parent_span_id}
+
+    @classmethod
+    def from_wire(cls, payload: Mapping) -> "TraceContext":
+        """Rebuild a context from its wire form (raises on bad shape)."""
+        trace_id = payload["trace_id"]
+        require(
+            isinstance(trace_id, str) and bool(trace_id),
+            f"trace_id must be a non-empty string, got {trace_id!r}",
+        )
+        parent = payload.get("parent_span_id")
+        return cls(
+            trace_id=trace_id,
+            parent_span_id=None if parent is None else int(parent),
+        )
+
+
+def spans_to_relative(spans: Sequence["Span"], base_s: float) -> list[dict]:
+    """Spans as JSON-safe dicts with times relative to ``base_s``.
+
+    The worker side of trace propagation: worker clocks (per-process
+    ``perf_counter``) are not comparable across processes, so spans
+    travel home as offsets from the worker's shard start and the parent
+    re-bases them onto its own clock with :meth:`Tracer.graft`.
+    """
+    records = []
+    for span in spans:
+        record = span.to_dict()
+        record["start_s"] = span.start_s - base_s
+        if span.end_s is not None:
+            record["end_s"] = span.end_s - base_s
+        records.append(record)
+    return records
 
 
 class Span:
@@ -158,6 +220,7 @@ class Tracer:
         clock: Callable[[], float],
         recorder: FlightRecorder | None = None,
         max_spans: int = 500_000,
+        trace_id: str | None = None,
     ) -> None:
         require(max_spans >= 1, "max_spans must be >= 1")
         self._clock = clock
@@ -165,6 +228,8 @@ class Tracer:
         self.max_spans = max_spans
         self.spans: list[Span] = []
         self.dropped = 0
+        #: This trace's process-crossing identity (see TraceContext).
+        self.trace_id = trace_id or uuid.uuid4().hex[:16]
         #: Default args merged into every span (e.g. the current scheme).
         self.context: dict = {}
         self._open: dict[Hashable, Span] = {}
@@ -246,6 +311,51 @@ class Tracer:
         span = self._open.get(key)
         return span.span_id if span is not None else None
 
+    # -- cross-process propagation ---------------------------------------------------
+
+    def trace_context(self, parent_span_id: int | None = None) -> TraceContext:
+        """The context to hand remote work that should join this trace."""
+        return TraceContext(self.trace_id, parent_span_id)
+
+    def graft(
+        self,
+        records: Sequence[Mapping],
+        base_s: float,
+        parent_id: int | None = None,
+    ) -> int:
+        """Adopt remote spans (``spans_to_relative`` output) into this trace.
+
+        Spans are re-identified onto this tracer's id sequence (their
+        internal parent/child structure preserved), re-based onto this
+        tracer's clock at ``base_s``, and any span without a remote
+        parent is attached under ``parent_id``.  Returns the number of
+        spans grafted.
+        """
+        ids: dict[int, int] = {}
+        grafted = 0
+        for record in records:
+            span = Span.from_dict(record)
+            remote_id = span.span_id
+            if span.parent_id is not None and span.parent_id in ids:
+                span.parent_id = ids[span.parent_id]
+            else:
+                span.parent_id = parent_id
+            span.span_id = self._next_id
+            self._next_id += 1
+            ids[remote_id] = span.span_id
+            span.start_s += base_s
+            if span.end_s is not None:
+                span.end_s += base_s
+            if len(self.spans) < self.max_spans:
+                self.spans.append(span)
+            else:
+                self.dropped += 1
+                continue
+            if span.end_s is not None and self.recorder is not None:
+                self.recorder.record(span)
+            grafted += 1
+        return grafted
+
     def finalize(self) -> int:
         """Close every still-open span at the current clock; returns count.
 
@@ -280,6 +390,9 @@ class NullTracer(Tracer):
 
     def parent_id(self, key):  # type: ignore[override]
         return None
+
+    def graft(self, records, base_s, parent_id=None) -> int:  # type: ignore[override]
+        return 0
 
     def finalize(self) -> int:  # type: ignore[override]
         return 0

@@ -1,0 +1,162 @@
+"""Live terminal view of a running daemon's ``/v1/metrics`` endpoint.
+
+``repro obs watch`` polls ``GET /v1/metrics``, parses the Prometheus
+text exposition, and renders a compact dashboard: request rates
+(computed from counter deltas between polls), scheduler depth and
+queue-wait percentiles, warm-cache hit ratios, and on-time percentiles
+of recently served evaluations.
+
+The frame computation is pure (two parsed scrapes in, text out), so the
+view is testable without a server or a terminal; only :func:`watch`
+touches the clock and the screen.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Mapping, TextIO
+
+from repro.obs.expose import (
+    Family,
+    histogram_quantile,
+    metric_name,
+    parse_exposition,
+    sample_value,
+)
+
+__all__ = ["render_frame", "watch"]
+
+#: ANSI: clear screen + home, for the live refresh.
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def _value(
+    families: Mapping[str, Family], dotted: str, default: float = 0.0
+) -> float:
+    found = sample_value(families, metric_name(dotted))
+    return default if found is None else found
+
+
+def _rate(
+    prev: Mapping[str, Family] | None,
+    curr: Mapping[str, Family],
+    dotted: str,
+    interval_s: float,
+) -> float:
+    if prev is None or interval_s <= 0:
+        return 0.0
+    delta = _value(curr, dotted) - _value(prev, dotted)
+    return max(0.0, delta) / interval_s
+
+
+def _quantiles(
+    families: Mapping[str, Family], dotted: str, qs: tuple[float, ...]
+) -> list[float] | None:
+    family = families.get(metric_name(dotted))
+    if family is None:
+        return None
+    answers = [histogram_quantile(family, q) for q in qs]
+    if any(answer is None for answer in answers):
+        return None
+    return answers  # type: ignore[return-value]
+
+
+def _ratio(hits: float, misses: float) -> str:
+    total = hits + misses
+    if total <= 0:
+        return "n/a"
+    return f"{hits / total:6.1%} ({int(hits)}/{int(total)})"
+
+
+def render_frame(
+    prev: Mapping[str, Family] | None,
+    curr: Mapping[str, Family],
+    interval_s: float,
+) -> str:
+    """One dashboard frame from the previous and current scrape."""
+    lines = [
+        f"repro serve  up {_value(curr, 'serve.uptime_s'):.0f}s"
+        f"  (refresh {interval_s:g}s)",
+        "",
+        "requests        total      rate/s",
+    ]
+    for kind in ("accepted", "completed", "failed", "rejected"):
+        dotted = f"serve.requests.{kind}"
+        lines.append(
+            f"  {kind:<12}{_value(curr, dotted):>8.0f}"
+            f"{_rate(prev, curr, dotted, interval_s):>12.2f}"
+        )
+    lines.append("")
+    lines.append(
+        f"scheduler       active {_value(curr, 'serve.active'):.0f}"
+        f"   queued {_value(curr, 'serve.queue_depth'):.0f}"
+    )
+    for label, dotted in (
+        ("queue wait", "serve.queue_wait_s"),
+        ("request wall", "serve.request_wall_s"),
+    ):
+        quantiles = _quantiles(curr, dotted, (0.5, 0.99))
+        if quantiles is not None:
+            lines.append(
+                f"  {label:<14}p50 <= {quantiles[0]:.3g}s"
+                f"   p99 <= {quantiles[1]:.3g}s"
+            )
+    lines.append("")
+    lines.append("caches          hit ratio")
+    lines.append(
+        "  contexts      "
+        + _ratio(
+            _value(curr, "serve.cache.context_hits"),
+            _value(curr, "serve.cache.context_misses"),
+        )
+    )
+    lines.append(
+        "  prob memo     "
+        + _ratio(
+            _value(curr, "serve.cache.prob_hits"),
+            _value(curr, "serve.cache.prob_misses"),
+        )
+    )
+    shards_cached = _value(curr, "serve.cache.shards_cached")
+    if shards_cached:
+        lines.append(f"  exec shards   {shards_cached:.0f} served from cache")
+    on_time = _quantiles(curr, "serve.on_time_fraction", (0.5, 0.99))
+    if on_time is not None:
+        lines.append("")
+        lines.append(
+            f"on-time fraction (served evaluations)"
+            f"   p50 <= {on_time[0]:.3g}   p99 <= {on_time[1]:.3g}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def watch(
+    fetch: Callable[[], str],
+    interval_s: float = 2.0,
+    iterations: int | None = None,
+    out: TextIO | None = None,
+    clear: bool = True,
+    sleep: Callable[[float], None] = time.sleep,
+) -> int:
+    """Poll ``fetch`` (the metrics endpoint) and render frames forever.
+
+    ``iterations`` bounds the loop for tests and one-shot use; ``None``
+    runs until interrupted.  Returns 0 (so the CLI can return it).
+    """
+    import sys
+
+    stream = out if out is not None else sys.stdout
+    prev: dict[str, Family] | None = None
+    seen = 0
+    while iterations is None or seen < iterations:
+        curr = parse_exposition(fetch())
+        frame = render_frame(prev, curr, interval_s)
+        if clear:
+            stream.write(_CLEAR)
+        stream.write(frame)
+        stream.flush()
+        prev = curr
+        seen += 1
+        if iterations is None or seen < iterations:
+            sleep(interval_s)
+    return 0

@@ -111,6 +111,39 @@ class ServeClient:
         finally:
             connection.close()
 
+    def metrics(self) -> str:
+        """One ``GET /v1/metrics`` round-trip (Prometheus text format)."""
+        connection = self._connect()
+        try:
+            connection.request("GET", "/v1/metrics")
+            response = connection.getresponse()
+            self._raise_for_status(response)
+            try:
+                return response.read().decode("utf-8")
+            except UnicodeDecodeError as error:
+                raise ServerError(
+                    response.status, f"malformed metrics body: {error}"
+                ) from error
+        finally:
+            connection.close()
+
+    def health(self) -> dict:
+        """One ``GET /v1/health`` round-trip.
+
+        A draining server answers 503 with the same JSON shape; that is
+        health *data*, not a failure, so it is returned rather than
+        raised (unlike every other endpoint).
+        """
+        connection = self._connect()
+        try:
+            connection.request("GET", "/v1/health")
+            response = connection.getresponse()
+            if response.status not in (200, 503):
+                self._raise_for_status(response)
+            return self._read_json(response)
+        finally:
+            connection.close()
+
     def shutdown(self) -> dict:
         """Ask the server to drain and stop; returns its final counters."""
         connection = self._connect()

@@ -69,6 +69,7 @@ class Scheduler:
         self._idle = asyncio.Event()
         self._idle.set()
         self._recent_wall_s: deque[float] = deque(maxlen=16)
+        self._recent_wait_s: deque[float] = deque(maxlen=16)
         self._obs = obs
 
     # -- admission -------------------------------------------------------------
@@ -79,13 +80,25 @@ class Scheduler:
         return self.active + self.queued
 
     def retry_after_s(self) -> float:
-        """Back-off hint: queue drain time at the recent mean wall time."""
+        """Back-off hint grounded in what admitted requests experienced.
+
+        The model term predicts drain time (recent mean wall time times
+        the number of queue waves ahead of a new arrival); the observed
+        term is the mean queue wait recently *measured* at admission.
+        The hint is the larger of the two, so a backlog the model
+        underestimates (e.g. long-tailed requests) still produces an
+        honest back-off.
+        """
         if self._recent_wall_s:
             mean_wall = sum(self._recent_wall_s) / len(self._recent_wall_s)
         else:
             mean_wall = _DEFAULT_WALL_GUESS_S
         waves = (self.depth // self.max_active) + 1
-        return round(max(0.1, mean_wall * waves), 3)
+        hint = mean_wall * waves
+        if self._recent_wait_s:
+            observed = sum(self._recent_wait_s) / len(self._recent_wait_s)
+            hint = max(hint, observed)
+        return round(max(0.1, hint), 3)
 
     @asynccontextmanager
     async def slot(self) -> AsyncIterator[None]:
@@ -107,6 +120,7 @@ class Scheduler:
         self.queued += 1
         self._idle.clear()
         self._note_depth()
+        enqueued = time.perf_counter()
         try:
             await self._semaphore.acquire()
         except BaseException:
@@ -114,8 +128,12 @@ class Scheduler:
             self._note_depth()
             self._check_idle()
             raise
+        waited = time.perf_counter() - enqueued
         self.queued -= 1
         self.active += 1
+        self._recent_wait_s.append(waited)
+        if self._obs is not None:
+            self._obs.metrics.histogram("serve.queue_wait_s").observe(waited)
         self._note_depth()
         started = time.perf_counter()
         try:

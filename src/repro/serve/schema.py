@@ -109,6 +109,7 @@ class EvaluateRequest:
     schemes: tuple[str, ...] | None = None  # None = the standard six
     flows: tuple[str, ...] | None = None  # None = all 16 reference flows
     use_cache: bool = True
+    profile: bool = False  # sample the replay; summary in the manifest
 
     kind = "evaluate"
 
@@ -123,6 +124,7 @@ class EvaluateRequest:
         _check_names(self.schemes, "schemes")
         _check_names(self.flows, "flows")
         _check_bool(self.use_cache, "use_cache")
+        _check_bool(self.profile, "profile")
 
 
 @dataclass(frozen=True)

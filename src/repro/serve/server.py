@@ -31,10 +31,13 @@ import errno
 import json
 import math
 import threading
+import time
 from dataclasses import dataclass
 from itertools import count
 
 from repro.obs import Observability, RunManifest
+from repro.obs.expose import CONTENT_TYPE as METRICS_CONTENT_TYPE
+from repro.obs.expose import render_exposition
 from repro.serve.scheduler import RequestRejected, Scheduler
 from repro.serve.schema import PROTOCOL_VERSION, make_event, parse_request
 from repro.serve.session import execute_request
@@ -230,6 +233,7 @@ class EvalServer:
         self.requests_completed = 0
         self.requests_failed = 0
         self.requests_rejected = 0
+        self._started_monotonic = time.monotonic()
         self._ids = count(1)
         self._server: asyncio.AbstractServer | None = None
         self._stopped = asyncio.Event()
@@ -291,6 +295,7 @@ class EvalServer:
         try:
             try:
                 method, target, _headers, body = await _read_http_request(reader)
+                await self._route(writer, method, target, body)
             except _HttpError as error:
                 await _send_json(
                     writer,
@@ -298,7 +303,6 @@ class EvalServer:
                     make_event("error", code=error.status, error=str(error)),
                 )
                 return
-            await self._route(writer, method, target, body)
         except (ConnectionError, OSError):
             pass
         except Exception:  # pragma: no cover - last-resort containment
@@ -325,6 +329,14 @@ class EvalServer:
             if method != "GET":
                 raise _HttpError(405, f"{method} not allowed on {target}")
             await _send_json(writer, 200, self._status_payload())
+        elif target == "/v1/metrics":
+            if method != "GET":
+                raise _HttpError(405, f"{method} not allowed on {target}")
+            await self._handle_metrics(writer)
+        elif target == "/v1/health":
+            if method != "GET":
+                raise _HttpError(405, f"{method} not allowed on {target}")
+            await self._handle_health(writer)
         elif target == "/v1/submit":
             if method != "POST":
                 raise _HttpError(405, f"{method} not allowed on {target}")
@@ -360,6 +372,46 @@ class EvalServer:
             },
             "cache": self.runtime.cache_stats(),
         }
+
+    async def _handle_metrics(self, writer: asyncio.StreamWriter) -> None:
+        """Prometheus text exposition of the daemon's live registry."""
+        self._mirror_cache_gauges()
+        self.obs.metrics.gauge("serve.uptime_s").set(
+            time.monotonic() - self._started_monotonic
+        )
+        body = render_exposition(self.obs.metrics).encode("utf-8")
+        try:
+            writer.write(
+                _response_head(
+                    200,
+                    [
+                        ("Content-Type", METRICS_CONTENT_TYPE),
+                        ("Content-Length", str(len(body))),
+                        ("Connection", "close"),
+                    ],
+                )
+                + body
+            )
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+
+    async def _handle_health(self, writer: asyncio.StreamWriter) -> None:
+        """Liveness (we answered) + readiness (not draining -> 200)."""
+        draining = self.scheduler.draining or self._shutdown_started
+        await _send_json(
+            writer,
+            503 if draining else 200,
+            {
+                "status": "draining" if draining else "ok",
+                "draining": draining,
+                "active": self.scheduler.active,
+                "queued": self.scheduler.queued,
+                "uptime_s": round(
+                    time.monotonic() - self._started_monotonic, 3
+                ),
+            },
+        )
 
     async def _handle_shutdown(self, writer: asyncio.StreamWriter) -> None:
         _LOG.info("shutdown requested; draining %d request(s)", self.scheduler.depth)
@@ -469,9 +521,13 @@ class EvalServer:
         finally:
             progress.put_nowait(_DONE)
             await pump
+        run_until = self.obs.tracer.now()
         self.obs.tracer.complete(
-            "request.run", "serve", run_from, self.obs.tracer.now(),
+            "request.run", "serve", run_from, run_until,
             request_id=request_id, kind=request.kind,
+        )
+        self.obs.metrics.histogram("serve.request_wall_s").observe(
+            run_until - run_from
         )
         if failure is not None or outcome is None:
             self.requests_failed += 1
@@ -486,6 +542,12 @@ class EvalServer:
         self.requests_completed += 1
         self.obs.metrics.counter("serve.requests.completed").inc()
         self._refresh_cache_metrics(manifest)
+        for row in result_payload.get("schemes", ()):
+            availability = row.get("availability")
+            if availability is not None:
+                self.obs.metrics.histogram("serve.on_time_fraction").observe(
+                    float(availability)
+                )
         manifest.metrics = {
             name: summary
             for name, summary in self.obs.metrics.summarize().items()
@@ -505,6 +567,23 @@ class EvalServer:
                 return
             await stream.send(event)
 
+    def _mirror_cache_gauges(self) -> None:
+        """Mirror warm-state counters into gauges (loop thread only).
+
+        ``serve.cache.*`` carries the server-lifetime context/prob/disk
+        stats; ``exec.prob_cache.*`` repeats the probability-memo
+        counters under the name scrapers already know from run
+        manifests.  Called after each completed request and at every
+        ``/v1/metrics`` scrape, so a scrape between requests still sees
+        current values.
+        """
+        for name, value in self.runtime.cache_stats().items():
+            if isinstance(value, bool):
+                continue
+            self.obs.metrics.gauge(f"serve.cache.{name}").set(float(value))
+        for name, value in self.runtime.contexts.prob_counters().items():
+            self.obs.metrics.gauge(f"exec.prob_cache.{name}").set(float(value))
+
     def _refresh_cache_metrics(self, manifest: RunManifest) -> None:
         """Mirror server-lifetime cache stats into ``serve.cache.*`` metrics.
 
@@ -512,10 +591,7 @@ class EvalServer:
         registry has a single writer and the manifest streamed to the
         client carries a consistent snapshot.
         """
-        for name, value in self.runtime.cache_stats().items():
-            if isinstance(value, bool):
-                continue
-            self.obs.metrics.gauge(f"serve.cache.{name}").set(float(value))
+        self._mirror_cache_gauges()
         serve_extra = manifest.extra.get("serve", {})
         shards_cached = serve_extra.get("shards_cached")
         if shards_cached:

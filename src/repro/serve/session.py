@@ -97,21 +97,32 @@ def _run_evaluate(
         workers=workers,
         context_warm=context_warm,
     )
-    with telemetry_session(f"serve/{request_id}") as session:
-        result, telemetry = run_replay_parallel(
-            topology,
-            timeline,
-            flows,
-            service,
-            schemes,
-            config,
-            max_workers=workers,
-            time_shards=request.time_shards,
-            use_cache=request.use_cache and runtime.result_cache is not None,
-            cache=runtime.result_cache if request.use_cache else None,
-            label=f"serve {request_id}",
-            context=context,
-        )
+    profiler = None
+    if request.profile:
+        from repro.obs.profile import SamplingProfiler
+
+        # Created inside the worker thread running this request, so the
+        # profiler targets exactly this request's execution.
+        profiler = SamplingProfiler().start()
+    try:
+        with telemetry_session(f"serve/{request_id}") as session:
+            result, telemetry = run_replay_parallel(
+                topology,
+                timeline,
+                flows,
+                service,
+                schemes,
+                config,
+                max_workers=workers,
+                time_shards=request.time_shards,
+                use_cache=request.use_cache and runtime.result_cache is not None,
+                cache=runtime.result_cache if request.use_cache else None,
+                label=f"serve {request_id}",
+                context=context,
+            )
+    finally:
+        if profiler is not None:
+            profiler.stop()
     require(
         any(totals.duration_s > 0.0 for totals in result.all_totals()),
         "replay produced zero accumulation windows -- the trace is empty "
@@ -148,6 +159,17 @@ def _run_evaluate(
         ],
     }
     totals = session.totals()
+    extra: dict = {
+        "serve": {
+            "request_id": request_id,
+            "kind": request.kind,
+            "context_warm": context_warm,
+            "workers": workers,
+            "shards_cached": telemetry.shards_cached,
+        }
+    }
+    if profiler is not None:
+        extra["profile"] = profiler.report()
     manifest = RunManifest(
         label="serve evaluate",
         seed=request.seed,
@@ -156,15 +178,7 @@ def _run_evaluate(
         topology=topology_fingerprint(topology),
         duration_s=timeline.duration_s,
         exec=totals.to_dict() if totals is not None else None,
-        extra={
-            "serve": {
-                "request_id": request_id,
-                "kind": request.kind,
-                "context_warm": context_warm,
-                "workers": workers,
-                "shards_cached": telemetry.shards_cached,
-            }
-        },
+        extra=extra,
     )
     return payload, manifest
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from repro.exec.cache import ResultCache
 from repro.exec.engine import run_replay_parallel
-from repro.obs import Observability
+from repro.obs import Observability, read_spans_jsonl, write_spans_jsonl
 
 from tests.exec.test_engine import small_case
 from tests.exec.test_plan import SMALL_SCHEMES
@@ -81,3 +81,74 @@ class TestShardSpans:
         from tests.exec.test_plan import assert_exactly_equal
 
         assert_exactly_equal(plain, observed)
+
+
+class TestCrossProcessTrace:
+    """Pool workers join the parent's trace: one tree, one trace id."""
+
+    def _traced_pool_run(self):
+        obs = Observability()
+        topology, timeline, flows, service = small_case()
+        _result, telemetry = run_replay_parallel(
+            topology,
+            timeline,
+            flows,
+            service,
+            scheme_names=SMALL_SCHEMES,
+            max_workers=2,
+            use_cache=False,
+            obs=obs,
+        )
+        obs.tracer.finalize()
+        return obs, telemetry
+
+    def test_pooled_run_is_a_single_trace_tree(self, tmp_path):
+        obs, telemetry = self._traced_pool_run()
+        spans = obs.tracer.spans
+        by_id = {span.span_id for span in spans}
+        roots = [span for span in spans if span.parent_id is None]
+        assert [span.name for span in roots] == ["replay"]
+        # Every non-root span's parent exists in the same export.
+        assert all(
+            span.parent_id in by_id for span in spans if span.parent_id is not None
+        )
+        worker_spans = [span for span in spans if span.name == "worker.shard"]
+        assert len(worker_spans) == telemetry.shards_run
+        assert {span.args["trace_id"] for span in worker_spans} == {
+            obs.tracer.trace_id
+        }
+        # Worker pids prove the spans crossed a process boundary.
+        assert all(span.args["pid"] for span in worker_spans)
+        # Shard phases recorded inside the workers came home too.
+        phases = {span.name for span in spans}
+        assert {"shard.policy", "shard.windows"} <= phases
+
+    def test_trace_survives_jsonl_round_trip(self, tmp_path):
+        obs, _telemetry = self._traced_pool_run()
+        path = write_spans_jsonl(obs.tracer.spans, tmp_path / "spans.jsonl")
+        loaded = read_spans_jsonl(path)
+        assert len(loaded) == len(obs.tracer.spans)
+        roots = [span for span in loaded if span.parent_id is None]
+        assert [span.name for span in roots] == ["replay"]
+        worker_spans = [span for span in loaded if span.name == "worker.shard"]
+        assert worker_spans
+        assert {span.args["trace_id"] for span in worker_spans} == {
+            obs.tracer.trace_id
+        }
+        # Grafted worker spans sit inside their parent-side shard window.
+        shard_by_id = {
+            span.span_id: span for span in loaded if span.name == "shard"
+        }
+        for worker_span in worker_spans:
+            shard = shard_by_id[worker_span.parent_id]
+            assert shard.start_s - 1e-6 <= worker_span.start_s
+            assert worker_span.end_s <= shard.end_s + 1e-6
+
+    def test_serial_run_has_no_worker_spans(self):
+        obs = Observability()
+        _run(obs)
+        obs.tracer.finalize()
+        names = {span.name for span in obs.tracer.spans}
+        assert "worker.shard" not in names
+        roots = [span for span in obs.tracer.spans if span.parent_id is None]
+        assert [span.name for span in roots] == ["replay"]

@@ -1,0 +1,137 @@
+"""Prometheus text exposition: render, parse, and quantile estimation."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs.expose import (
+    CONTENT_TYPE,
+    histogram_quantile,
+    metric_name,
+    parse_exposition,
+    render_exposition,
+    sample_value,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def _registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("serve.requests.accepted").inc(3)
+    registry.gauge("serve.queue_depth").set(2)
+    histogram = registry.histogram(
+        "serve.queue_wait_s", buckets=(0.001, 0.01, 0.1, 1.0)
+    )
+    for value in (0.0005, 0.005, 0.005, 0.5):
+        histogram.observe(value)
+    return registry
+
+
+class TestNames:
+    def test_dots_and_arrows_sanitised(self):
+        assert metric_name("serve.queue_depth") == "repro_serve_queue_depth"
+        assert metric_name("net.sent.NYC->LAX") == "repro_net_sent_NYC__LAX"
+
+    def test_leading_digit_guarded(self):
+        assert metric_name("9lives").startswith("repro__9")
+
+    def test_content_type_is_prometheus_text(self):
+        assert "text/plain" in CONTENT_TYPE
+        assert "0.0.4" in CONTENT_TYPE
+
+
+class TestRender:
+    def test_counter_and_gauge_lines(self):
+        text = render_exposition(_registry())
+        assert "# TYPE repro_serve_requests_accepted counter" in text
+        assert "repro_serve_requests_accepted 3" in text
+        assert "# TYPE repro_serve_queue_depth gauge" in text
+        assert "repro_serve_queue_depth 2" in text
+
+    def test_help_keeps_the_dotted_name(self):
+        text = render_exposition(_registry())
+        assert "'serve.queue_depth'" in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        text = render_exposition(_registry())
+        assert 'repro_serve_queue_wait_s_bucket{le="0.001"} 1' in text
+        assert 'repro_serve_queue_wait_s_bucket{le="0.01"} 3' in text
+        assert 'repro_serve_queue_wait_s_bucket{le="1"} 4' in text
+        assert 'repro_serve_queue_wait_s_bucket{le="+Inf"} 4' in text
+        assert "repro_serve_queue_wait_s_count 4" in text
+
+    def test_empty_histogram_renders_without_quantiles(self):
+        registry = MetricsRegistry()
+        registry.histogram("idle.h")
+        text = render_exposition(registry)
+        assert 'repro_idle_h_bucket{le="+Inf"} 0' in text
+        assert "repro_idle_h_count 0" in text
+
+
+class TestParse:
+    def test_round_trip(self):
+        registry = _registry()
+        families = parse_exposition(render_exposition(registry))
+        assert sample_value(
+            families, "repro_serve_requests_accepted"
+        ) == 3.0
+        assert sample_value(families, "repro_serve_queue_depth") == 2.0
+        assert (
+            sample_value(families, "repro_serve_queue_wait_s_count") == 4.0
+        )
+        family = families["repro_serve_queue_wait_s"]
+        assert family.type == "histogram"
+        assert family.help  # HELP text survived
+
+    def test_bucket_labels_parsed(self):
+        families = parse_exposition(render_exposition(_registry()))
+        buckets = [
+            sample.labels["le"]
+            for sample in families["repro_serve_queue_wait_s"].samples
+            if sample.name.endswith("_bucket")
+        ]
+        assert "+Inf" in buckets
+
+    def test_label_escapes_round_trip(self):
+        text = 'm{path="a\\"b\\\\c"} 1\n'
+        families = parse_exposition(text)
+        sample = families["m"].samples[0]
+        assert sample.labels["path"] == 'a"b\\c'
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(Exception, match="malformed"):
+            parse_exposition("this is { not a metric\n")
+
+    def test_missing_sample_is_none(self):
+        families = parse_exposition(render_exposition(_registry()))
+        assert sample_value(families, "repro_no_such_metric") is None
+
+
+class TestHistogramQuantile:
+    def test_matches_exact_histogram_bounds(self):
+        registry = _registry()
+        families = parse_exposition(render_exposition(registry))
+        family = families["repro_serve_queue_wait_s"]
+        histogram = registry.histogram("serve.queue_wait_s")
+        assert histogram_quantile(family, 0.5) == histogram.quantile(0.5)
+
+    def test_empty_family_is_none(self):
+        families = parse_exposition(
+            'repro_h_bucket{le="+Inf"} 0\nrepro_h_count 0\n'
+        )
+        assert histogram_quantile(families["repro_h"], 0.5) is None
+
+    def test_overflow_only_falls_back_to_largest_finite(self):
+        families = parse_exposition(
+            'repro_h_bucket{le="1"} 0\n'
+            'repro_h_bucket{le="+Inf"} 5\n'
+            "repro_h_count 5\n"
+        )
+        assert histogram_quantile(families["repro_h"], 0.5) == 1.0
+
+    def test_inf_parsing(self):
+        families = parse_exposition('repro_h_bucket{le="+Inf"} 2\n')
+        le = families["repro_h"].samples[0].labels["le"]
+        assert math.isinf(float("inf")) and le == "+Inf"

@@ -1,0 +1,238 @@
+"""Bench history: ingest, per-branch storage, regression detection."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.history import (
+    MIN_BASELINE,
+    check,
+    direction,
+    format_finding,
+    github_annotation,
+    history_path,
+    ingest,
+    read_history,
+    summarize,
+)
+from repro.util.validation import ValidationError
+
+
+def _write_artifact(bench_dir, exp, metrics, weeks=2.0):
+    bench_dir.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "manifest_version": 1,
+        "experiment": exp,
+        "weeks": weeks,
+        "seed": 7,
+        "workers": 0,
+        "use_cache": True,
+        "topology": "abc123",
+        "exec": None,
+        "metrics": metrics,
+    }
+    (bench_dir / f"BENCH_{exp}.json").write_text(json.dumps(payload))
+
+
+def _record_runs(tmp_path, values, exp="e2", metric="replay_wall_s", **kw):
+    """One ingest per value, oldest first, onto branch ``main``."""
+    bench = tmp_path / "bench-out"
+    for index, value in enumerate(values):
+        _write_artifact(bench, exp, {metric: value}, **kw)
+        ingest(bench, tmp_path / "hist", "main", commit=f"c{index}",
+               recorded_at=1000.0 + index)
+
+
+class TestDirection:
+    def test_duration_suffix_is_higher_is_worse(self):
+        assert direction("replay_wall_s") == "higher_is_worse"
+        assert direction("baseline_s") == "higher_is_worse"
+        assert direction("overhead") == "higher_is_worse"
+        assert direction("lost_seconds_total") == "higher_is_worse"
+
+    def test_goodness_names_are_lower_is_worse(self):
+        assert direction("availability") == "lower_is_worse"
+        assert direction("speedup") == "lower_is_worse"
+        assert direction("cache_hit_rate") == "lower_is_worse"
+        assert direction("coverage") == "lower_is_worse"
+
+    def test_conflicting_name_is_unknown(self):
+        # ``on_time`` says lower-is-worse, ``_s`` says higher-is-worse.
+        assert direction("on_time_s") is None
+
+    def test_unrecognised_name_is_unknown(self):
+        assert direction("decision_changes") is None
+
+
+class TestIngest:
+    def test_entries_appended_per_artifact(self, tmp_path):
+        bench = tmp_path / "bench-out"
+        _write_artifact(bench, "e2", {"wall_s": 1.5})
+        _write_artifact(bench, "e3", {"cost": 2.0})
+        entries = ingest(bench, tmp_path / "hist", "main", commit="abc",
+                         recorded_at=1.0)
+        assert [e["experiment"] for e in entries] == ["e2", "e3"]
+        stored = read_history(tmp_path / "hist", "main")
+        assert stored == entries
+        assert stored[0]["commit"] == "abc"
+        assert stored[0]["metrics"] == {"wall_s": 1.5}
+
+    def test_append_only(self, tmp_path):
+        _record_runs(tmp_path, [1.0, 2.0, 3.0])
+        values = [
+            e["metrics"]["replay_wall_s"]
+            for e in read_history(tmp_path / "hist", "main")
+        ]
+        assert values == [1.0, 2.0, 3.0]
+
+    def test_non_numeric_metrics_dropped(self, tmp_path):
+        bench = tmp_path / "bench-out"
+        _write_artifact(
+            bench,
+            "e9",
+            {"wall_s": 1.0, "label": "fast", "flag": True, "nan": float("nan")},
+        )
+        (entry,) = ingest(bench, tmp_path / "hist", "b", recorded_at=1.0)
+        assert entry["metrics"] == {"wall_s": 1.0}
+
+    def test_branches_are_separate_files(self, tmp_path):
+        bench = tmp_path / "bench-out"
+        _write_artifact(bench, "e2", {"wall_s": 1.0})
+        ingest(bench, tmp_path / "hist", "main", recorded_at=1.0)
+        ingest(bench, tmp_path / "hist", "feature/x", recorded_at=2.0)
+        assert len(read_history(tmp_path / "hist", "main")) == 1
+        assert len(read_history(tmp_path / "hist", "feature/x")) == 1
+        assert history_path(tmp_path / "hist", "feature/x").name == (
+            "feature_x.jsonl"
+        )
+
+    def test_missing_bench_dir_rejected(self, tmp_path):
+        with pytest.raises(ValidationError, match="does not exist"):
+            ingest(tmp_path / "nope", tmp_path / "hist", "main")
+
+    def test_empty_bench_dir_appends_nothing(self, tmp_path):
+        bench = tmp_path / "bench-out"
+        bench.mkdir()
+        assert ingest(bench, tmp_path / "hist", "main") == []
+        assert read_history(tmp_path / "hist", "main") == []
+
+
+class TestCheck:
+    def test_stable_series_yields_no_findings(self, tmp_path):
+        _record_runs(tmp_path, [1.0, 1.01, 0.99, 1.0, 1.02])
+        assert check(tmp_path / "hist", "main") == []
+
+    def test_regression_on_higher_is_worse_metric(self, tmp_path):
+        _record_runs(tmp_path, [1.0, 1.01, 0.99, 1.0, 1.5])
+        (finding,) = check(tmp_path / "hist", "main")
+        assert finding["kind"] == "regression"
+        assert finding["metric"] == "replay_wall_s"
+        assert finding["value"] == 1.5
+        assert finding["median"] == pytest.approx(1.0, abs=0.02)
+        assert finding["delta"] > finding["band"]
+        assert finding["direction"] == "higher_is_worse"
+
+    def test_improvement_on_higher_is_worse_metric(self, tmp_path):
+        _record_runs(tmp_path, [1.0, 1.01, 0.99, 1.0, 0.5])
+        (finding,) = check(tmp_path / "hist", "main")
+        assert finding["kind"] == "improvement"
+
+    def test_regression_on_lower_is_worse_metric(self, tmp_path):
+        _record_runs(
+            tmp_path, [0.999, 0.998, 0.999, 0.9], metric="availability"
+        )
+        (finding,) = check(tmp_path / "hist", "main")
+        assert finding["kind"] == "regression"
+        assert finding["direction"] == "lower_is_worse"
+
+    def test_unknown_direction_is_a_shift(self, tmp_path):
+        _record_runs(
+            tmp_path, [10.0, 10.0, 10.0, 20.0], metric="decision_changes"
+        )
+        (finding,) = check(tmp_path / "hist", "main")
+        assert finding["kind"] == "shift"
+        assert finding["direction"] is None
+
+    def test_insufficient_history_is_silent(self, tmp_path):
+        _record_runs(tmp_path, [1.0] * MIN_BASELINE + [99.0])
+        # MIN_BASELINE prior runs is exactly enough; one fewer is not.
+        assert check(tmp_path / "hist", "main") != []
+        _record_runs(tmp_path, [1.0, 1.0, 55.0], exp="e7")
+        findings = check(tmp_path / "hist", "main")
+        assert all(f["experiment"] == "e2" for f in findings)
+
+    def test_noise_band_respects_relative_floor(self, tmp_path):
+        # Zero-variance baseline: MAD is 0, the 5% relative floor rules.
+        _record_runs(tmp_path, [1.0, 1.0, 1.0, 1.0, 1.04])
+        assert check(tmp_path / "hist", "main") == []
+        _record_runs(tmp_path, [1.06], )
+        # The 1.04 run joined the baseline; median still 1.0, 1.06 > 5%.
+        (finding,) = check(tmp_path / "hist", "main")
+        assert finding["value"] == 1.06
+
+    def test_noisy_baseline_widens_the_band(self, tmp_path):
+        noisy = [1.0, 1.4, 0.7, 1.2, 0.8, 1.3]
+        _record_runs(tmp_path, noisy + [1.6])
+        assert check(tmp_path / "hist", "main") == []
+        _record_runs(tmp_path, [3.0])
+        (finding,) = check(tmp_path / "hist", "main")
+        assert finding["kind"] == "regression"
+
+    def test_different_workloads_never_compared(self, tmp_path):
+        _record_runs(tmp_path, [1.0, 1.0, 1.0], weeks=2.0)
+        # A single 4-week run: different workload key, no baseline.
+        _record_runs(tmp_path, [9.0], weeks=4.0)
+        assert check(tmp_path / "hist", "main") == []
+
+    def test_window_limits_the_baseline(self, tmp_path):
+        # Old slow era, then a fast era longer than the window: the
+        # old values must age out of the comparison.
+        _record_runs(tmp_path, [9.0] * 5 + [1.0] * 6 + [1.0])
+        assert check(tmp_path / "hist", "main", window=5) == []
+
+    def test_findings_sorted_regressions_first(self, tmp_path):
+        bench = tmp_path / "bench-out"
+        for index, (wall, avail) in enumerate(
+            [(1.0, 0.9), (1.0, 0.9), (1.0, 0.9), (2.0, 1.0)]
+        ):
+            _write_artifact(
+                bench, "e2", {"wall_s": wall, "availability": avail}
+            )
+            ingest(bench, tmp_path / "hist", "main", recorded_at=float(index))
+        findings = check(tmp_path / "hist", "main")
+        assert [f["kind"] for f in findings] == ["regression", "improvement"]
+
+    def test_check_on_empty_history(self, tmp_path):
+        assert check(tmp_path / "hist", "main") == []
+
+
+class TestFormatting:
+    def _finding(self, tmp_path):
+        _record_runs(tmp_path, [1.0, 1.0, 1.0, 2.0])
+        (finding,) = check(tmp_path / "hist", "main")
+        return finding
+
+    def test_format_finding(self, tmp_path):
+        line = format_finding(self._finding(tmp_path))
+        assert "regression" in line
+        assert "e2/replay_wall_s" in line
+        assert "+100.0%" in line
+
+    def test_github_annotation_levels(self, tmp_path):
+        finding = self._finding(tmp_path)
+        assert github_annotation(finding).startswith(
+            "::warning title=bench regression: e2::"
+        )
+        finding["kind"] = "improvement"
+        assert github_annotation(finding).startswith("::notice ")
+
+    def test_summarize_counts(self, tmp_path):
+        finding = self._finding(tmp_path)
+        assert summarize([finding]) == {
+            "regression": 1, "shift": 0, "improvement": 0,
+        }
+        assert summarize([]) == {
+            "regression": 0, "shift": 0, "improvement": 0,
+        }

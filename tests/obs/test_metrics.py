@@ -69,10 +69,31 @@ class TestHistogram:
         histogram.observe(1e9)
         assert histogram.quantile(0.99) == 1e9
 
-    def test_empty_histogram(self):
+    def test_empty_histogram_quantile_raises(self):
         histogram = Histogram("h")
-        assert histogram.quantile(0.99) == 0.0
+        with pytest.raises(Exception, match="empty"):
+            histogram.quantile(0.99)
         assert histogram.summary() == {"type": "histogram", "count": 0}
+
+    def test_exact_boundary_value_stays_in_its_bucket(self):
+        # A value equal to a bucket bound belongs to that bucket (the
+        # first bound >= value), so its quantile answers the bound
+        # itself, never the next bucket up.
+        histogram = Histogram("h", buckets=(1.0, 10.0, 100.0))
+        for _ in range(10):
+            histogram.observe(10.0)
+        assert histogram.quantile(0.5) == 10.0
+        assert histogram.quantile(1.0) == 10.0
+        assert histogram.counts[1] == 10
+        assert histogram.counts[2] == 0
+
+    def test_boundary_between_two_buckets(self):
+        histogram = Histogram("h", buckets=(1.0, 10.0))
+        histogram.observe(1.0)  # first bucket, exactly on the bound
+        histogram.observe(1.0000001)  # just past the bound: second bucket
+        assert histogram.counts[0] == 1
+        assert histogram.counts[1] == 1
+        assert histogram.quantile(0.5) == 1.0
 
     def test_default_buckets_cover_micro_to_mega(self):
         assert DEFAULT_BUCKETS[0] == pytest.approx(1e-6)

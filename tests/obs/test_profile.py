@@ -1,0 +1,208 @@
+"""Sampling profiler: collection, collapsed output, accounting, reports."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.obs.profile import SamplingProfiler, frame_label
+from repro.util.validation import ValidationError
+
+
+def _spin(deadline_s: float = 0.25) -> None:
+    """Burn wall clock under a recognisable frame name."""
+    end = time.perf_counter() + deadline_s
+    total = 0
+    while time.perf_counter() < end:
+        total += sum(range(50))
+    assert total >= 0
+
+
+def _profiled_spin(interval_s: float = 0.002) -> SamplingProfiler:
+    profiler = SamplingProfiler(interval_s=interval_s)
+    with profiler:
+        _spin()
+    return profiler
+
+
+class TestFrameLabel:
+    def test_stem_and_function(self):
+        assert frame_label("/a/b/engine.py", "run") == "engine:run"
+
+    def test_reserved_characters_scrubbed(self):
+        label = frame_label("/x/we ird.py", "fn;ish")
+        assert ";" not in label
+        assert " " not in label
+        assert label == "we_ird:fn,ish"
+
+    def test_empty_filename(self):
+        assert frame_label("", "lambda") == "?:lambda"
+
+
+class TestCollection:
+    def test_busy_function_is_sampled(self):
+        profiler = _profiled_spin()
+        assert profiler.samples > 10
+        assert profiler.duration_s > 0.2
+        leaves = {stack[-1] for stack in profiler.stacks}
+        assert any("test_profile:_spin" in label for label in leaves), leaves
+
+    def test_stacks_are_root_first(self):
+        profiler = _profiled_spin()
+        spin_stacks = [
+            stack
+            for stack in profiler.stacks
+            if stack[-1].startswith("test_profile:_spin")
+        ]
+        assert spin_stacks
+        # The caller appears above the leaf, never below it.
+        for stack in spin_stacks:
+            assert any("_profiled_spin" in label for label in stack[:-1])
+
+    def test_target_thread_defaults_to_creator(self):
+        profiler = SamplingProfiler()
+        assert profiler.target_thread_id == threading.get_ident()
+
+    def test_profiling_another_thread(self):
+        ready = threading.Event()
+        done = threading.Event()
+
+        def worker():
+            ready.set()
+            while not done.is_set():
+                _spin(0.01)
+
+        thread = threading.Thread(target=worker, daemon=True)
+        thread.start()
+        ready.wait()
+        profiler = SamplingProfiler(
+            interval_s=0.002, target_thread_id=thread.ident
+        )
+        with profiler:
+            time.sleep(0.1)
+        done.set()
+        thread.join()
+        assert profiler.samples > 0
+        leaves = {stack[-1] for stack in profiler.stacks}
+        assert any("_spin" in label for label in leaves)
+
+    def test_max_depth_truncates(self):
+        def recurse(n: int) -> None:
+            if n == 0:
+                _spin(0.15)
+                return
+            recurse(n - 1)
+
+        profiler = SamplingProfiler(interval_s=0.002, max_depth=4)
+        with profiler:
+            recurse(20)
+        assert profiler.samples > 0
+        assert all(len(stack) <= 4 for stack in profiler.stacks)
+
+
+class TestLifecycle:
+    def test_double_start_raises(self):
+        profiler = SamplingProfiler().start()
+        try:
+            with pytest.raises(ValidationError, match="already started"):
+                profiler.start()
+        finally:
+            profiler.stop()
+
+    def test_stop_is_idempotent(self):
+        profiler = SamplingProfiler().start()
+        profiler.stop()
+        duration = profiler.duration_s
+        profiler.stop()
+        assert profiler.duration_s == duration
+
+    def test_restart_accumulates(self):
+        profiler = SamplingProfiler(interval_s=0.002)
+        with profiler:
+            _spin(0.1)
+        first = profiler.samples
+        with profiler:
+            _spin(0.1)
+        assert profiler.samples > first
+        assert profiler.duration_s > 0.15
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ValidationError, match="interval"):
+            SamplingProfiler(interval_s=0.0)
+
+    def test_bad_depth_rejected(self):
+        with pytest.raises(ValidationError, match="max_depth"):
+            SamplingProfiler(max_depth=0)
+
+
+class TestOutput:
+    def test_collapsed_format(self):
+        profiler = _profiled_spin()
+        text = profiler.collapsed()
+        assert text.endswith("\n")
+        lines = text.strip().splitlines()
+        assert lines == sorted(lines)
+        for line in lines:
+            stack, count = line.rsplit(" ", 1)
+            assert int(count) >= 1
+            assert all(frame for frame in stack.split(";"))
+
+    def test_collapsed_counts_equal_samples(self):
+        profiler = _profiled_spin()
+        total = sum(
+            int(line.rsplit(" ", 1)[1])
+            for line in profiler.collapsed().strip().splitlines()
+        )
+        assert total == profiler.samples
+
+    def test_empty_collapsed_is_empty_string(self):
+        assert SamplingProfiler().collapsed() == ""
+
+    def test_write_collapsed(self, tmp_path):
+        profiler = _profiled_spin()
+        out = profiler.write_collapsed(tmp_path / "nested" / "p.collapsed")
+        assert out.exists()
+        assert out.read_text() == profiler.collapsed()
+
+    def test_top_self_and_total_accounting(self):
+        profiler = _profiled_spin()
+        rows = profiler.top(5)
+        assert rows
+        assert sum(row["self"] for row in profiler.top(10 ** 6)) == (
+            profiler.samples
+        )
+        for row in rows:
+            assert row["total"] >= row["self"]
+            assert 0.0 < row["self_fraction"] <= 1.0
+            assert row["total_fraction"] <= 1.0
+        # Rows come sorted by self time, busiest first.
+        selfs = [row["self"] for row in rows]
+        assert selfs == sorted(selfs, reverse=True)
+
+    def test_report_shape(self):
+        profiler = _profiled_spin()
+        report = profiler.report(top_n=3)
+        assert report["samples"] == profiler.samples
+        assert report["duration_s"] > 0.2
+        assert report["rate_hz"] > 0
+        assert report["distinct_stacks"] == len(profiler.stacks)
+        assert len(report["top"]) <= 3
+        assert report["top"][0]["frame"]
+
+    def test_report_without_samples(self):
+        report = SamplingProfiler().report()
+        assert report["samples"] == 0
+        assert report["top"] == []
+        assert report["rate_hz"] == 0.0
+
+    def test_format_top_table(self):
+        profiler = _profiled_spin()
+        table = profiler.format_top_table(3)
+        assert "samples" in table
+        assert "self%" in table
+        assert "_spin" in table
+
+    def test_format_top_table_empty(self):
+        assert "no samples" in SamplingProfiler().format_top_table()

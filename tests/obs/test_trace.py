@@ -4,7 +4,16 @@ from __future__ import annotations
 
 import json
 
-from repro.obs.trace import NULL_TRACER, FlightRecorder, Span, Tracer
+import pytest
+
+from repro.obs.trace import (
+    NULL_TRACER,
+    FlightRecorder,
+    Span,
+    TraceContext,
+    Tracer,
+    spans_to_relative,
+)
 
 
 class FakeClock:
@@ -116,6 +125,92 @@ class TestFlightRecorder:
         assert recorder.triggers == FlightRecorder.MAX_SNAPSHOTS + 5
 
 
+class TestTraceContext:
+    def test_round_trips_through_wire(self):
+        context = TraceContext("abcdef0123456789", parent_span_id=7)
+        clone = TraceContext.from_wire(context.to_wire())
+        assert clone == context
+
+    def test_wire_without_parent(self):
+        clone = TraceContext.from_wire({"trace_id": "deadbeef"})
+        assert clone.trace_id == "deadbeef"
+        assert clone.parent_span_id is None
+
+    def test_wire_rejects_empty_trace_id(self):
+        with pytest.raises(Exception, match="trace_id"):
+            TraceContext.from_wire({"trace_id": ""})
+
+    def test_tracer_hands_out_its_own_identity(self):
+        tracer = Tracer(FakeClock(), trace_id="feedface00000000")
+        context = tracer.trace_context(parent_span_id=3)
+        assert context.trace_id == "feedface00000000"
+        assert context.parent_span_id == 3
+
+    def test_trace_id_generated_when_unset(self):
+        tracer = Tracer(FakeClock())
+        assert len(tracer.trace_id) == 16
+
+
+class TestGraft:
+    def _worker_records(self):
+        """Simulate the worker side: local tracer, relative records."""
+        clock = FakeClock()
+        clock.now = 100.0  # worker clock offset unrelated to parent's
+        worker = Tracer(clock, trace_id="feedface00000000")
+        worker.context = {"trace_id": worker.trace_id}
+        root = worker.open("shard", "worker.shard", "exec")
+        clock.now = 100.25
+        worker.complete(
+            "shard.policy", "exec", 100.0, 100.25, parent_id=root.span_id
+        )
+        clock.now = 100.5
+        worker.close("shard")
+        return spans_to_relative(worker.spans, base_s=100.0)
+
+    def test_relative_records_are_offsets_from_base(self):
+        records = self._worker_records()
+        starts = sorted(record["start_s"] for record in records)
+        assert starts == [0.0, 0.0]
+        assert max(record["end_s"] for record in records) == 0.5
+
+    def test_graft_rebases_and_reparents(self):
+        records = self._worker_records()
+        clock = FakeClock()
+        clock.now = 7.0
+        parent = Tracer(clock)
+        anchor = parent.complete("shard", "exec", 6.5, 7.0)
+        grafted = parent.graft(records, base_s=6.5, parent_id=anchor.span_id)
+        assert grafted == len(records)
+        adopted = {span.name: span for span in parent.spans[1:]}
+        # Orphan worker root hangs under the parent-side anchor span.
+        assert adopted["worker.shard"].parent_id == anchor.span_id
+        assert adopted["worker.shard"].start_s == 6.5
+        assert adopted["worker.shard"].end_s == 7.0
+        # Internal worker structure is preserved through the id remap.
+        assert (
+            adopted["shard.policy"].parent_id == adopted["worker.shard"].span_id
+        )
+        assert adopted["shard.policy"].end_s == 6.75
+        # Remapped ids join the parent tracer's own sequence, no collisions.
+        ids = [span.span_id for span in parent.spans]
+        assert len(ids) == len(set(ids))
+
+    def test_graft_respects_max_spans(self):
+        parent = Tracer(FakeClock(), max_spans=1)
+        parent.instant("x", "t")
+        grafted = parent.graft(self._worker_records(), base_s=0.0)
+        assert grafted == 0
+        assert parent.dropped == 2
+
+    def test_grafted_spans_feed_the_recorder(self):
+        recorder = FlightRecorder(capacity=8)
+        parent = Tracer(FakeClock(), recorder=recorder)
+        parent.graft(self._worker_records(), base_s=0.0)
+        snapshot = recorder.trigger("test")
+        names = {record["name"] for record in snapshot["spans"]}
+        assert names == {"worker.shard", "shard.policy"}
+
+
 class TestNullTracer:
     def test_everything_is_a_noop(self):
         assert NULL_TRACER.instant("x", "t") is None
@@ -124,4 +219,5 @@ class TestNullTracer:
         assert NULL_TRACER.close("k") is None
         assert NULL_TRACER.parent_id("k") is None
         assert NULL_TRACER.finalize() == 0
+        assert NULL_TRACER.graft([{"id": 1}], base_s=0.0) == 0
         assert NULL_TRACER.spans == []

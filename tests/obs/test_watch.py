@@ -1,0 +1,101 @@
+"""The live metrics viewer: frame rendering and the poll loop."""
+
+from __future__ import annotations
+
+import io
+
+from repro.obs.expose import parse_exposition, render_exposition
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.watch import render_frame, watch
+
+
+def _scrape(
+    accepted: float = 4,
+    completed: float = 3,
+    queue_depth: float = 1,
+    waits: tuple[float, ...] = (0.01, 0.02),
+    uptime: float = 120.0,
+) -> str:
+    registry = MetricsRegistry()
+    registry.counter("serve.requests.accepted").inc(accepted)
+    registry.counter("serve.requests.completed").inc(completed)
+    registry.counter("serve.requests.failed").inc(0)
+    registry.counter("serve.requests.rejected").inc(1)
+    registry.gauge("serve.queue_depth").set(queue_depth)
+    registry.gauge("serve.active").set(2)
+    registry.gauge("serve.uptime_s").set(uptime)
+    registry.gauge("serve.cache.context_hits").set(6)
+    registry.gauge("serve.cache.context_misses").set(2)
+    registry.gauge("serve.cache.prob_hits").set(90)
+    registry.gauge("serve.cache.prob_misses").set(10)
+    for wait in waits:
+        registry.histogram("serve.queue_wait_s").observe(wait)
+    for fraction in (0.97, 0.999):
+        registry.histogram("serve.on_time_fraction").observe(fraction)
+    return render_exposition(registry)
+
+
+class TestRenderFrame:
+    def test_totals_and_sections(self):
+        frame = render_frame(None, parse_exposition(_scrape()), 2.0)
+        assert "accepted" in frame and "completed" in frame
+        assert "queued 1" in frame
+        assert "queue wait" in frame
+        assert "contexts" in frame
+        assert "75.0%" in frame  # 6 context hits / 8 lookups
+        assert "90.0%" in frame  # 90 prob hits / 100 lookups
+        assert "on-time fraction" in frame
+
+    def test_rates_come_from_counter_deltas(self):
+        prev = parse_exposition(_scrape(accepted=4, completed=3))
+        curr = parse_exposition(_scrape(accepted=10, completed=6))
+        frame = render_frame(prev, curr, 2.0)
+        # (10 - 4) / 2s = 3/s accepted; (6 - 3) / 2s = 1.5/s completed.
+        assert "3.00" in frame
+        assert "1.50" in frame
+
+    def test_first_frame_has_zero_rates(self):
+        frame = render_frame(None, parse_exposition(_scrape()), 2.0)
+        assert "0.00" in frame
+
+    def test_missing_histograms_are_omitted(self):
+        registry = MetricsRegistry()
+        registry.counter("serve.requests.accepted").inc()
+        frame = render_frame(
+            None, parse_exposition(render_exposition(registry)), 1.0
+        )
+        assert "queue wait" not in frame
+        assert "on-time" not in frame
+
+
+class TestWatchLoop:
+    def test_polls_fetch_and_renders_each_frame(self):
+        scrapes = iter([_scrape(accepted=1), _scrape(accepted=5)])
+        out = io.StringIO()
+        slept: list[float] = []
+        code = watch(
+            lambda: next(scrapes),
+            interval_s=0.5,
+            iterations=2,
+            out=out,
+            clear=False,
+            sleep=slept.append,
+        )
+        assert code == 0
+        assert slept == [0.5]  # no sleep after the final frame
+        text = out.getvalue()
+        assert text.count("repro serve") == 2
+        # Second frame saw the counter jump: (5-1)/0.5 = 8/s.
+        assert "8.00" in text
+
+    def test_clear_sequence_emitted_when_enabled(self):
+        out = io.StringIO()
+        watch(
+            lambda: _scrape(),
+            interval_s=1.0,
+            iterations=1,
+            out=out,
+            clear=True,
+            sleep=lambda _s: None,
+        )
+        assert out.getvalue().startswith("\x1b[2J\x1b[H")

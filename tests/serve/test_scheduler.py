@@ -184,3 +184,56 @@ class TestRetryAfter:
             Scheduler(max_active=0)
         with pytest.raises(ValueError):
             Scheduler(max_queue=-1)
+
+    def test_observed_waits_floor_the_hint(self):
+        async def scenario():
+            scheduler = Scheduler(max_active=2, max_queue=2)
+            scheduler._recent_wall_s.extend([0.2, 0.2])  # model says 0.2
+            scheduler._recent_wait_s.extend([5.0, 7.0])  # clients waited 6.0
+            assert scheduler.retry_after_s() == pytest.approx(6.0)
+
+        run(scenario())
+
+    def test_model_still_wins_when_waits_are_short(self):
+        async def scenario():
+            scheduler = Scheduler(max_active=1, max_queue=4)
+            scheduler._recent_wall_s.extend([3.0])
+            scheduler._recent_wait_s.extend([0.001])
+            assert scheduler.retry_after_s() == pytest.approx(3.0)
+
+        run(scenario())
+
+
+class TestQueueWaitObservability:
+    def test_waits_recorded_per_admission(self):
+        from repro.obs import Observability
+
+        async def scenario():
+            obs = Observability()
+            scheduler = Scheduler(max_active=1, max_queue=2, obs=obs)
+            release = asyncio.Event()
+            started = [asyncio.Event() for _ in range(3)]
+            tasks = [
+                asyncio.create_task(_hold(scheduler, release, started[i]))
+                for i in range(3)
+            ]
+            await started[0].wait()
+            await asyncio.sleep(0)
+            release.set()
+            await asyncio.gather(*tasks)
+            histogram = obs.metrics.histogram("serve.queue_wait_s")
+            assert histogram.count == 3  # one wait sample per admission
+            assert len(scheduler._recent_wait_s) == 3
+            # The first admission never queued; its wait is ~zero.
+            assert min(scheduler._recent_wait_s) < 0.1
+
+        run(scenario())
+
+    def test_no_obs_still_tracks_recent_waits(self):
+        async def scenario():
+            scheduler = Scheduler(max_active=1, max_queue=0)
+            async with scheduler.slot():
+                pass
+            assert len(scheduler._recent_wait_s) == 1
+
+        run(scenario())

@@ -195,6 +195,120 @@ class TestRequestFailures:
             connection.close()
 
 
+class TestTelemetryEndpoints:
+    def test_metrics_round_trips_through_exposition_parser(self, warm_server):
+        from repro.obs.expose import (
+            histogram_quantile,
+            parse_exposition,
+            sample_value,
+        )
+
+        # At least one completed request so the series exist.
+        warm_server.run(EvaluateRequest(weeks=0.02, seed=11, schemes=SCHEMES))
+        families = parse_exposition(warm_server.metrics())
+        completed = sample_value(families, "repro_serve_requests_completed")
+        assert completed is not None and completed >= 1
+        accepted = sample_value(families, "repro_serve_requests_accepted")
+        assert accepted is not None and accepted >= completed
+        assert sample_value(families, "repro_serve_queue_depth") is not None
+        assert sample_value(families, "repro_serve_uptime_s") >= 0.0
+        # Scrape-time gauges: warm-cache stats without a request in flight.
+        assert sample_value(families, "repro_serve_cache_context_hits") >= 0
+        assert sample_value(families, "repro_exec_prob_cache_hits") >= 0
+        # Satellite series: queue-wait and request-wall histograms.
+        for dotted in ("repro_serve_queue_wait_s", "repro_serve_request_wall_s"):
+            family = families[dotted]
+            assert family.type == "histogram"
+            count = sample_value(families, f"{dotted}_count")
+            assert count is not None and count >= 1
+            assert histogram_quantile(family, 0.5) is not None
+
+    def test_profiled_request_manifest_carries_report(self, warm_server):
+        request = EvaluateRequest(
+            weeks=0.02, seed=17, schemes=SCHEMES, use_cache=False, profile=True
+        )
+        result, manifest, _progress = warm_server.run(request)
+        profile = manifest["extra"]["profile"]
+        assert profile["interval_s"] > 0
+        assert profile["duration_s"] > 0
+        assert profile["samples"] >= 0
+        assert isinstance(profile["top"], list)
+        for row in profile["top"]:
+            assert row["total"] >= row["self"] >= 1
+        # Profiling never changes the answer, only annotates the manifest.
+        plain = EvaluateRequest(weeks=0.02, seed=17, schemes=SCHEMES)
+        plain_result, plain_manifest, _ = warm_server.run(plain)
+        assert result == plain_result
+        assert "profile" not in plain_manifest["extra"]
+
+    def test_metrics_content_type(self, warm_server):
+        import http.client
+
+        connection = http.client.HTTPConnection(
+            warm_server.host, warm_server.port, timeout=30.0
+        )
+        try:
+            connection.request("GET", "/v1/metrics")
+            response = connection.getresponse()
+            assert response.status == 200
+            assert response.headers["Content-Type"].startswith("text/plain")
+            assert "version=0.0.4" in response.headers["Content-Type"]
+        finally:
+            connection.close()
+
+    def test_metrics_rejects_post(self, warm_server):
+        import http.client
+
+        connection = http.client.HTTPConnection(
+            warm_server.host, warm_server.port, timeout=30.0
+        )
+        try:
+            connection.request("POST", "/v1/metrics")
+            assert connection.getresponse().status == 405
+        finally:
+            connection.close()
+
+    def test_health_reports_ready(self, warm_server):
+        health = warm_server.health()
+        assert health["status"] == "ok"
+        assert health["draining"] is False
+        assert health["uptime_s"] >= 0.0
+        assert "active" in health and "queued" in health
+
+    def test_health_turns_503_while_draining(self):
+        import http.client
+
+        thread = ServerThread(
+            ServeConfig(port=0, max_active=1, max_queue=0, use_disk_cache=False)
+        )
+        port = thread.start()
+        try:
+            assert ServeClient(port=port).health()["status"] == "ok"
+            # Flip the drain flag directly (a bool read is race-free
+            # enough for this check); readiness must fail immediately.
+            thread.server.scheduler.draining = True
+            connection = http.client.HTTPConnection(
+                "127.0.0.1", port, timeout=30.0
+            )
+            try:
+                connection.request("GET", "/v1/health")
+                response = connection.getresponse()
+                assert response.status == 503
+                payload = json.loads(response.read())
+                assert payload["status"] == "draining"
+                assert payload["draining"] is True
+            finally:
+                connection.close()
+            assert ServeClient(port=port).health()["status"] == "draining"
+            thread.server.scheduler.draining = False
+        finally:
+            try:
+                ServeClient(port=port).shutdown()
+            except (ValidationError, ServerError):
+                pass
+            thread.stop()
+
+
 class TestAdmissionOverHttp:
     def test_queue_full_rejection_with_retry_after(self):
         # max_active=1, max_queue=0: while one admitted request streams,
