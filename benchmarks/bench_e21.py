@@ -1,0 +1,167 @@
+"""E21 -- Graceful degradation under adversarial scenario families.
+
+One compiled description per family drives everything here: the
+analytic replay (scheme matrix + degradation accounting) and a live
+overlay run whose fault schedule is *derived from the same events*.
+The bench checks the single-world contract on both sides:
+
+* the scheme matrix (static-single, static/dynamic two-disjoint,
+  targeted, flooding) per family, with worst-window and time-to-recover
+  columns next to the classic coverage/cost ones;
+* the no-cliff criterion: targeted never does worse than the static
+  single path, in any family;
+* a live reconciliation stage: one family runs on the real overlay
+  under the derived fault schedule, and the observed per-window on-time
+  fraction must agree with the replay's prediction within tolerance.
+"""
+
+from __future__ import annotations
+
+import common
+
+from repro.analysis.degradation import degradation_rows
+from repro.analysis.reporting import format_degradation_table
+from repro.scenarios import (
+    FAMILY_NAMES,
+    check_world_consistency,
+    compile_family,
+    event_windows,
+    reconcile,
+    run_live_family,
+)
+from repro.simulation.interval import run_replay
+from repro.simulation.results import ReplayConfig
+
+SCHEMES = (
+    "static-single",
+    "static-two-disjoint",
+    "dynamic-two-disjoint",
+    "targeted",
+    "flooding",
+)
+
+#: Analytic-replay horizon per family (one hour of adversarial weather).
+FAMILY_DURATION_S = 3600.0
+
+#: Live-overlay stage: short enough for CI, long enough for real windows.
+LIVE_FAMILY = "srlg-outage"
+LIVE_DURATION_S = 20.0
+
+
+def _slug(name: str) -> str:
+    return name.replace("-", "_")
+
+
+def test_e21_scenario_families(benchmark):
+    flows = common.flows()
+    service = common.service()
+    config = ReplayConfig(
+        detection_delay_s=common.DETECTION_DELAY_S, collect_windows=True
+    )
+
+    def sweep():
+        tables = {}
+        for family in FAMILY_NAMES:
+            compiled = compile_family(
+                common.topology(),
+                family,
+                seed=common.BENCH_SEED,
+                duration_s=FAMILY_DURATION_S,
+            )
+            discrepancies = check_world_consistency(compiled)
+            assert not discrepancies, discrepancies
+            result = run_replay(
+                common.topology(),
+                compiled.timeline(),
+                flows,
+                service,
+                scheme_names=SCHEMES,
+                config=config,
+            )
+            tables[family] = degradation_rows(
+                result,
+                list(compiled.events),
+                baseline="static-single",
+                optimal="flooding",
+            )
+        return tables
+
+    tables = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    metrics: dict[str, object] = {}
+    for family, rows in tables.items():
+        by_scheme = {row["scheme"]: row for row in rows}
+        targeted = by_scheme["targeted"]
+        baseline = by_scheme["static-single"]
+        # The no-cliff acceptance criterion: targeted never falls below
+        # the static single path, whatever the family throws at it.
+        assert targeted["unavailable_s"] <= baseline["unavailable_s"] + 1e-9, (
+            family,
+            targeted["unavailable_s"],
+            baseline["unavailable_s"],
+        )
+        metrics[f"{_slug(family)}_targeted_unavailable_s"] = targeted[
+            "unavailable_s"
+        ]
+        metrics[f"{_slug(family)}_static_single_unavailable_s"] = baseline[
+            "unavailable_s"
+        ]
+        metrics[f"{_slug(family)}_targeted_worst_window_on_time"] = targeted[
+            "worst_window_on_time"
+        ]
+        metrics[f"{_slug(family)}_targeted_cost_messages"] = targeted[
+            "cost_messages"
+        ]
+        print(
+            format_degradation_table(
+                rows,
+                title=(
+                    f"E21: graceful degradation -- {family} "
+                    f"({FAMILY_DURATION_S:g}s, seed {common.BENCH_SEED})"
+                ),
+            )
+        )
+
+    # Live stage: same description, real overlay, derived fault schedule.
+    compiled = compile_family(
+        common.topology(),
+        LIVE_FAMILY,
+        seed=common.BENCH_SEED,
+        duration_s=LIVE_DURATION_S,
+    )
+    harness = run_live_family(
+        compiled, flows[:2], service, "targeted", seed=common.BENCH_SEED
+    )
+    assert not harness.invariants.violations, harness.invariants.violations
+    replay = run_replay(
+        common.topology(),
+        compiled.timeline(),
+        flows[:2],
+        service,
+        scheme_names=("targeted",),
+        config=config,
+    )
+    windows = event_windows(compiled.events, LIVE_DURATION_S)
+    bad = 0
+    checked = 0
+    for flow in flows[:2]:
+        report = harness.reports[flow.name]
+        records = replay.get(flow.name, "targeted").windows
+        for row in reconcile(
+            report.send_times_s,
+            report.deliveries,
+            records,
+            windows,
+            deadline_ms=service.deadline_ms,
+        ):
+            checked += 1
+            bad += 0 if row.ok else 1
+    metrics["live_windows_checked"] = checked
+    metrics["live_windows_out_of_tolerance"] = bad
+    assert bad == 0, f"{bad}/{checked} reconciliation windows out of tolerance"
+    print(
+        f"\n  live reconciliation ({LIVE_FAMILY}, {LIVE_DURATION_S:g}s): "
+        f"{checked} event window(s) checked, all within tolerance"
+    )
+
+    common.stage_metrics(**metrics)

@@ -19,6 +19,12 @@ from repro.analysis.classify import (
     classification_distribution,
 )
 from repro.analysis.availability import outage_episodes, summarize_outages
+from repro.analysis.degradation import (
+    degradation_rows,
+    hard_events,
+    time_to_recover,
+    worst_window_on_time,
+)
 from repro.analysis.robustness import run_seed_sweep, summarize
 from repro.analysis.metrics import (
     gap_coverage,
@@ -29,6 +35,7 @@ from repro.analysis.reporting import (
     format_attribution_matrix,
     format_classification_table,
     format_cost_table,
+    format_degradation_table,
     format_per_flow_table,
     format_scheme_performance_table,
 )
@@ -39,9 +46,14 @@ __all__ = [
     "attribution_matrix",
     "classification_distribution",
     "classify_events_for_flows",
+    "degradation_rows",
+    "hard_events",
+    "time_to_recover",
+    "worst_window_on_time",
     "format_attribution_matrix",
     "format_classification_table",
     "format_cost_table",
+    "format_degradation_table",
     "format_per_flow_table",
     "format_scheme_performance_table",
     "gap_coverage",

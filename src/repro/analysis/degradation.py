@@ -1,0 +1,201 @@
+"""Graceful-degradation accounting for adversarial scenario families (E21).
+
+Gap coverage and cost answer "how good on average"; under adversarial
+conditions the interesting questions are *how bad does it get* and *how
+fast does it come back*.  This module computes both from the per-window
+records a ``collect_windows=True`` replay produces:
+
+* :func:`worst_window_on_time` -- the minimum, over every sliding window
+  of length ``W``, of the time-averaged on-time probability: the
+  scheme's worst ``W`` seconds, not its average ones;
+* :func:`time_to_recover` -- for every hard (full-loss) event, how long
+  after repair the flow needed to get back above a threshold;
+* :func:`degradation_rows` -- the E21 scheme matrix combining both with
+  the classic gap-coverage/cost columns.
+
+A scheme *degrades gracefully* when its worst window stays near its
+average and it never does worse than the static single path -- the
+cliff check E21's acceptance criterion pins.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from repro.analysis.metrics import DEFAULT_BASELINE, DEFAULT_OPTIMAL, gap_coverage
+from repro.chaos.generate import FULL_LOSS
+from repro.netmodel.events import ProblemEvent
+from repro.simulation.results import FlowSchemeStats, ReplayResult, WindowRecord
+from repro.util.validation import require
+
+__all__ = [
+    "worst_window_on_time",
+    "time_to_recover",
+    "hard_events",
+    "degradation_rows",
+]
+
+
+def _sorted_records(stats: FlowSchemeStats) -> list[WindowRecord]:
+    require(
+        bool(stats.windows),
+        f"flow {stats.flow.name!r} under {stats.scheme!r} has no window "
+        "records; run the replay with collect_windows=True",
+    )
+    return sorted(stats.windows, key=lambda record: record.start_s)
+
+
+def worst_window_on_time(stats: FlowSchemeStats, window_s: float) -> float:
+    """Minimum sliding-window time-averaged on-time probability.
+
+    The on-time probability is piecewise constant over the replay's
+    records, so its windowed average is piecewise linear in the window
+    start and attains its minimum when the window's start or end aligns
+    with a record boundary; only those candidates are evaluated.  A
+    replay shorter than ``window_s`` returns the overall average.
+    """
+    require(window_s > 0, "window_s must be positive")
+    records = _sorted_records(stats)
+    start = records[0].start_s
+    end = records[-1].end_s
+    # Prefix integral of on-time probability at record boundaries.
+    boundaries = [start]
+    prefix = [0.0]
+    for record in records:
+        boundaries.append(record.end_s)
+        prefix.append(
+            prefix[-1] + record.on_time_probability * record.duration_s
+        )
+
+    def integral(t: float) -> float:
+        t = min(max(t, start), end)
+        # Locate the record containing t (records are contiguous in
+        # practice; gaps would count as zero thickness here).
+        low, high = 0, len(boundaries) - 1
+        while low < high:
+            mid = (low + high + 1) // 2
+            if boundaries[mid] <= t:
+                low = mid
+            else:
+                high = mid - 1
+        base = prefix[low]
+        if low < len(records) and t > boundaries[low]:
+            base += records[low].on_time_probability * (t - boundaries[low])
+        return base
+
+    total = end - start
+    if total <= window_s:
+        return integral(end) / total if total > 0 else 1.0
+    candidates = set()
+    for boundary in boundaries:
+        candidates.add(min(max(boundary, start), end - window_s))
+        candidates.add(min(max(boundary - window_s, start), end - window_s))
+    worst = math.inf
+    for s in sorted(candidates):
+        average = (integral(s + window_s) - integral(s)) / window_s
+        worst = min(worst, average)
+    return worst
+
+
+def hard_events(events: Iterable[ProblemEvent]) -> list[ProblemEvent]:
+    """Events containing at least one full-loss burst (outages, not load)."""
+    return [
+        event
+        for event in events
+        if any(
+            degradation.state.loss_rate >= FULL_LOSS
+            for burst in event.bursts
+            for degradation in burst.degradations
+        )
+    ]
+
+
+def time_to_recover(
+    stats: FlowSchemeStats,
+    events: Sequence[ProblemEvent],
+    threshold: float = 0.99,
+) -> list[float]:
+    """Seconds from each hard event's repair until on-time >= threshold.
+
+    One value per hard event: the gap between the event's end and the
+    start of the first record at or above ``threshold`` (zero when the
+    flow is already healthy at repair time).  A flow that never recovers
+    before the replay ends is censored at the remaining horizon -- a
+    lower bound, counted like any other value so chronic failure shows
+    up as a large TTR rather than silently dropping out.
+    """
+    require(0.0 < threshold <= 1.0, "threshold must be in (0, 1]")
+    records = _sorted_records(stats)
+    horizon = records[-1].end_s
+    recoveries: list[float] = []
+    for event in hard_events(events):
+        repair = min(event.end_s, horizon)
+        recovered_at: float | None = None
+        for record in records:
+            if record.end_s <= repair:
+                continue
+            if record.on_time_probability >= threshold:
+                recovered_at = max(repair, record.start_s)
+                break
+        if recovered_at is None:
+            recovered_at = horizon  # censored: never recovered in-horizon
+        recoveries.append(recovered_at - repair)
+    return recoveries
+
+
+def degradation_rows(
+    result: ReplayResult,
+    events: Sequence[ProblemEvent],
+    window_s: float = 10.0,
+    recover_threshold: float = 0.99,
+    baseline: str = DEFAULT_BASELINE,
+    optimal: str = DEFAULT_OPTIMAL,
+) -> list[dict]:
+    """The E21 degradation matrix: one dict per scheme.
+
+    Columns: total unavailability, gap coverage (``None`` when the
+    baseline-to-optimal gap is not positive -- quiet worlds have nothing
+    to normalise by), message cost, the worst sliding window over all
+    flows, and mean/max time-to-recover over every (flow, hard event)
+    pair (both ``None`` for families without hard events).
+    """
+    gap_defined = (
+        baseline in result.schemes
+        and optimal in result.schemes
+        and result.totals(baseline).unavailable_s
+        - result.totals(optimal).unavailable_s
+        > 0
+    )
+    rows = []
+    for scheme in result.schemes:
+        totals = result.totals(scheme)
+        if not gap_defined:
+            coverage: float | None = None
+        elif scheme in (baseline, optimal):
+            coverage = {baseline: 0.0, optimal: 1.0}[scheme]
+        else:
+            coverage = gap_coverage(result, scheme, baseline, optimal)
+        worst = min(
+            worst_window_on_time(result.get(flow, scheme), window_s)
+            for flow in result.flow_names
+        )
+        recoveries: list[float] = []
+        for flow in result.flow_names:
+            recoveries.extend(
+                time_to_recover(result.get(flow, scheme), events, recover_threshold)
+            )
+        rows.append(
+            {
+                "scheme": scheme,
+                "unavailable_s": totals.unavailable_s,
+                "gap_coverage": coverage,
+                "cost_messages": totals.average_cost_messages,
+                "worst_window_on_time": worst,
+                "ttr_mean_s": (
+                    sum(recoveries) / len(recoveries) if recoveries else None
+                ),
+                "ttr_max_s": max(recoveries) if recoveries else None,
+            }
+        )
+    return rows

@@ -20,6 +20,7 @@ __all__ = [
     "format_cost_table",
     "format_classification_table",
     "format_per_flow_table",
+    "format_degradation_table",
 ]
 
 
@@ -134,3 +135,39 @@ def format_per_flow_table(
             row.append("-" if coverage is None else f"{100 * coverage:.1f}")
         rows.append(row)
     return render_table(["flow", *schemes], rows, title=title)
+
+
+def format_degradation_table(
+    rows: Sequence[Mapping[str, object]],
+    title: str = "Graceful degradation (E21)",
+) -> str:
+    """The E21 scheme x family degradation matrix for one family."""
+    formatted = []
+    for row in rows:
+        coverage = row["gap_coverage"]
+        ttr_mean = row["ttr_mean_s"]
+        ttr_max = row["ttr_max_s"]
+        formatted.append(
+            [
+                str(row["scheme"]),
+                f"{row['unavailable_s']:.2f}",
+                "-" if coverage is None else f"{100 * coverage:.1f}",
+                f"{row['cost_messages']:.2f}",
+                f"{100 * row['worst_window_on_time']:.2f}",
+                "-" if ttr_mean is None else f"{ttr_mean:.2f}",
+                "-" if ttr_max is None else f"{ttr_max:.2f}",
+            ]
+        )
+    return render_table(
+        (
+            "scheme",
+            "unavail s",
+            "gap cov %",
+            "msgs/pkt",
+            "worst win %",
+            "ttr mean s",
+            "ttr max s",
+        ),
+        formatted,
+        title=title,
+    )

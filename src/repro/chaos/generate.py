@@ -12,11 +12,23 @@ seed always yields the same schedule, independent of call order.
 and ``PARTITION``), which lets the analysis layer score per-flow
 classification against injected faults exactly as it does for generated
 loss episodes.
+
+``outage_windows`` and ``schedule_from_events`` go the other way: from
+ground-truth events back to a live fault schedule.  The scenario-family
+subsystem uses them to derive, from one compiled event list, the exact
+:class:`FaultSchedule` the injector executes -- the "single world"
+contract between analytic replay and live chaos.  Overlapping and
+zero-gap back-to-back full-loss windows on the same edge are coalesced
+(per the same-cause netting policy in :mod:`repro.netmodel.events`)
+rather than emitted last-writer-wins, so the derived schedule's
+``blocked_edges_at`` agrees with the compiled timeline at every instant,
+including SRLG partition/heal overlaps.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable, Sequence
 
 from repro.chaos.faults import (
     DaemonStall,
@@ -26,13 +38,24 @@ from repro.chaos.faults import (
     NodeCrash,
     Partition,
 )
-from repro.core.graph import NodeId, Topology
+from repro.core.graph import Edge, NodeId, Topology
 from repro.netmodel.conditions import LinkState
 from repro.netmodel.events import Burst, EventKind, LinkDegradation, ProblemEvent
 from repro.util.rng import DeterministicStream
 from repro.util.validation import require
 
-__all__ = ["ChaosSpec", "generate_fault_schedule", "to_events"]
+__all__ = [
+    "ChaosSpec",
+    "FULL_LOSS",
+    "generate_fault_schedule",
+    "outage_windows",
+    "schedule_from_events",
+    "to_events",
+]
+
+#: Loss rate at or above which a window counts as a hard outage (and is
+#: therefore representable as an injector blackhole).
+FULL_LOSS = 1.0 - 1e-9
 
 
 @dataclass(frozen=True)
@@ -244,3 +267,68 @@ def to_events(schedule: FaultSchedule, topology: Topology) -> list[ProblemEvent]
         )
     events.sort(key=lambda event: (event.start_s, event.kind.value))
     return events
+
+
+def outage_windows(
+    events: Iterable[ProblemEvent],
+) -> list[tuple[Edge, float, float]]:
+    """Coalesced hard-outage windows per directed edge, as ``(edge, start, end)``.
+
+    Every burst window whose loss rate reaches :data:`FULL_LOSS` counts;
+    windows on the same edge that overlap -- or abut with zero gap -- are
+    merged into one, because the injector (and the network) cannot
+    distinguish a blackhole that heals and instantly re-fires from one
+    continuous blackhole.  Without the merge, a staggered SRLG cut whose
+    legs overlap would come out as stacked duplicate blackholes whose
+    repair order depends on emission order (the last-writer-wins bug
+    class).  Output is sorted by ``(edge, start)``.
+    """
+    per_edge: dict[Edge, list[tuple[float, float]]] = {}
+    for event in events:
+        for burst in event.bursts:
+            for degradation in burst.degradations:
+                if degradation.state.loss_rate >= FULL_LOSS:
+                    per_edge.setdefault(degradation.edge, []).append(
+                        (burst.start_s, burst.end_s)
+                    )
+    result: list[tuple[Edge, float, float]] = []
+    for edge in sorted(per_edge):
+        windows = sorted(per_edge[edge])
+        merged: list[list[float]] = []
+        for start, end in windows:
+            if merged and start <= merged[-1][1]:  # overlap or zero gap
+                merged[-1][1] = max(merged[-1][1], end)
+            else:
+                merged.append([start, end])
+        result.extend((edge, start, end) for start, end in merged)
+    return result
+
+
+def schedule_from_events(
+    events: Sequence[ProblemEvent], topology: Topology
+) -> FaultSchedule:
+    """Derive the live fault schedule implied by a compiled event list.
+
+    Each coalesced hard-outage window becomes one directed
+    :class:`LinkBlackhole`; soft degradations (partial loss, latency
+    inflation) have no injector-level counterpart and are carried to the
+    live run by the condition timeline itself.  The derivation is a pure
+    function of the event list, so the same scenario description always
+    yields the bitwise-identical schedule (same ``fingerprint()``).
+    """
+    blackholes = []
+    for edge, start, end in outage_windows(events):
+        require(
+            topology.has_edge(*edge),
+            f"outage window references unknown edge {edge!r}",
+        )
+        blackholes.append(
+            LinkBlackhole(
+                edge=edge,
+                start_s=start,
+                duration_s=end - start,
+                bidirectional=False,
+            )
+        )
+    blackholes.sort(key=lambda hole: (hole.start_s, hole.edge))
+    return FaultSchedule(blackholes=tuple(blackholes))

@@ -110,6 +110,29 @@ def _scenario(args: argparse.Namespace) -> Scenario:
     return preset_scenario(args.preset, duration_s=args.weeks * WEEK_S)
 
 
+def _add_scenario_family_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scenario-family",
+        help="adversarial scenario family instead of the preset generator: "
+        "srlg-outage, congestion-storm, diurnal, intermittent-edge",
+    )
+    parser.add_argument(
+        "--scenario-seed",
+        type=int,
+        help="seed for --scenario-family (default: --seed)",
+    )
+
+
+def _compiled_family(topology, args: argparse.Namespace, duration_s: float):
+    """Compile the requested scenario family (one world for chaos/replay)."""
+    from repro.scenarios import compile_family
+
+    seed = args.seed if args.scenario_seed is None else args.scenario_seed
+    return compile_family(
+        topology, args.scenario_family, seed=seed, duration_s=duration_s
+    )
+
+
 def _cmd_generate_trace(args: argparse.Namespace) -> int:
     topology = build_reference_topology()
     scenario = _scenario(args)
@@ -131,8 +154,21 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
         obs = Observability()
     if args.trace_file:
+        require(
+            args.scenario_family is None,
+            "--scenario-family cannot be combined with --trace-file",
+        )
         events, timeline = load_timeline(args.trace_file, topology)
         print(f"replaying {args.trace_file}: {len(events)} events")
+    elif args.scenario_family:
+        compiled = _compiled_family(topology, args, args.weeks * WEEK_S)
+        events = list(compiled.events)
+        timeline = compiled.timeline()
+        print(
+            f"compiled scenario family {compiled.family_name!r} "
+            f"(seed {compiled.seed}): {len(events)} events over "
+            f"{args.weeks:g} weeks"
+        )
     else:
         scenario = _scenario(args)
         events, timeline = generate_timeline(topology, scenario, seed=args.seed)
@@ -479,22 +515,33 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     protected = frozenset(
         endpoint for flow in flows for endpoint in (flow.source, flow.destination)
     )
-    spec = ChaosSpec(
-        duration_s=args.duration,
-        crashes=args.crashes,
-        blackholes=args.blackholes,
-        partitions=args.partitions,
-        stalls=args.stalls,
-        message_fault_windows=args.message_windows,
-        protected_nodes=protected,
-    )
-    schedule = generate_fault_schedule(
-        topology, spec, seed=args.seed, flows=tuple(flow.name for flow in flows)
-    )
-    print(
-        f"chaos run: seed {args.seed}, {args.duration:g}s, "
-        f"{len(schedule)} fault(s), schedule {schedule.fingerprint()}"
-    )
+    compiled = None
+    if args.scenario_family:
+        compiled = _compiled_family(topology, args, args.duration)
+        schedule = compiled.fault_schedule()
+        print(
+            f"chaos run: scenario family {compiled.family_name!r} "
+            f"(seed {compiled.seed}), {args.duration:g}s, "
+            f"{len(compiled.events)} event(s), {len(schedule)} fault(s), "
+            f"schedule {schedule.fingerprint()}"
+        )
+    else:
+        spec = ChaosSpec(
+            duration_s=args.duration,
+            crashes=args.crashes,
+            blackholes=args.blackholes,
+            partitions=args.partitions,
+            stalls=args.stalls,
+            message_fault_windows=args.message_windows,
+            protected_nodes=protected,
+        )
+        schedule = generate_fault_schedule(
+            topology, spec, seed=args.seed, flows=tuple(flow.name for flow in flows)
+        )
+        print(
+            f"chaos run: seed {args.seed}, {args.duration:g}s, "
+            f"{len(schedule)} fault(s), schedule {schedule.fingerprint()}"
+        )
     obs = None
     if args.trace:
         from repro.obs import Observability
@@ -505,7 +552,13 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     exit_code = 0
     rows = []
     for scheme in schemes:
-        timeline = ConditionTimeline(topology, args.duration + 1.0)
+        # The live world: the scenario family's compiled timeline (so the
+        # network sees the same conditions the analytic replay does), or a
+        # clean one for classic generated chaos.
+        if compiled is not None:
+            timeline = compiled.timeline(horizon_s=args.duration + 1.0)
+        else:
+            timeline = ConditionTimeline(topology, args.duration + 1.0)
         if obs is not None:
             obs.tracer.context = {"scheme": scheme}
         harness = build_overlay(
@@ -619,6 +672,8 @@ def _client_request(args: argparse.Namespace):
             schemes=_split_names(args.schemes),
             flows=_split_names(args.flows),
             use_cache=not args.no_cache,
+            scenario_family=args.scenario_family,
+            scenario_seed=args.scenario_seed,
         )
     if args.action == "classify":
         return ClassifyRequest(
@@ -640,6 +695,8 @@ def _client_request(args: argparse.Namespace):
         message_windows=args.message_windows,
         deadline_ms=args.deadline_ms,
         send_interval_ms=args.send_interval_ms,
+        scenario_family=args.scenario_family,
+        scenario_seed=args.scenario_seed,
     )
 
 
@@ -763,6 +820,7 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument(
         "--trace-file", help="replay this condition-trace file instead"
     )
+    _add_scenario_family_arguments(evaluate)
     _add_obs_arguments(evaluate)
     evaluate.add_argument("--deadline-ms", type=float, default=65.0)
     evaluate.add_argument("--detection-delay-s", type=float, default=1.0)
@@ -864,6 +922,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=50.0,
         help="packet pacing (larger = faster simulation)",
     )
+    _add_scenario_family_arguments(chaos)
     _add_obs_arguments(chaos)
     chaos.set_defaults(handler=_cmd_chaos)
 
@@ -1068,6 +1127,7 @@ def build_parser() -> argparse.ArgumentParser:
     c_eval.add_argument(
         "--no-cache", action="store_true", help="ask the server to skip its disk cache"
     )
+    _add_scenario_family_arguments(c_eval)
     c_eval.set_defaults(handler=_cmd_client)
 
     c_classify = actions.add_parser(
@@ -1093,6 +1153,7 @@ def build_parser() -> argparse.ArgumentParser:
     c_chaos.add_argument("--message-windows", type=int, default=0)
     c_chaos.add_argument("--deadline-ms", type=float, default=65.0)
     c_chaos.add_argument("--send-interval-ms", type=float, default=50.0)
+    _add_scenario_family_arguments(c_chaos)
     c_chaos.set_defaults(handler=_cmd_client)
 
     c_status = actions.add_parser(

@@ -137,6 +137,11 @@ class ResultCache:
         try:
             with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
                 json.dump(wrapper, handle)
+                # Flush user and kernel buffers before the rename: a crash
+                # mid-write must leave either the old entry or the complete
+                # new one, never a torn file under the final name.
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(temp_name, path)
         except BaseException:
             try:

@@ -19,12 +19,20 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import Iterable
 
 from repro.core.graph import Edge, NodeId
 from repro.netmodel.conditions import Contribution, LinkState
 from repro.util.validation import require
 
-__all__ = ["EventKind", "LinkDegradation", "Burst", "ProblemEvent"]
+__all__ = [
+    "EventKind",
+    "LinkDegradation",
+    "Burst",
+    "ProblemEvent",
+    "net_states",
+    "net_contributions",
+]
 
 
 class EventKind(enum.Enum):
@@ -116,3 +124,73 @@ class ProblemEvent:
     def overlaps(self, start_s: float, end_s: float) -> bool:
         """Does the event intersect the half-open window ``[start, end)``?"""
         return self.start_s < end_s and start_s < self.end_s
+
+
+# -- same-cause netting -------------------------------------------------------------
+#
+# When one physical cause produces several overlapping degradation windows
+# on the *same* directed edge (a congestion storm's primary wave plus its
+# echo, the staggered legs of one shared-risk cut), the windows are not
+# independent trials and must not be composed with the timeline's
+# independent-drop rule.  The documented same-cause policy is:
+#
+# * **loss nets as the maximum** -- a link cut twice by the same backhoe is
+#   still just cut; re-counting the cut as two independent drop chances
+#   would understate survivors on partially lossy links and (harmlessly but
+#   misleadingly) re-derive 1.0 for full loss;
+# * **extra latency nets additively** -- overlapping surges feed the same
+#   queue, so their queueing delays stack.
+#
+# Cross-event composition inside :class:`ConditionTimeline` keeps the
+# independent-drop / max-latency rule (distinct events are distinct
+# causes).  Generators therefore net their own overlapping windows with
+# :func:`net_contributions` *before* emitting bursts, so the timeline only
+# ever composes across causes.  A naive generator that instead emitted
+# overlapping same-cause windows raw would get last-writer-wins or
+# independent-drop semantics by accident -- the latent bug class this
+# helper closes.
+
+
+def net_states(states: Iterable[LinkState]) -> LinkState:
+    """Net simultaneous same-cause degradations: max loss, additive latency."""
+    loss = 0.0
+    extra = 0.0
+    for state in states:
+        loss = max(loss, state.loss_rate)
+        extra += state.extra_latency_ms
+    return LinkState(loss_rate=loss, extra_latency_ms=extra)
+
+
+def net_contributions(
+    contributions: Iterable[Contribution],
+) -> list[Contribution]:
+    """Replace overlapping same-edge windows by equivalent disjoint ones.
+
+    Per directed edge the result is a set of non-overlapping contributions
+    whose state at every instant is the :func:`net_states` netting of all
+    input windows covering that instant.  Zero-gap back-to-back windows
+    with an identical net state merge into one window (the boundary is not
+    observable); windows that merely abut with *different* states stay
+    separate.  Output is sorted by ``(edge, start)`` and is deterministic
+    in the input set (order-independent).
+    """
+    per_edge: dict[Edge, list[Contribution]] = {}
+    for contribution in contributions:
+        per_edge.setdefault(contribution.edge, []).append(contribution)
+    result: list[Contribution] = []
+    for edge in sorted(per_edge):
+        windows = per_edge[edge]
+        boundaries = sorted({w.start_s for w in windows} | {w.end_s for w in windows})
+        merged: list[Contribution] = []
+        for start, end in zip(boundaries, boundaries[1:]):
+            midpoint = (start + end) / 2.0
+            active = [w.state for w in windows if w.start_s <= midpoint < w.end_s]
+            if not active:
+                continue
+            state = net_states(active)
+            if merged and merged[-1].end_s == start and merged[-1].state == state:
+                merged[-1] = Contribution(edge, merged[-1].start_s, end, state)
+            else:
+                merged.append(Contribution(edge, start, end, state))
+        result.extend(merged)
+    return result

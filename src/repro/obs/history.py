@@ -6,8 +6,10 @@ turns those per-run artifacts into a durable record:
 
 * :func:`ingest` appends each artifact as one JSONL entry to a
   per-branch history file (``<root>/<branch>.jsonl``), stamped with the
-  commit and wall-clock time.  The file is append-only: history is
-  never rewritten, so an entry's position is its age.
+  commit and wall-clock time.  The file is append-only in content --
+  entries are only ever added, so an entry's position is its age -- but
+  physically each append rewrites via temp file + fsync + atomic rename,
+  so a crash can never leave a torn history under the final name.
 * :func:`check` compares the newest entry of every workload against the
   trailing window of earlier entries *of the same workload* (same
   experiment, weeks, seed, workers, cache mode -- comparing a 2-week
@@ -33,7 +35,9 @@ from __future__ import annotations
 
 import json
 import math
+import os
 import re
+import tempfile
 import time
 from pathlib import Path
 from statistics import median
@@ -174,21 +178,51 @@ def ingest(
     if entries:
         target = history_path(root, branch)
         target.parent.mkdir(parents=True, exist_ok=True)
-        with target.open("a") as stream:
-            for entry in entries:
-                stream.write(json.dumps(entry, sort_keys=True) + "\n")
+        # Crash-safe append: rewrite to a temp file in the same directory,
+        # fsync, then atomically rename over the original.  A crash leaves
+        # either the old complete history or the new complete history --
+        # never a torn trailing line under the final name.
+        existing = target.read_text() if target.exists() else ""
+        if existing and not existing.endswith("\n"):
+            existing += "\n"  # heal a torn tail left by a pre-atomic writer
+        descriptor, temp_name = tempfile.mkstemp(
+            dir=target.parent, prefix=".tmp-", suffix=".jsonl"
+        )
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as stream:
+                stream.write(existing)
+                for entry in entries:
+                    stream.write(json.dumps(entry, sort_keys=True) + "\n")
+                stream.flush()
+                os.fsync(stream.fileno())
+            os.replace(temp_name, target)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
     return entries
 
 
 def read_history(root: str | Path, branch: str) -> list[HistoryEntry]:
-    """All entries of one branch, oldest first (file order)."""
+    """All entries of one branch, oldest first (file order).
+
+    Undecodable lines (a torn tail from a crashed non-atomic writer, a
+    partial copy) are skipped rather than crashing the check: losing one
+    data point is recoverable, an unusable history file is not.
+    """
     target = history_path(root, branch)
     if not target.exists():
         return []
     entries = []
     for line in target.read_text().splitlines():
-        if line.strip():
+        if not line.strip():
+            continue
+        try:
             entries.append(json.loads(line))
+        except json.JSONDecodeError:
+            continue
     return entries
 
 

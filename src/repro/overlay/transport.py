@@ -22,13 +22,21 @@ __all__ = ["SendingApp", "ReceivingApp", "FlowReport"]
 
 @dataclass
 class FlowReport:
-    """End-to-end outcome of one flow over a run."""
+    """End-to-end outcome of one flow over a run.
+
+    Besides the aggregate counters, the report keeps a per-packet log --
+    send times and ``(sent_at_s, latency_ms)`` delivery pairs -- which is
+    what lets :mod:`repro.scenarios.reconcile` score a live run against
+    the analytic replay per event window instead of only end-to-end.
+    """
 
     flow: FlowSpec
     sent: int = 0
     delivered: int = 0
     on_time: int = 0
     latencies_ms: list[float] = field(default_factory=list)
+    send_times_s: list[float] = field(default_factory=list)
+    deliveries: list[tuple[float, float]] = field(default_factory=list)
 
     @property
     def lost(self) -> int:
@@ -65,6 +73,7 @@ class ReceivingApp:
         latency_ms = (arrived_at_s - packet.sent_at_s) * 1000.0
         self.report.delivered += 1
         self.report.latencies_ms.append(latency_ms)
+        self.report.deliveries.append((packet.sent_at_s, latency_ms))
         if latency_ms <= self.service.deadline_ms:
             self.report.on_time += 1
 
@@ -114,6 +123,7 @@ class SendingApp:
         )
         self._sequence += 1
         self.report.sent += 1
+        self.report.send_times_s.append(packet.sent_at_s)
         self.node.originate(packet)
         self.node.kernel.schedule(
             self.service.send_interval_ms / 1000.0, self._send_tick

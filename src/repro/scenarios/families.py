@@ -1,0 +1,649 @@
+"""Adversarial scenario families: one description, two consumers.
+
+Each family is a small frozen parameter set that *compiles* -- purely
+deterministically in ``(topology, seed)`` -- into the repository's
+existing ground-truth representation, a list of
+:class:`~repro.netmodel.events.ProblemEvent`.  From that single compiled
+artifact two consumers are derived:
+
+* the **analytic replay** builds a
+  :class:`~repro.netmodel.conditions.ConditionTimeline` from the events'
+  contributions (:meth:`CompiledScenario.timeline`);
+* the **live chaos injector** gets a
+  :class:`~repro.chaos.faults.FaultSchedule` whose blackholes are exactly
+  the events' coalesced full-loss windows
+  (:meth:`CompiledScenario.fault_schedule`, via
+  :func:`repro.chaos.generate.schedule_from_events`).
+
+Because both artifacts are pure functions of the same event list, the
+overlay and the replay face the same world -- the "single world" contract
+that lets E21 reconcile their per-window results instead of comparing
+anecdotes.
+
+The four families each stress a different assumption of targeted
+redundancy:
+
+* :class:`SRLGOutageFamily` -- correlated regional outages: one
+  shared-risk cut (see :mod:`repro.scenarios.srlg`) takes several
+  overlay links down with staggered onset and repair;
+* :class:`CongestionStormFamily` -- flash-crowd storms that inflate
+  queueing latency and jitter on a spreading ring of links, with *zero*
+  loss (late is the only failure mode);
+* :class:`DiurnalFamily` -- daily load cycles modulating background
+  loss/latency over multi-day horizons, longitude-phased so trouble
+  follows the sun;
+* :class:`IntermittentEdgeFamily` -- poorly-connected edge links with
+  on/off duty cycles and heavy-tailed (Pareto) off periods.
+
+Families pre-net their own overlapping windows with
+:func:`repro.netmodel.events.net_contributions` (max loss, additive
+latency -- the same-cause policy), so the timeline only ever composes
+*across* causes with its independent-drop rule.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import asdict, dataclass
+from typing import ClassVar, Mapping
+
+from repro.chaos.faults import FaultSchedule
+from repro.chaos.generate import schedule_from_events
+from repro.core.graph import Edge, NodeId, Topology
+from repro.netmodel.conditions import ConditionTimeline, Contribution, LinkState
+from repro.netmodel.events import (
+    Burst,
+    EventKind,
+    LinkDegradation,
+    ProblemEvent,
+    net_contributions,
+)
+from repro.scenarios.srlg import derive_srlgs, undirected_links
+from repro.util.rng import DeterministicStream
+from repro.util.validation import require
+
+__all__ = [
+    "ScenarioFamily",
+    "SRLGOutageFamily",
+    "CongestionStormFamily",
+    "DiurnalFamily",
+    "IntermittentEdgeFamily",
+    "CompiledScenario",
+]
+
+
+def _event_from(
+    kind: EventKind,
+    location: NodeId | Edge,
+    contributions: list[Contribution],
+) -> ProblemEvent | None:
+    """Net same-cause windows and wrap them as one event (None if empty)."""
+    netted = net_contributions(contributions)
+    if not netted:
+        return None
+    start = min(c.start_s for c in netted)
+    end = max(c.end_s for c in netted)
+    bursts = tuple(
+        Burst(
+            c.start_s,
+            c.end_s - c.start_s,
+            (LinkDegradation(c.edge, c.state),),
+        )
+        for c in netted
+    )
+    return ProblemEvent(
+        kind=kind,
+        location=location,
+        start_s=start,
+        duration_s=end - start,
+        bursts=bursts,
+    )
+
+
+def _both_directions(topology: Topology, link: Edge) -> tuple[Edge, ...]:
+    u, v = link
+    return tuple(
+        edge for edge in ((u, v), (v, u)) if topology.has_edge(*edge)
+    )
+
+
+class ScenarioFamily:
+    """Shared behaviour of the family dataclasses (not itself a family)."""
+
+    name: ClassVar[str]
+    version: ClassVar[int] = 1
+
+    # Subclasses are frozen dataclasses carrying a ``duration_s`` field.
+    duration_s: float
+
+    def describe(self) -> dict:
+        """The canonical scenario description: family, version, params.
+
+        This dict *is* the scenario: both the replay timeline and the
+        live fault schedule are derived from its compiled events, and
+        its sorted-key JSON form is the byte-identity the determinism
+        tests pin.
+        """
+        return {
+            "family": self.name,
+            "version": self.version,
+            "params": asdict(self),
+        }
+
+    def events(
+        self, topology: Topology, seed: int
+    ) -> list[ProblemEvent]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def compile(self, topology: Topology, seed: int) -> "CompiledScenario":
+        """Compile to the single-world artifact for ``(topology, seed)``."""
+        require(topology.frozen, "scenario families require a frozen topology")
+        return CompiledScenario(
+            family_name=self.name,
+            seed=int(seed),
+            duration_s=self.duration_s,
+            description=self.describe(),
+            events=tuple(self.events(topology, seed)),
+            topology=topology,
+        )
+
+    def _stream(self, seed: int) -> DeterministicStream:
+        return DeterministicStream(seed, "scenario-family", self.name)
+
+
+@dataclass(frozen=True)
+class SRLGOutageFamily(ScenarioFamily):
+    """Correlated regional outages via shared-risk link groups.
+
+    Each episode picks one SRLG and cuts *all* of its links: onsets are
+    staggered by a few seconds (a backhoe severs conduits one by one),
+    repairs likewise (crews restore circuits in some order), so partition
+    and heal windows overlap across the group's links -- the regime the
+    coalescing in :func:`repro.chaos.generate.outage_windows` exists for.
+    """
+
+    name: ClassVar[str] = "srlg-outage"
+
+    duration_s: float = 3600.0
+    episodes: int = 2
+    radius_km: float = 700.0
+    min_links: int = 2
+    outage_median_s: float = 60.0
+    outage_sigma: float = 0.6
+    onset_stagger_s: float = 8.0
+    repair_stagger_s: float = 12.0
+    active_fraction: float = 0.8
+
+    def __post_init__(self) -> None:
+        require(self.duration_s > 0, "duration_s must be positive")
+        require(self.episodes >= 1, "episodes must be >= 1")
+        require(self.outage_median_s > 0, "outage_median_s must be positive")
+        require(self.onset_stagger_s >= 0, "onset_stagger_s must be >= 0")
+        require(self.repair_stagger_s >= 0, "repair_stagger_s must be >= 0")
+        require(
+            0.0 < self.active_fraction <= 1.0,
+            "active_fraction must be in (0, 1]",
+        )
+
+    @classmethod
+    def for_duration(cls, duration_s: float) -> "SRLGOutageFamily":
+        """Defaults scaled so short live runs and long replays both work."""
+        return cls(
+            duration_s=duration_s,
+            episodes=max(1, round(duration_s / 2400.0)),
+            outage_median_s=max(4.0, min(120.0, duration_s * 0.08)),
+            onset_stagger_s=min(8.0, duration_s * 0.05),
+            repair_stagger_s=min(12.0, duration_s * 0.08),
+        )
+
+    def events(self, topology: Topology, seed: int) -> list[ProblemEvent]:
+        stream = self._stream(seed)
+        groups = derive_srlgs(topology, self.radius_km, self.min_links)
+        require(
+            bool(groups),
+            "topology yields no shared-risk groups "
+            f"(radius_km={self.radius_km}, min_links={self.min_links})",
+        )
+        span = self.active_fraction * self.duration_s
+        events: list[ProblemEvent] = []
+        for ep in range(self.episodes):
+            group = stream.choice(groups, "episode", ep, "group")
+            length = min(
+                4.0 * self.outage_median_s,
+                max(span * 0.5, 1e-3),
+                stream.lognormal(
+                    self.outage_median_s, self.outage_sigma, "episode", ep, "length"
+                ),
+            )
+            latest = max(1e-6, span - length - self.repair_stagger_s)
+            start = stream.uniform_between(0.0, latest, "episode", ep, "start")
+            onset_cap = min(self.onset_stagger_s, length * 0.5)
+            contributions: list[Contribution] = []
+            for link in group.links:
+                onset = start + stream.uniform_between(
+                    0.0, onset_cap, "episode", ep, link, "onset"
+                )
+                repair = start + length + stream.uniform_between(
+                    0.0, self.repair_stagger_s, "episode", ep, link, "repair"
+                )
+                repair = min(repair, self.duration_s)
+                if repair <= onset:
+                    continue
+                for edge in _both_directions(topology, link):
+                    contributions.append(
+                        Contribution(edge, onset, repair, LinkState(loss_rate=1.0))
+                    )
+            event = _event_from(
+                EventKind.LINK, group.directed_edges(topology)[0], contributions
+            )
+            if event is not None:
+                events.append(event)
+        events.sort(key=lambda event: (event.start_s, repr(event.location)))
+        return events
+
+
+@dataclass(frozen=True)
+class CongestionStormFamily(ScenarioFamily):
+    """Flash-crowd congestion storms: latency inflation, zero loss.
+
+    A storm starts at an epicenter node and spreads outwards in rings
+    (ring of a link = BFS distance of its closer endpoint).  Ring ``r``
+    inflates by ``peak_extra_ms * ring_decay**r``, modulated per phase
+    window by a log-normal jitter multiplier; each ring additionally
+    leaves an *echo* window that overlaps the spreading wave, so a
+    link's queueing delay genuinely stacks -- the additive leg of the
+    same-cause netting policy.
+    """
+
+    name: ClassVar[str] = "congestion-storm"
+
+    duration_s: float = 3600.0
+    storms: int = 1
+    peak_extra_ms: float = 40.0
+    ring_decay: float = 0.6
+    max_rings: int = 3
+    wave_delay_s: float = 20.0
+    wave_duration_s: float = 60.0
+    phase_s: float = 20.0
+    jitter_sigma: float = 0.4
+    active_fraction: float = 0.8
+
+    def __post_init__(self) -> None:
+        require(self.duration_s > 0, "duration_s must be positive")
+        require(self.storms >= 1, "storms must be >= 1")
+        require(self.peak_extra_ms > 0, "peak_extra_ms must be positive")
+        require(0.0 < self.ring_decay <= 1.0, "ring_decay must be in (0, 1]")
+        require(self.max_rings >= 0, "max_rings must be >= 0")
+        require(self.wave_delay_s > 0, "wave_delay_s must be positive")
+        require(self.wave_duration_s > 0, "wave_duration_s must be positive")
+        require(self.phase_s > 0, "phase_s must be positive")
+        require(
+            0.0 < self.active_fraction <= 1.0,
+            "active_fraction must be in (0, 1]",
+        )
+
+    @classmethod
+    def for_duration(cls, duration_s: float) -> "CongestionStormFamily":
+        wave_duration = max(6.0, duration_s * 0.05)
+        return cls(
+            duration_s=duration_s,
+            storms=max(1, round(duration_s / 3000.0)),
+            wave_delay_s=max(2.0, duration_s * 0.01),
+            wave_duration_s=wave_duration,
+            phase_s=max(2.0, wave_duration / 3.0),
+        )
+
+    def events(self, topology: Topology, seed: int) -> list[ProblemEvent]:
+        stream = self._stream(seed)
+        links = undirected_links(topology)
+        footprint = (self.max_rings + 1) * self.wave_delay_s + self.wave_duration_s
+        span = self.active_fraction * self.duration_s
+        events: list[ProblemEvent] = []
+        for index in range(self.storms):
+            epicenter = stream.choice(topology.nodes, "storm", index, "epicenter")
+            distance = self._bfs(topology, epicenter)
+            start = stream.uniform_between(
+                0.0, max(1e-6, span - footprint), "storm", index, "start"
+            )
+            contributions: list[Contribution] = []
+            for ring in range(self.max_rings + 1):
+                ring_links = [
+                    link
+                    for link in links
+                    if min(distance[link[0]], distance[link[1]]) == ring
+                ]
+                if not ring_links:
+                    continue
+                base = self.peak_extra_ms * self.ring_decay**ring
+                wave_start = start + ring * self.wave_delay_s
+                contributions.extend(
+                    self._wave(
+                        stream, topology, index, ring, ring_links, wave_start, base
+                    )
+                )
+                # Echo: the next ring's onset reflects load back onto this
+                # ring's links, overlapping the primary wave above.
+                echo_start = start + (ring + 1) * self.wave_delay_s
+                echo_end = min(
+                    echo_start + self.wave_duration_s * 0.5, self.duration_s
+                )
+                if echo_end > echo_start:
+                    echo_state = LinkState(
+                        extra_latency_ms=base * self.ring_decay * 0.5
+                    )
+                    for link in ring_links:
+                        for edge in _both_directions(topology, link):
+                            contributions.append(
+                                Contribution(edge, echo_start, echo_end, echo_state)
+                            )
+            event = _event_from(EventKind.LATENCY, epicenter, contributions)
+            if event is not None:
+                events.append(event)
+        events.sort(key=lambda event: (event.start_s, repr(event.location)))
+        return events
+
+    def _wave(
+        self,
+        stream: DeterministicStream,
+        topology: Topology,
+        storm: int,
+        ring: int,
+        ring_links: list[Edge],
+        wave_start: float,
+        base_extra_ms: float,
+    ) -> list[Contribution]:
+        """Phase-jittered primary wave windows for one ring."""
+        contributions: list[Contribution] = []
+        phases = max(1, math.ceil(self.wave_duration_s / self.phase_s))
+        for phase in range(phases):
+            phase_start = wave_start + phase * self.phase_s
+            phase_end = min(
+                phase_start + self.phase_s,
+                wave_start + self.wave_duration_s,
+                self.duration_s,
+            )
+            if phase_end <= phase_start:
+                continue
+            multiplier = min(
+                4.0,
+                stream.lognormal(
+                    1.0, self.jitter_sigma, "storm", storm, "ring", ring,
+                    "phase", phase,
+                ),
+            )
+            state = LinkState(extra_latency_ms=base_extra_ms * multiplier)
+            for link in ring_links:
+                for edge in _both_directions(topology, link):
+                    contributions.append(
+                        Contribution(edge, phase_start, phase_end, state)
+                    )
+        return contributions
+
+    @staticmethod
+    def _bfs(topology: Topology, start: NodeId) -> dict[NodeId, int]:
+        distance = {start: 0}
+        frontier = [start]
+        while frontier:
+            next_frontier: list[NodeId] = []
+            for node in frontier:
+                for neighbor in topology.out_neighbors(node):
+                    if neighbor not in distance:
+                        distance[neighbor] = distance[node] + 1
+                        next_frontier.append(neighbor)
+            frontier = next_frontier
+        # Unreachable nodes (impossible on a validated topology) sit at inf.
+        for node in topology.nodes:
+            distance.setdefault(node, len(topology.nodes))
+        return distance
+
+
+@dataclass(frozen=True)
+class DiurnalFamily(ScenarioFamily):
+    """Diurnal load cycles: longitude-phased background loss and latency.
+
+    Time is split into buckets (``buckets_per_day`` per synthetic day);
+    each bucket scores every link by a squared positive sinusoid of local
+    time (phase from the link midpoint's longitude, so peaks sweep
+    westward with the sun).  Only the ``max_concurrent`` highest-scoring
+    links carry *loss* in any bucket -- bounding the number of
+    simultaneously fractional-lossy links keeps the analytic reliability
+    enumeration inside its ``max_lossy_edges`` budget even for flooding
+    graphs -- while every scored link gets the latency component.
+    """
+
+    name: ClassVar[str] = "diurnal"
+
+    duration_s: float = 259200.0  # three days
+    day_s: float = 86400.0
+    buckets_per_day: int = 24
+    base_loss: float = 0.002
+    peak_loss: float = 0.02
+    peak_extra_ms: float = 6.0
+    threshold: float = 0.3
+    max_concurrent: int = 5
+    loss_jitter: float = 0.2
+
+    def __post_init__(self) -> None:
+        require(self.duration_s > 0, "duration_s must be positive")
+        require(self.day_s > 0, "day_s must be positive")
+        require(self.buckets_per_day >= 1, "buckets_per_day must be >= 1")
+        require(
+            0.0 <= self.base_loss <= self.peak_loss <= 0.5,
+            "need 0 <= base_loss <= peak_loss <= 0.5",
+        )
+        require(self.peak_extra_ms >= 0, "peak_extra_ms must be >= 0")
+        require(0.0 < self.threshold < 1.0, "threshold must be in (0, 1)")
+        require(self.max_concurrent >= 1, "max_concurrent must be >= 1")
+        require(0.0 <= self.loss_jitter < 1.0, "loss_jitter must be in [0, 1)")
+
+    @classmethod
+    def for_duration(cls, duration_s: float) -> "DiurnalFamily":
+        """A day never longer than half the horizon, so cycles complete."""
+        return cls(
+            duration_s=duration_s,
+            day_s=min(86400.0, max(duration_s / 2.0, 1e-3)),
+        )
+
+    def events(self, topology: Topology, seed: int) -> list[ProblemEvent]:
+        stream = self._stream(seed)
+        links = undirected_links(topology)
+        phase_of = {link: self._phase(topology, link) for link in links}
+        bucket_s = self.day_s / self.buckets_per_day
+        buckets = math.ceil(self.duration_s / bucket_s)
+        per_link: dict[Edge, list[Contribution]] = {}
+        for bucket in range(buckets):
+            start = bucket * bucket_s
+            end = min(start + bucket_s, self.duration_s)
+            if end <= start:
+                break
+            midpoint = (start + end) / 2.0
+            scored = sorted(
+                (
+                    (score, link)
+                    for link in links
+                    if (score := self._score(midpoint, phase_of[link]))
+                    > self.threshold
+                ),
+                key=lambda pair: (-pair[0], pair[1]),
+            )
+            for rank, (score, link) in enumerate(scored):
+                if rank < self.max_concurrent:
+                    jitter = 1.0 + self.loss_jitter * (
+                        stream.uniform("bucket", bucket, link, "loss") - 0.5
+                    )
+                    loss = min(
+                        0.5,
+                        max(
+                            0.0,
+                            self.base_loss
+                            + (self.peak_loss - self.base_loss) * score * jitter,
+                        ),
+                    )
+                else:
+                    loss = 0.0
+                state = LinkState(
+                    loss_rate=loss,
+                    extra_latency_ms=self.peak_extra_ms * score,
+                )
+                if state.clean:
+                    continue
+                for edge in _both_directions(topology, link):
+                    per_link.setdefault(link, []).append(
+                        Contribution(edge, start, end, state)
+                    )
+        events: list[ProblemEvent] = []
+        for link in sorted(per_link):
+            event = _event_from(EventKind.BACKGROUND, link, per_link[link])
+            if event is not None:
+                events.append(event)
+        events.sort(key=lambda event: (event.start_s, repr(event.location)))
+        return events
+
+    def _score(self, time_s: float, phase: float) -> float:
+        value = math.sin(2.0 * math.pi * (time_s / self.day_s + phase))
+        return max(0.0, value) ** 2
+
+    @staticmethod
+    def _phase(topology: Topology, link: Edge) -> float:
+        u, v = link
+        lon_u = topology.node_attributes(u).get("lon", 0.0)
+        lon_v = topology.node_attributes(v).get("lon", 0.0)
+        return ((lon_u + lon_v) / 2.0) / 360.0
+
+
+@dataclass(frozen=True)
+class IntermittentEdgeFamily(ScenarioFamily):
+    """Intermittently-connected edge links with heavy-tailed off periods.
+
+    Candidate links touch the topology's least-connected sites (lowest
+    undirected degree, ties by name) -- the links a disruption-tolerant
+    deployment would call edge links.  Each selected link alternates
+    exponentially-distributed up periods with Pareto-distributed (hence
+    heavy-tailed, but capped) down periods of full loss.
+    """
+
+    name: ClassVar[str] = "intermittent-edge"
+
+    duration_s: float = 3600.0
+    links: int = 2
+    edge_sites: int = 3
+    on_mean_s: float = 300.0
+    off_min_s: float = 30.0
+    off_alpha: float = 1.3
+    off_cap_s: float = 600.0
+    active_fraction: float = 0.85
+    max_cycles: int = 1000
+
+    def __post_init__(self) -> None:
+        require(self.duration_s > 0, "duration_s must be positive")
+        require(self.links >= 1, "links must be >= 1")
+        require(self.edge_sites >= 1, "edge_sites must be >= 1")
+        require(self.on_mean_s > 0, "on_mean_s must be positive")
+        require(
+            0 < self.off_min_s <= self.off_cap_s,
+            "need 0 < off_min_s <= off_cap_s",
+        )
+        require(self.off_alpha > 1.0, "off_alpha must be > 1 (finite mean)")
+        require(
+            0.0 < self.active_fraction <= 1.0,
+            "active_fraction must be in (0, 1]",
+        )
+        require(self.max_cycles >= 1, "max_cycles must be >= 1")
+
+    @classmethod
+    def for_duration(cls, duration_s: float) -> "IntermittentEdgeFamily":
+        off_min = max(2.0, duration_s * 0.04)
+        return cls(
+            duration_s=duration_s,
+            on_mean_s=max(6.0, duration_s * 0.15),
+            off_min_s=off_min,
+            off_cap_s=max(2.0 * off_min, duration_s * 0.3),
+        )
+
+    def events(self, topology: Topology, seed: int) -> list[ProblemEvent]:
+        stream = self._stream(seed)
+        degree = {
+            node: len(topology.adjacent_edges(node)) // 2
+            for node in topology.nodes
+        }
+        sites = sorted(topology.nodes, key=lambda node: (degree[node], node))
+        chosen_sites = set(sites[: self.edge_sites])
+        candidates = [
+            link
+            for link in undirected_links(topology)
+            if link[0] in chosen_sites or link[1] in chosen_sites
+        ]
+        require(
+            bool(candidates),
+            f"no candidate edge links adjacent to sites {sorted(chosen_sites)}",
+        )
+        remaining = list(candidates)
+        picked: list[Edge] = []
+        for index in range(min(self.links, len(remaining))):
+            link = stream.choice(remaining, "pick", index)
+            remaining.remove(link)
+            picked.append(link)
+        span = self.active_fraction * self.duration_s
+        events: list[ProblemEvent] = []
+        for link in sorted(picked):
+            contributions: list[Contribution] = []
+            t = 0.0
+            for cycle in range(self.max_cycles):
+                t += stream.exponential(self.on_mean_s, link, cycle, "on")
+                if t >= span:
+                    break
+                u = stream.uniform(link, cycle, "off")
+                off = min(
+                    self.off_cap_s,
+                    self.off_min_s * (1.0 - u) ** (-1.0 / self.off_alpha),
+                )
+                end = min(t + off, span)
+                if end > t:
+                    for edge in _both_directions(topology, link):
+                        contributions.append(
+                            Contribution(edge, t, end, LinkState(loss_rate=1.0))
+                        )
+                t = end
+            event = _event_from(EventKind.LINK, link, contributions)
+            if event is not None:
+                events.append(event)
+        events.sort(key=lambda event: (event.start_s, repr(event.location)))
+        return events
+
+
+@dataclass(frozen=True, eq=False)
+class CompiledScenario:
+    """The single-world artifact: one description, its events, both views."""
+
+    family_name: str
+    seed: int
+    duration_s: float
+    description: Mapping[str, object]
+    events: tuple[ProblemEvent, ...]
+    topology: Topology
+
+    def description_json(self) -> str:
+        """Canonical JSON form of the description (the byte identity)."""
+        return json.dumps(self.description, sort_keys=True, separators=(",", ":"))
+
+    def contributions(self) -> list[Contribution]:
+        """Every event's condition-timeline contributions."""
+        result: list[Contribution] = []
+        for event in self.events:
+            result.extend(event.contributions())
+        return result
+
+    def timeline(self, horizon_s: float | None = None) -> ConditionTimeline:
+        """Compile the analytic-replay view of this world.
+
+        ``horizon_s`` may exceed the family duration (live runs query the
+        timeline slightly past the traffic window); contributions are
+        clipped to the horizon either way.
+        """
+        horizon = self.duration_s if horizon_s is None else float(horizon_s)
+        return ConditionTimeline(self.topology, horizon, self.contributions())
+
+    def fault_schedule(self) -> FaultSchedule:
+        """Derive the live-injector view of this world (bitwise stable)."""
+        return schedule_from_events(self.events, self.topology)

@@ -1,0 +1,60 @@
+"""Drive a compiled scenario through the live overlay.
+
+``run_live_family`` is the live half of the single-world contract: the
+harness's :class:`~repro.overlay.network.SimNetwork` consumes the
+scenario's compiled condition timeline (per-packet loss draws, latency
+inflation), while the chaos injector executes the *derived* fault
+schedule -- the same full-loss windows, expressed as blackholes, so the
+injector's bookkeeping and the invariant checker see the outage exactly
+where the timeline puts it.  The analytic half is
+``run_replay(topology, compiled.timeline(), ...)``; E21 reconciles the
+two per event window (:mod:`repro.scenarios.reconcile`).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.netmodel.topology import FlowSpec, ServiceSpec
+from repro.overlay.harness import OverlayHarness, build_overlay
+from repro.scenarios.families import CompiledScenario
+from repro.util.validation import require
+
+__all__ = ["run_live_family"]
+
+
+def run_live_family(
+    compiled: CompiledScenario,
+    flows: Sequence[FlowSpec],
+    service: ServiceSpec,
+    scheme: str,
+    seed: int = 0,
+    update_interval_s: float = 0.5,
+    obs: object | None = None,
+) -> OverlayHarness:
+    """Run one scheme through the compiled scenario's live world.
+
+    Returns the finished harness: per-flow reports in ``.reports`` (with
+    the per-packet log reconciliation needs), invariant verdicts in
+    ``.invariants.violations`` (convergence already checked).  The
+    timeline is compiled one second past the traffic window because
+    in-flight packets and the convergence check query slightly past the
+    run end.
+    """
+    require(bool(flows), "a live scenario run needs at least one flow")
+    timeline = compiled.timeline(horizon_s=compiled.duration_s + 1.0)
+    harness = build_overlay(
+        compiled.topology,
+        timeline,
+        flows,
+        service,
+        scheme,
+        seed=seed,
+        update_interval_s=update_interval_s,
+        obs=obs,
+    )
+    harness.start()
+    harness.run(compiled.duration_s, faults=compiled.fault_schedule())
+    harness.stop_traffic()
+    harness.invariants.check_convergence()
+    return harness

@@ -1,0 +1,189 @@
+"""Per-event-window reconciliation between live chaos and analytic replay.
+
+The single-world contract (one compiled scenario drives both the live
+overlay and the interval replay) is only worth anything if the two
+executions can be *checked* against each other.  Two checks live here:
+
+* :func:`check_world_consistency` -- structural: at every compiled
+  timeline segment, the derived fault schedule blocks an edge exactly
+  when the timeline says the edge is at full loss.  This is the SRLG
+  partition/heal-overlap invariant: staggered, overlapping cut windows
+  must coalesce identically on both sides.
+
+* :func:`reconcile` -- behavioural: per event window, the live run's
+  observed on-time fraction (from the transport layer's per-packet log)
+  is compared against the replay's expected on-time probability
+  (overlap-weighted over its constant-condition windows).  The
+  documented tolerance is ``atol + z * sqrt(p*(1-p)/n)``: a binomial
+  sampling term for ``n`` live packets around expectation ``p``, plus a
+  systematic allowance ``atol`` for control-plane dynamics the analytic
+  model folds into a single detection delay (hello timeouts, LSA
+  propagation, probe backoff).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.chaos.generate import FULL_LOSS
+from repro.netmodel.events import ProblemEvent
+from repro.scenarios.families import CompiledScenario
+from repro.simulation.results import WindowRecord
+from repro.util.validation import require
+
+__all__ = [
+    "WindowReconciliation",
+    "event_windows",
+    "expected_on_time",
+    "reconcile",
+    "check_world_consistency",
+]
+
+#: Systematic allowance for live control-plane dynamics (see module doc).
+DEFAULT_ATOL = 0.15
+#: Binomial z-score for the sampling term of the tolerance.
+DEFAULT_Z = 3.0
+
+
+@dataclass(frozen=True)
+class WindowReconciliation:
+    """One event window's live-vs-replay comparison."""
+
+    start_s: float
+    end_s: float
+    sent: int
+    delivered: int
+    observed_on_time: float
+    expected_on_time: float
+    tolerance: float
+
+    @property
+    def ok(self) -> bool:
+        """True when the live observation sits inside the tolerance band."""
+        return abs(self.observed_on_time - self.expected_on_time) <= self.tolerance
+
+
+def event_windows(
+    events: Iterable[ProblemEvent],
+    horizon_s: float,
+    guard_s: float = 0.5,
+) -> list[tuple[float, float]]:
+    """The scenario's event spans as reconciliation windows.
+
+    Each event contributes its ``[start, end + guard]`` span clipped to
+    ``[0, horizon]`` (the guard catches packets sent just before repair
+    that are still in flight).  Overlapping windows are merged so every
+    packet is scored at most once.
+    """
+    require(horizon_s > 0, "horizon_s must be positive")
+    require(guard_s >= 0, "guard_s must be >= 0")
+    spans = []
+    for event in events:
+        start = max(0.0, event.start_s)
+        end = min(horizon_s, event.end_s + guard_s)
+        if end > start:
+            spans.append((start, end))
+    spans.sort()
+    merged: list[list[float]] = []
+    for start, end in spans:
+        if merged and start <= merged[-1][1]:
+            merged[-1][1] = max(merged[-1][1], end)
+        else:
+            merged.append([start, end])
+    return [(start, end) for start, end in merged]
+
+
+def expected_on_time(
+    records: Sequence[WindowRecord], start_s: float, end_s: float
+) -> float:
+    """Overlap-weighted mean on-time probability over ``[start, end)``.
+
+    Normalised by the covered length, so partial record coverage (e.g. a
+    replay horizon shorter than the window guard) does not bias the
+    expectation toward zero.  A window no record touches counts as fully
+    on time (the replay saw clean conditions there).
+    """
+    require(end_s > start_s, "window must have positive length")
+    covered = 0.0
+    weighted = 0.0
+    for record in records:
+        overlap = min(end_s, record.end_s) - max(start_s, record.start_s)
+        if overlap > 0:
+            covered += overlap
+            weighted += overlap * record.on_time_probability
+    if covered <= 0.0:
+        return 1.0
+    return weighted / covered
+
+
+def reconcile(
+    send_times_s: Sequence[float],
+    deliveries: Sequence[tuple[float, float]],
+    records: Sequence[WindowRecord],
+    windows: Sequence[tuple[float, float]],
+    deadline_ms: float,
+    atol: float = DEFAULT_ATOL,
+    z: float = DEFAULT_Z,
+) -> list[WindowReconciliation]:
+    """Score the live packet log against the replay, one row per window.
+
+    ``send_times_s`` and ``deliveries`` come from the live
+    :class:`~repro.overlay.transport.FlowReport` (``deliveries`` holds
+    ``(sent_at_s, latency_ms)`` pairs); ``records`` from a replay run
+    with ``collect_windows=True``.  Windows in which no live packet was
+    sent are skipped -- there is nothing to compare.
+    """
+    require(deadline_ms > 0, "deadline_ms must be positive")
+    rows: list[WindowReconciliation] = []
+    for start, end in windows:
+        sent = sum(1 for t in send_times_s if start <= t < end)
+        if sent == 0:
+            continue
+        in_window = [
+            (sent_at, latency)
+            for sent_at, latency in deliveries
+            if start <= sent_at < end
+        ]
+        on_time = sum(1 for _, latency in in_window if latency <= deadline_ms)
+        expected = expected_on_time(records, start, end)
+        spread = math.sqrt(max(expected * (1.0 - expected), 0.0) / sent)
+        rows.append(
+            WindowReconciliation(
+                start_s=start,
+                end_s=end,
+                sent=sent,
+                delivered=len(in_window),
+                observed_on_time=on_time / sent,
+                expected_on_time=expected,
+                tolerance=atol + z * spread,
+            )
+        )
+    return rows
+
+
+def check_world_consistency(compiled: CompiledScenario) -> list[str]:
+    """Verify schedule and timeline describe the same world; [] == clean.
+
+    Samples the midpoint of every compiled per-edge timeline segment and
+    requires the derived fault schedule to block the edge exactly when
+    the segment is at full loss.  Because the schedule coalesces
+    overlapping and zero-gap outage windows, this holds through SRLG
+    partition/heal overlaps or it returns a discrepancy per segment.
+    """
+    schedule = compiled.fault_schedule()
+    timeline = compiled.timeline()
+    discrepancies: list[str] = []
+    for edge in compiled.topology.edges:
+        for start, end, state in timeline.edge_segments(edge):
+            midpoint = (start + end) / 2.0
+            blocked = edge in schedule.blocked_edges_at(midpoint, compiled.topology)
+            full = state.loss_rate >= FULL_LOSS
+            if blocked != full:
+                discrepancies.append(
+                    f"{edge}: at t={midpoint:.3f}s schedule says "
+                    f"{'blocked' if blocked else 'open'} but timeline loss is "
+                    f"{state.loss_rate:.6f}"
+                )
+    return discrepancies

@@ -1,0 +1,54 @@
+"""Named registry of adversarial scenario families.
+
+The CLI (``--scenario-family``), the serve daemon, CI's fast lane and
+the E21 bench all address families by these names; unknown names fail
+with the same one-line error style as the scenario presets.
+"""
+
+from __future__ import annotations
+
+from repro.core.graph import Topology
+from repro.scenarios.families import (
+    CompiledScenario,
+    CongestionStormFamily,
+    DiurnalFamily,
+    IntermittentEdgeFamily,
+    ScenarioFamily,
+    SRLGOutageFamily,
+)
+from repro.util.validation import require
+
+__all__ = ["FAMILY_NAMES", "family_names", "make_family", "compile_family"]
+
+_FAMILIES: dict[str, type[ScenarioFamily]] = {
+    family.name: family
+    for family in (
+        SRLGOutageFamily,
+        CongestionStormFamily,
+        DiurnalFamily,
+        IntermittentEdgeFamily,
+    )
+}
+
+FAMILY_NAMES: tuple[str, ...] = tuple(sorted(_FAMILIES))
+
+
+def family_names() -> tuple[str, ...]:
+    """All registered family names, sorted."""
+    return FAMILY_NAMES
+
+
+def make_family(name: str, duration_s: float) -> ScenarioFamily:
+    """Instantiate a family with duration-scaled defaults."""
+    require(
+        name in _FAMILIES,
+        f"unknown scenario family {name!r}; known: {', '.join(FAMILY_NAMES)}",
+    )
+    return _FAMILIES[name].for_duration(float(duration_s))
+
+
+def compile_family(
+    topology: Topology, name: str, seed: int, duration_s: float
+) -> CompiledScenario:
+    """One-call compile: name + seed + duration -> single-world artifact."""
+    return make_family(name, duration_s).compile(topology, seed)

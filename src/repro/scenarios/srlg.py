@@ -1,0 +1,111 @@
+"""Shared-risk link groups derived from topology geography.
+
+Overlay links are logical, but they ride physical conduits: several
+overlay links whose geographic midpoints sit close together plausibly
+share fiber, a landing station, or a regional power grid.  A *shared-risk
+link group* (SRLG) names such a bundle; one backbone event (cut,
+blackout, flood) takes the whole group down roughly together.
+
+``derive_srlgs`` clusters the topology's undirected links by the
+great-circle distance between their midpoints.  The derivation is a pure
+function of the frozen topology (greedy over sorted links, no RNG), so
+every scenario seed sees the same groups and only the *choice* of group
+and the outage timing are seeded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.graph import Edge, NodeId, Topology
+from repro.netmodel.geo import great_circle_km
+from repro.util.validation import require
+
+__all__ = ["SharedRiskGroup", "derive_srlgs", "undirected_links"]
+
+
+@dataclass(frozen=True)
+class SharedRiskGroup:
+    """A bundle of undirected links presumed to share physical risk."""
+
+    name: str
+    links: tuple[Edge, ...]  # canonical (u, v) with u < v, sorted
+    center: tuple[float, float]  # (lat, lon) of the seed link's midpoint
+
+    def __post_init__(self) -> None:
+        require(bool(self.links), "a shared-risk group needs at least one link")
+        for u, v in self.links:
+            require(u < v, f"group links must be canonical (u < v), got {(u, v)!r}")
+
+    @property
+    def nodes(self) -> frozenset[NodeId]:
+        """Every node touched by a group link."""
+        touched: set[NodeId] = set()
+        for edge in self.links:
+            touched.update(edge)
+        return frozenset(touched)
+
+    def directed_edges(self, topology: Topology) -> tuple[Edge, ...]:
+        """Both directions of every group link present in ``topology``."""
+        edges = []
+        for u, v in self.links:
+            for edge in ((u, v), (v, u)):
+                if topology.has_edge(*edge):
+                    edges.append(edge)
+        return tuple(sorted(edges))
+
+
+def undirected_links(topology: Topology) -> tuple[Edge, ...]:
+    """Canonical undirected link set: sorted ``(u, v)`` pairs with u < v."""
+    pairs = {tuple(sorted(link.edge)) for link in topology.iter_links()}
+    return tuple(sorted(pairs))  # type: ignore[arg-type]
+
+
+def _midpoint(topology: Topology, link: Edge) -> tuple[float, float]:
+    u, v = link
+    a = topology.node_attributes(u)
+    b = topology.node_attributes(v)
+    require(
+        "lat" in a and "lon" in a and "lat" in b and "lon" in b,
+        f"SRLG derivation needs lat/lon on both endpoints of {link!r}",
+    )
+    return ((a["lat"] + b["lat"]) / 2.0, (a["lon"] + b["lon"]) / 2.0)
+
+
+def derive_srlgs(
+    topology: Topology,
+    radius_km: float = 700.0,
+    min_links: int = 2,
+) -> tuple[SharedRiskGroup, ...]:
+    """Greedy geographic clustering of undirected links into SRLGs.
+
+    Links are visited in sorted order; each unassigned link seeds a group
+    and absorbs every other unassigned link whose midpoint lies within
+    ``radius_km`` (great circle) of the seed's midpoint.  Groups smaller
+    than ``min_links`` are dropped -- a lone link is not a *shared* risk.
+    Deterministic in the topology alone.
+    """
+    require(radius_km > 0, "radius_km must be positive")
+    require(min_links >= 1, "min_links must be >= 1")
+    links = undirected_links(topology)
+    midpoints = {link: _midpoint(topology, link) for link in links}
+    assigned: set[Edge] = set()
+    groups: list[SharedRiskGroup] = []
+    for seed_link in links:
+        if seed_link in assigned:
+            continue
+        center = midpoints[seed_link]
+        members = [
+            link
+            for link in links
+            if link not in assigned
+            and great_circle_km(*center, *midpoints[link]) <= radius_km
+        ]
+        assigned.update(members)
+        if len(members) < min_links:
+            continue
+        name = f"srlg-{seed_link[0]}-{seed_link[1]}".lower()
+        groups.append(
+            SharedRiskGroup(name=name, links=tuple(members), center=center)
+        )
+    return tuple(groups)

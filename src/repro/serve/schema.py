@@ -95,6 +95,21 @@ def _check_names(value: object, name: str) -> tuple[str, ...] | None:
     return tuple(_check_str(item, f"{name}[]") for item in value)  # type: ignore[union-attr]
 
 
+def _check_scenario(family: object, seed: object) -> None:
+    """Validate the scenario-family override fields shared by requests."""
+    if family is not None:
+        from repro.scenarios.registry import FAMILY_NAMES
+
+        _check_str(family, "scenario_family")
+        require(
+            family in FAMILY_NAMES,
+            f"unknown scenario family {family!r}; "
+            f"known: {', '.join(FAMILY_NAMES)}",
+        )
+    if seed is not None:
+        _check_int(seed, "scenario_seed")
+
+
 @dataclass(frozen=True)
 class EvaluateRequest:
     """Replay a generated trace under a scheme line-up (the E2 workload)."""
@@ -110,6 +125,10 @@ class EvaluateRequest:
     flows: tuple[str, ...] | None = None  # None = all 16 reference flows
     use_cache: bool = True
     profile: bool = False  # sample the replay; summary in the manifest
+    # Scenario-family override: replay this adversarial family (compiled
+    # at weeks * WEEK_S) instead of the preset generator.
+    scenario_family: str | None = None
+    scenario_seed: int | None = None  # None = the request seed
 
     kind = "evaluate"
 
@@ -125,6 +144,7 @@ class EvaluateRequest:
         _check_names(self.flows, "flows")
         _check_bool(self.use_cache, "use_cache")
         _check_bool(self.profile, "profile")
+        _check_scenario(self.scenario_family, self.scenario_seed)
 
 
 @dataclass(frozen=True)
@@ -160,6 +180,11 @@ class ChaosRequest:
     message_windows: int = 0
     deadline_ms: float = 65.0
     send_interval_ms: float = 50.0
+    # Scenario-family override: drive the overlay with the family's
+    # derived fault schedule + compiled timeline instead of a generated
+    # ChaosSpec schedule.
+    scenario_family: str | None = None
+    scenario_seed: int | None = None  # None = the request seed
 
     kind = "chaos"
 
@@ -175,6 +200,7 @@ class ChaosRequest:
             _check_int(getattr(self, field_name), field_name, minimum=0)
         _check_float(self.deadline_ms, "deadline_ms", positive=True)
         _check_float(self.send_interval_ms, "send_interval_ms", positive=True)
+        _check_scenario(self.scenario_family, self.scenario_seed)
 
 
 Request = EvaluateRequest | ClassifyRequest | ChaosRequest

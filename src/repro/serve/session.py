@@ -78,11 +78,36 @@ def _run_evaluate(
     service = ServiceSpec(deadline_ms=request.deadline_ms)
     config = ReplayConfig(detection_delay_s=request.detection_delay_s)
 
-    _progress(emit, "generate-trace", weeks=request.weeks, seed=request.seed)
-    scenario = preset_scenario(
-        request.preset, duration_s=request.weeks * WEEK_S
-    )
-    events, timeline = generate_timeline(topology, scenario, seed=request.seed)
+    if request.scenario_family is not None:
+        from repro.scenarios import compile_family
+
+        scenario_seed = (
+            request.seed
+            if request.scenario_seed is None
+            else request.scenario_seed
+        )
+        _progress(
+            emit,
+            "generate-trace",
+            weeks=request.weeks,
+            scenario_family=request.scenario_family,
+            seed=scenario_seed,
+        )
+        compiled = compile_family(
+            topology,
+            request.scenario_family,
+            seed=scenario_seed,
+            duration_s=request.weeks * WEEK_S,
+        )
+        events, timeline = list(compiled.events), compiled.timeline()
+    else:
+        _progress(emit, "generate-trace", weeks=request.weeks, seed=request.seed)
+        scenario = preset_scenario(
+            request.preset, duration_s=request.weeks * WEEK_S
+        )
+        events, timeline = generate_timeline(
+            topology, scenario, seed=request.seed
+        )
 
     context, context_warm = runtime.contexts.get(
         topology, timeline, service, config
@@ -250,21 +275,38 @@ def _run_chaos(
         for flow in flows
         for endpoint in (flow.source, flow.destination)
     )
-    spec = ChaosSpec(
-        duration_s=request.duration_s,
-        crashes=request.crashes,
-        blackholes=request.blackholes,
-        partitions=request.partitions,
-        stalls=request.stalls,
-        message_fault_windows=request.message_windows,
-        protected_nodes=protected,
-    )
-    schedule = generate_fault_schedule(
-        topology,
-        spec,
-        seed=request.seed,
-        flows=tuple(flow.name for flow in flows),
-    )
+    compiled = None
+    if request.scenario_family is not None:
+        from repro.scenarios import compile_family
+
+        scenario_seed = (
+            request.seed
+            if request.scenario_seed is None
+            else request.scenario_seed
+        )
+        compiled = compile_family(
+            topology,
+            request.scenario_family,
+            seed=scenario_seed,
+            duration_s=request.duration_s,
+        )
+        schedule = compiled.fault_schedule()
+    else:
+        spec = ChaosSpec(
+            duration_s=request.duration_s,
+            crashes=request.crashes,
+            blackholes=request.blackholes,
+            partitions=request.partitions,
+            stalls=request.stalls,
+            message_fault_windows=request.message_windows,
+            protected_nodes=protected,
+        )
+        schedule = generate_fault_schedule(
+            topology,
+            spec,
+            seed=request.seed,
+            flows=tuple(flow.name for flow in flows),
+        )
     rows = []
     total_violations = 0
     violation_details: list[dict] = []
@@ -276,7 +318,13 @@ def _run_chaos(
             faults=len(schedule),
             schedule=schedule.fingerprint(),
         )
-        timeline = ConditionTimeline(topology, request.duration_s + 1.0)
+        if compiled is not None:
+            # Same-world contract: the overlay observes the family's
+            # compiled conditions while the injector replays its derived
+            # fault schedule -- both sides of one description.
+            timeline = compiled.timeline(horizon_s=request.duration_s + 1.0)
+        else:
+            timeline = ConditionTimeline(topology, request.duration_s + 1.0)
         harness = build_overlay(
             topology, timeline, flows, service, scheme, seed=request.seed
         )

@@ -1,0 +1,163 @@
+"""Graceful-degradation accounting: worst window, TTR, the E21 matrix."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.degradation import (
+    degradation_rows,
+    hard_events,
+    time_to_recover,
+    worst_window_on_time,
+)
+from repro.analysis.reporting import format_degradation_table
+from repro.netmodel.conditions import LinkState
+from repro.netmodel.events import Burst, EventKind, LinkDegradation, ProblemEvent
+from repro.netmodel.topology import FlowSpec, ServiceSpec
+from repro.simulation.results import FlowSchemeStats, ReplayConfig, ReplayResult
+from repro.util.validation import ValidationError
+
+FLOW = FlowSpec(source="S", destination="T")
+
+
+def _stats(segments, scheme: str = "targeted") -> FlowSchemeStats:
+    """segments: (start, end, on_time) triples, contiguous."""
+    stats = FlowSchemeStats(flow=FLOW, scheme=scheme)
+    for start, end, on_time in segments:
+        stats.add_window(
+            start, end, "g", 2, on_time, 1.0 - on_time, 0.0, collect=True
+        )
+    return stats
+
+
+def _outage(edge, start: float, duration: float, loss: float = 1.0):
+    return ProblemEvent(
+        kind=EventKind.LINK,
+        location=edge,
+        start_s=start,
+        duration_s=duration,
+        bursts=(
+            Burst(
+                start,
+                duration,
+                (LinkDegradation(edge, LinkState(loss_rate=loss)),),
+            ),
+        ),
+    )
+
+
+class TestWorstWindow:
+    def test_flat_record_returns_its_level(self):
+        stats = _stats([(0.0, 100.0, 0.9)])
+        assert worst_window_on_time(stats, 10.0) == pytest.approx(0.9)
+
+    def test_finds_the_dip(self):
+        stats = _stats(
+            [(0.0, 40.0, 1.0), (40.0, 50.0, 0.0), (50.0, 100.0, 1.0)]
+        )
+        # A 10 s window aligned with the outage averages exactly zero.
+        assert worst_window_on_time(stats, 10.0) == pytest.approx(0.0)
+        # A 20 s window can cover at most 10 bad seconds.
+        assert worst_window_on_time(stats, 20.0) == pytest.approx(0.5)
+
+    def test_short_replay_returns_overall_average(self):
+        stats = _stats([(0.0, 4.0, 1.0), (4.0, 8.0, 0.5)])
+        assert worst_window_on_time(stats, 10.0) == pytest.approx(0.75)
+
+    def test_requires_window_records(self):
+        stats = FlowSchemeStats(flow=FLOW, scheme="targeted")
+        stats.add_window(0.0, 10.0, "g", 2, 1.0, 0.0, 0.0, collect=False)
+        with pytest.raises(ValidationError, match="collect_windows=True"):
+            worst_window_on_time(stats, 5.0)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValidationError):
+            worst_window_on_time(_stats([(0.0, 10.0, 1.0)]), 0.0)
+
+
+class TestHardEvents:
+    def test_filters_full_loss_only(self):
+        soft = _outage(("a", "b"), 0.0, 5.0, loss=0.4)
+        hard = _outage(("a", "b"), 10.0, 5.0, loss=1.0)
+        assert hard_events([soft, hard]) == [hard]
+
+
+class TestTimeToRecover:
+    def test_healthy_at_repair_is_zero(self):
+        stats = _stats([(0.0, 20.0, 1.0)])
+        event = _outage(("a", "b"), 2.0, 3.0)
+        assert time_to_recover(stats, [event]) == [0.0]
+
+    def test_gap_until_threshold(self):
+        stats = _stats(
+            [(0.0, 5.0, 1.0), (5.0, 12.0, 0.2), (12.0, 20.0, 1.0)]
+        )
+        event = _outage(("a", "b"), 5.0, 3.0)  # repairs at 8, healthy at 12
+        assert time_to_recover(stats, [event]) == [pytest.approx(4.0)]
+
+    def test_never_recovering_is_censored_at_horizon(self):
+        stats = _stats([(0.0, 10.0, 1.0), (10.0, 20.0, 0.0)])
+        event = _outage(("a", "b"), 10.0, 2.0)
+        assert time_to_recover(stats, [event]) == [pytest.approx(8.0)]
+
+    def test_soft_events_contribute_nothing(self):
+        stats = _stats([(0.0, 20.0, 0.5)])
+        event = _outage(("a", "b"), 2.0, 3.0, loss=0.4)
+        assert time_to_recover(stats, [event]) == []
+
+
+class TestDegradationRows:
+    def _result(self) -> ReplayResult:
+        result = ReplayResult(ServiceSpec(), ReplayConfig(collect_windows=True))
+        result.add(
+            _stats(
+                [(0.0, 40.0, 1.0), (40.0, 50.0, 0.0), (50.0, 100.0, 1.0)],
+                scheme="static-single",
+            )
+        )
+        result.add(
+            _stats(
+                [(0.0, 40.0, 1.0), (40.0, 50.0, 0.8), (50.0, 100.0, 1.0)],
+                scheme="targeted",
+            )
+        )
+        result.add(_stats([(0.0, 100.0, 1.0)], scheme="flooding"))
+        return result
+
+    def test_matrix_columns(self):
+        events = [_outage(("a", "b"), 40.0, 10.0)]
+        rows = degradation_rows(
+            self._result(),
+            events,
+            window_s=10.0,
+            baseline="static-single",
+            optimal="flooding",
+        )
+        by_scheme = {row["scheme"]: row for row in rows}
+        assert by_scheme["static-single"]["gap_coverage"] == 0.0
+        assert by_scheme["flooding"]["gap_coverage"] == 1.0
+        assert by_scheme["targeted"]["gap_coverage"] == pytest.approx(0.8)
+        assert by_scheme["targeted"]["worst_window_on_time"] == pytest.approx(0.8)
+        assert by_scheme["targeted"]["unavailable_s"] == pytest.approx(2.0)
+        assert by_scheme["static-single"]["ttr_max_s"] == pytest.approx(0.0)
+
+    def test_quiet_world_has_no_gap_coverage(self):
+        result = ReplayResult(ServiceSpec(), ReplayConfig(collect_windows=True))
+        result.add(_stats([(0.0, 10.0, 1.0)], scheme="static-single"))
+        result.add(_stats([(0.0, 10.0, 1.0)], scheme="flooding"))
+        rows = degradation_rows(
+            result, [], baseline="static-single", optimal="flooding"
+        )
+        assert all(row["gap_coverage"] is None for row in rows)
+        assert all(row["ttr_mean_s"] is None for row in rows)
+
+    def test_table_renders_none_as_dash(self):
+        rows = degradation_rows(
+            self._result(),
+            [],
+            baseline="static-single",
+            optimal="flooding",
+        )
+        table = format_degradation_table(rows)
+        assert "targeted" in table
+        assert "-" in table

@@ -1,0 +1,109 @@
+"""Deriving injector blackholes from compiled events (the single world)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos.generate import FULL_LOSS, outage_windows, schedule_from_events
+from repro.netmodel.conditions import LinkState
+from repro.netmodel.events import Burst, EventKind, LinkDegradation, ProblemEvent
+from repro.util.validation import ValidationError
+
+
+def _event(edge, windows, loss: float = 1.0) -> ProblemEvent:
+    bursts = tuple(
+        Burst(
+            start,
+            end - start,
+            (LinkDegradation(edge, LinkState(loss_rate=loss)),),
+        )
+        for start, end in windows
+    )
+    start = min(w[0] for w in windows)
+    end = max(w[1] for w in windows)
+    return ProblemEvent(
+        kind=EventKind.LINK,
+        location=edge,
+        start_s=start,
+        duration_s=end - start,
+        bursts=bursts,
+    )
+
+
+class TestOutageWindows:
+    def test_fractional_loss_is_not_an_outage(self):
+        assert outage_windows([_event(("a", "b"), [(0, 10)], loss=0.9)]) == []
+
+    def test_full_loss_threshold_is_inclusive(self):
+        windows = outage_windows([_event(("a", "b"), [(0, 10)], loss=FULL_LOSS)])
+        assert windows == [(("a", "b"), 0, 10)]
+
+    def test_overlapping_windows_coalesce(self):
+        windows = outage_windows([_event(("a", "b"), [(0, 10), (5, 20)])])
+        assert windows == [(("a", "b"), 0, 20)]
+
+    def test_zero_gap_windows_coalesce(self):
+        # A blackhole that heals and instantly re-fires is one blackhole:
+        # emitting two would make repair order emission-dependent (the
+        # last-writer-wins bug class this derivation exists to kill).
+        windows = outage_windows([_event(("a", "b"), [(0, 10), (10, 15)])])
+        assert windows == [(("a", "b"), 0, 15)]
+
+    def test_real_gaps_stay_separate(self):
+        windows = outage_windows([_event(("a", "b"), [(0, 10), (11, 15)])])
+        assert windows == [(("a", "b"), 0, 10), (("a", "b"), 11, 15)]
+
+    def test_coalescing_spans_events(self):
+        events = [
+            _event(("a", "b"), [(0, 10)]),
+            _event(("a", "b"), [(8, 14)]),
+        ]
+        assert outage_windows(events) == [(("a", "b"), 0, 14)]
+
+    def test_edges_kept_separate_and_sorted(self):
+        events = [
+            _event(("b", "a"), [(0, 10)]),
+            _event(("a", "b"), [(0, 10)]),
+        ]
+        assert outage_windows(events) == [
+            (("a", "b"), 0, 10),
+            (("b", "a"), 0, 10),
+        ]
+
+
+class TestScheduleFromEvents:
+    def test_one_directed_blackhole_per_window(self, diamond):
+        events = [_event(("S", "A"), [(0.0, 5.0), (5.0, 8.0)])]
+        schedule = schedule_from_events(events, diamond)
+        (hole,) = schedule.blackholes
+        assert hole.edge == ("S", "A")
+        assert hole.start_s == 0.0 and hole.duration_s == 8.0
+        assert not hole.bidirectional
+
+    def test_deterministic_fingerprint(self, diamond):
+        events = [
+            _event(("S", "A"), [(0.0, 5.0)]),
+            _event(("A", "T"), [(2.0, 6.0)]),
+        ]
+        assert (
+            schedule_from_events(events, diamond).fingerprint()
+            == schedule_from_events(events[::-1], diamond).fingerprint()
+        )
+
+    def test_sorted_by_start_then_edge(self, diamond):
+        events = [
+            _event(("A", "T"), [(2.0, 6.0)]),
+            _event(("S", "B"), [(0.0, 5.0)]),
+            _event(("S", "A"), [(0.0, 5.0)]),
+        ]
+        schedule = schedule_from_events(events, diamond)
+        keys = [(hole.start_s, hole.edge) for hole in schedule.blackholes]
+        assert keys == sorted(keys)
+
+    def test_unknown_edge_rejected(self, diamond):
+        with pytest.raises(ValidationError, match="unknown edge"):
+            schedule_from_events([_event(("S", "T"), [(0.0, 5.0)])], diamond)
+
+    def test_soft_degradations_yield_empty_schedule(self, diamond):
+        events = [_event(("S", "A"), [(0.0, 5.0)], loss=0.3)]
+        assert len(schedule_from_events(events, diamond)) == 0

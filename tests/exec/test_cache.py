@@ -104,6 +104,26 @@ class TestCorruption:
         assert cache.load(other) is None
         assert cache.corrupt == 1
 
+    def test_store_leaves_no_temp_files(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store(KEY, sample_result())
+        assert list(tmp_path.glob("**/.tmp-*")) == []
+
+    def test_torn_write_recovers_to_fresh_store(self, tmp_path):
+        """A crash mid-write (torn file under the key) self-heals.
+
+        Load discards the torn entry; a subsequent store replaces it
+        atomically and the round trip works again.
+        """
+        cache = ResultCache(tmp_path)
+        cache.store(KEY, sample_result())
+        path = cache._path(KEY)
+        path.write_text('{"sha256": "dead", "payl')  # torn mid-write
+        assert cache.load(KEY) is None
+        cache.store(KEY, sample_result())
+        assert cache.load(KEY) == sample_result()
+        assert cache.corrupt == 1
+
 
 class TestKeys:
     def make_context(self):

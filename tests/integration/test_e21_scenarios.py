@@ -1,0 +1,162 @@
+"""E21 end to end: one description, analytic matrix, live reconciliation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.degradation import degradation_rows
+from repro.cli import main
+from repro.scenarios import (
+    FAMILY_NAMES,
+    check_world_consistency,
+    compile_family,
+    event_windows,
+    reconcile,
+    run_live_family,
+)
+from repro.simulation.interval import run_replay
+from repro.simulation.results import ReplayConfig
+
+SCHEMES = (
+    "static-single",
+    "static-two-disjoint",
+    "dynamic-two-disjoint",
+    "targeted",
+    "flooding",
+)
+DURATION_S = 240.0
+SEED = 7
+
+
+class TestSchemeMatrix:
+    @pytest.mark.parametrize("family", FAMILY_NAMES)
+    def test_targeted_never_cliffs_below_static_single(
+        self, family, reference_topology, flows, service
+    ):
+        compiled = compile_family(
+            reference_topology, family, seed=SEED, duration_s=DURATION_S
+        )
+        assert check_world_consistency(compiled) == []
+        result = run_replay(
+            reference_topology,
+            compiled.timeline(),
+            flows[:4],
+            service,
+            scheme_names=SCHEMES,
+            config=ReplayConfig(detection_delay_s=1.0, collect_windows=True),
+        )
+        rows = degradation_rows(
+            result,
+            list(compiled.events),
+            baseline="static-single",
+            optimal="flooding",
+        )
+        by_scheme = {row["scheme"]: row for row in rows}
+        assert set(by_scheme) == set(SCHEMES)
+        assert (
+            by_scheme["targeted"]["unavailable_s"]
+            <= by_scheme["static-single"]["unavailable_s"] + 1e-9
+        )
+
+
+class TestLiveReconciliation:
+    def test_live_overlay_matches_the_replay_per_event_window(
+        self, reference_topology, flows, service
+    ):
+        duration_s = 16.0
+        compiled = compile_family(
+            reference_topology, "srlg-outage", seed=SEED, duration_s=duration_s
+        )
+        assert compiled.fault_schedule().blackholes  # the run injects faults
+        harness = run_live_family(
+            compiled, flows[:2], service, "targeted", seed=SEED
+        )
+        assert harness.invariants.violations == []
+        replay = run_replay(
+            reference_topology,
+            compiled.timeline(),
+            flows[:2],
+            service,
+            scheme_names=("targeted",),
+            config=ReplayConfig(detection_delay_s=1.0, collect_windows=True),
+        )
+        windows = event_windows(compiled.events, duration_s)
+        assert windows
+        checked = 0
+        for flow in flows[:2]:
+            report = harness.reports[flow.name]
+            rows = reconcile(
+                report.send_times_s,
+                report.deliveries,
+                replay.get(flow.name, "targeted").windows,
+                windows,
+                deadline_ms=service.deadline_ms,
+            )
+            checked += len(rows)
+            assert all(row.ok for row in rows), [
+                (row.observed_on_time, row.expected_on_time, row.tolerance)
+                for row in rows
+                if not row.ok
+            ]
+        assert checked > 0
+
+
+class TestCli:
+    def test_evaluate_with_scenario_family(self, capsys):
+        code = main(
+            [
+                "evaluate",
+                "--scenario-family",
+                "srlg-outage",
+                "--scenario-seed",
+                "3",
+                "--weeks",
+                "0.0005",
+                "--no-cache",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "srlg-outage" in output
+
+    def test_chaos_with_scenario_family(self, capsys):
+        code = main(
+            [
+                "chaos",
+                "--scenario-family",
+                "srlg-outage",
+                "--scenario-seed",
+                "3",
+                "--duration",
+                "10",
+                "--schemes",
+                "static-single",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "srlg-outage" in output
+
+    def test_unknown_family_is_a_one_line_error(self, capsys):
+        code = main(["chaos", "--scenario-family", "solar-flare"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "unknown scenario family" in err
+        assert err.strip().count("\n") == 0
+
+    def test_trace_file_conflicts_with_family(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert main(["generate-trace", str(trace), "--weeks", "0.001"]) == 0
+        capsys.readouterr()
+        code = main(
+            [
+                "evaluate",
+                "--trace-file",
+                str(trace),
+                "--scenario-family",
+                "diurnal",
+            ]
+        )
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "cannot be combined" in err

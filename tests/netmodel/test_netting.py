@@ -1,0 +1,88 @@
+"""Same-cause netting policy: max loss, additive latency, no double-count."""
+
+from __future__ import annotations
+
+from repro.netmodel.conditions import Contribution, LinkState
+from repro.netmodel.events import net_contributions, net_states
+
+EDGE = ("a", "b")
+
+
+def _c(start: float, end: float, loss: float = 0.0, extra: float = 0.0):
+    return Contribution(
+        EDGE, start, end, LinkState(loss_rate=loss, extra_latency_ms=extra)
+    )
+
+
+class TestNetStates:
+    def test_loss_nets_as_max_not_independent_composition(self):
+        state = net_states(
+            [LinkState(loss_rate=0.5), LinkState(loss_rate=0.5)]
+        )
+        # One physical cause reported twice is still one cause: 0.5, not
+        # the independent-composition 0.75.
+        assert state.loss_rate == 0.5
+
+    def test_latency_nets_additively(self):
+        state = net_states(
+            [
+                LinkState(extra_latency_ms=10.0),
+                LinkState(extra_latency_ms=15.0),
+            ]
+        )
+        assert state.extra_latency_ms == 25.0
+
+    def test_empty_is_clean(self):
+        assert net_states([]).clean
+
+
+class TestNetContributions:
+    def test_empty_input(self):
+        assert net_contributions([]) == []
+
+    def test_disjoint_windows_pass_through(self):
+        result = net_contributions([_c(0, 10, loss=0.2), _c(20, 30, loss=0.3)])
+        assert [(c.start_s, c.end_s) for c in result] == [(0, 10), (20, 30)]
+        assert [c.state.loss_rate for c in result] == [0.2, 0.3]
+
+    def test_overlap_splits_into_netted_segments(self):
+        result = net_contributions(
+            [_c(0, 10, extra=10.0), _c(5, 15, extra=20.0)]
+        )
+        assert [(c.start_s, c.end_s, c.state.extra_latency_ms) for c in result] == [
+            (0, 5, 10.0),
+            (5, 10, 30.0),
+            (10, 15, 20.0),
+        ]
+
+    def test_full_overlap_nets_loss_as_max(self):
+        result = net_contributions([_c(0, 10, loss=1.0), _c(2, 8, loss=1.0)])
+        # A staggered double-report of the same outage must not stack:
+        # one window, full loss, spanning the union.
+        assert [(c.start_s, c.end_s, c.state.loss_rate) for c in result] == [
+            (0, 10, 1.0)
+        ]
+
+    def test_zero_gap_identical_states_merge(self):
+        result = net_contributions([_c(0, 10, loss=0.5), _c(10, 20, loss=0.5)])
+        assert [(c.start_s, c.end_s) for c in result] == [(0, 20)]
+
+    def test_zero_gap_different_states_stay_separate(self):
+        result = net_contributions([_c(0, 10, loss=0.5), _c(10, 20, loss=0.6)])
+        assert [(c.start_s, c.end_s) for c in result] == [(0, 10), (10, 20)]
+
+    def test_order_independent(self):
+        windows = [
+            _c(0, 10, loss=0.3, extra=5.0),
+            _c(5, 15, extra=7.0),
+            _c(15, 20, loss=0.3),
+        ]
+        assert net_contributions(windows) == net_contributions(windows[::-1])
+
+    def test_edges_net_independently(self):
+        other = Contribution(("b", "a"), 0, 10, LinkState(loss_rate=0.4))
+        result = net_contributions([_c(0, 10, loss=0.2), other])
+        by_edge = {c.edge: c.state.loss_rate for c in result}
+        assert by_edge == {EDGE: 0.2, ("b", "a"): 0.4}
+        # Output sorted by (edge, start).
+        assert [c.edge for c in result] == sorted(c.edge for c in result)

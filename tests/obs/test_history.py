@@ -236,3 +236,35 @@ class TestFormatting:
         assert summarize([]) == {
             "regression": 0, "shift": 0, "improvement": 0,
         }
+
+
+class TestCrashSafety:
+    def test_ingest_leaves_no_temp_files(self, tmp_path):
+        _record_runs(tmp_path, [1.0, 2.0])
+        leftovers = list((tmp_path / "hist").glob(".tmp-*"))
+        assert leftovers == []
+
+    def test_torn_trailing_line_is_skipped_not_fatal(self, tmp_path):
+        _record_runs(tmp_path, [1.0, 2.0])
+        target = history_path(tmp_path / "hist", "main")
+        target.write_text(target.read_text() + '{"version": 1, "metri')
+        entries = read_history(tmp_path / "hist", "main")
+        assert [e["commit"] for e in entries] == ["c0", "c1"]
+
+    def test_ingest_heals_a_torn_tail(self, tmp_path):
+        """Appending after a torn write keeps old entries line-separated."""
+        _record_runs(tmp_path, [1.0])
+        target = history_path(tmp_path / "hist", "main")
+        # Simulate a pre-atomic writer that died mid-line (no newline).
+        target.write_text(target.read_text().rstrip("\n"))
+        bench = tmp_path / "bench-out"
+        _write_artifact(bench, "e2", {"replay_wall_s": 2.0})
+        ingest(bench, tmp_path / "hist", "main", commit="c1", recorded_at=2000.0)
+        entries = read_history(tmp_path / "hist", "main")
+        assert [e["commit"] for e in entries] == ["c0", "c1"]
+
+    def test_blank_lines_ignored(self, tmp_path):
+        _record_runs(tmp_path, [1.0])
+        target = history_path(tmp_path / "hist", "main")
+        target.write_text(target.read_text() + "\n\n")
+        assert len(read_history(tmp_path / "hist", "main")) == 1

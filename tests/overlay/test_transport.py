@@ -39,6 +39,44 @@ class TestFlowReport:
         assert report.late == 0
 
 
+class TestPerPacketLog:
+    def test_send_times_and_deliveries_match_counters(self, diamond):
+        harness = _harness(diamond)
+        harness.start()
+        harness.run(1.0)
+        harness.stop_traffic()
+        harness.run(0.5)  # drain in-flight packets
+        report = harness.reports[FLOW.name]
+        assert report.sent > 0
+        assert len(report.send_times_s) == report.sent
+        assert len(report.deliveries) == report.delivered
+        on_time = sum(
+            1
+            for _sent_at, latency_ms in report.deliveries
+            if latency_ms <= SERVICE.deadline_ms
+        )
+        assert on_time == report.on_time
+
+    def test_send_times_are_monotone_and_in_window(self, diamond):
+        harness = _harness(diamond)
+        harness.start()
+        harness.run(1.0)
+        report = harness.reports[FLOW.name]
+        assert report.send_times_s == sorted(report.send_times_s)
+        assert all(0.0 <= t <= 1.0 for t in report.send_times_s)
+
+    def test_deliveries_carry_send_timestamps(self, diamond):
+        harness = _harness(diamond)
+        harness.start()
+        harness.run(1.0)
+        harness.stop_traffic()
+        harness.run(0.5)
+        report = harness.reports[FLOW.name]
+        sends = set(report.send_times_s)
+        assert all(sent_at in sends for sent_at, _latency in report.deliveries)
+        assert all(latency >= 0.0 for _sent_at, latency in report.deliveries)
+
+
 class TestReceivingApp:
     def test_must_run_at_destination(self, diamond):
         harness = _harness(diamond)

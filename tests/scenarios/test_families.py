@@ -1,0 +1,213 @@
+"""The four adversarial scenario families and the compiled artifact."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos.generate import FULL_LOSS
+from repro.core.graph import Topology
+from repro.scenarios import FAMILY_NAMES, compile_family, make_family
+from repro.scenarios.families import (
+    CongestionStormFamily,
+    DiurnalFamily,
+    IntermittentEdgeFamily,
+    SRLGOutageFamily,
+)
+from repro.util.validation import ValidationError
+
+DURATION_S = 600.0
+SEED = 3
+
+FAMILY_TYPES = {
+    "srlg-outage": SRLGOutageFamily,
+    "congestion-storm": CongestionStormFamily,
+    "diurnal": DiurnalFamily,
+    "intermittent-edge": IntermittentEdgeFamily,
+}
+
+
+@pytest.fixture(params=FAMILY_NAMES)
+def compiled(request, reference_topology):
+    return compile_family(
+        reference_topology, request.param, seed=SEED, duration_s=DURATION_S
+    )
+
+
+class TestEveryFamily:
+    def test_produces_events(self, compiled):
+        assert compiled.events
+
+    def test_events_stay_inside_the_horizon(self, compiled):
+        for event in compiled.events:
+            assert event.start_s >= 0.0
+            assert event.end_s <= DURATION_S + 1e-9
+
+    def test_events_reference_real_directed_edges(self, compiled):
+        for event in compiled.events:
+            for edge in event.affected_edges:
+                assert compiled.topology.has_edge(*edge)
+
+    def test_bursts_are_disjoint_per_edge(self, compiled):
+        # The families pre-net their own windows, so per directed edge the
+        # compiled contributions never overlap (same-cause netting done).
+        per_edge: dict = {}
+        for contribution in compiled.contributions():
+            per_edge.setdefault(contribution.edge, []).append(
+                (contribution.start_s, contribution.end_s)
+            )
+        for edge, windows in per_edge.items():
+            windows.sort()
+            for (_, prev_end), (start, _) in zip(windows, windows[1:]):
+                assert start >= prev_end - 1e-9, (edge, windows)
+
+    def test_description_carries_family_version_params(self, compiled):
+        description = compiled.description
+        assert description["family"] == compiled.family_name
+        assert description["version"] == 1
+        assert description["params"]["duration_s"] == DURATION_S
+
+    def test_timeline_and_schedule_come_from_one_world(self, compiled):
+        from repro.scenarios import check_world_consistency
+
+        assert check_world_consistency(compiled) == []
+
+    def test_timeline_accepts_a_longer_horizon(self, compiled):
+        timeline = compiled.timeline(horizon_s=DURATION_S + 1.0)
+        assert timeline.duration_s == DURATION_S + 1.0
+
+    def test_for_duration_scales(self, compiled):
+        family = FAMILY_TYPES[compiled.family_name].for_duration(45.0)
+        assert family.duration_s == 45.0
+
+
+class TestSRLGOutage:
+    def test_outages_are_full_loss_both_directions(self, reference_topology):
+        compiled = compile_family(
+            reference_topology, "srlg-outage", seed=SEED, duration_s=DURATION_S
+        )
+        edges = set()
+        for contribution in compiled.contributions():
+            assert contribution.state.loss_rate >= FULL_LOSS
+            edges.add(contribution.edge)
+        for u, v in edges:
+            assert (v, u) in edges
+
+    def test_derives_a_nonempty_fault_schedule(self, reference_topology):
+        compiled = compile_family(
+            reference_topology, "srlg-outage", seed=SEED, duration_s=DURATION_S
+        )
+        schedule = compiled.fault_schedule()
+        assert len(schedule) > 0
+        assert all(not hole.bidirectional for hole in schedule.blackholes)
+
+    def test_staggered_windows_overlap_within_an_episode(
+        self, reference_topology
+    ):
+        # The family exists to exercise overlapping same-cause windows;
+        # at least one episode must stagger onsets across its links.
+        compiled = compile_family(
+            reference_topology, "srlg-outage", seed=SEED, duration_s=DURATION_S
+        )
+        starts = {c.start_s for c in compiled.contributions()}
+        assert len(starts) > 1
+
+
+class TestCongestionStorm:
+    def test_pure_latency_no_loss(self, reference_topology):
+        compiled = compile_family(
+            reference_topology,
+            "congestion-storm",
+            seed=SEED,
+            duration_s=DURATION_S,
+        )
+        assert compiled.contributions()
+        for contribution in compiled.contributions():
+            assert contribution.state.loss_rate == 0.0
+            assert contribution.state.extra_latency_ms > 0.0
+
+    def test_no_blackholes_derived(self, reference_topology):
+        compiled = compile_family(
+            reference_topology,
+            "congestion-storm",
+            seed=SEED,
+            duration_s=DURATION_S,
+        )
+        assert len(compiled.fault_schedule()) == 0
+
+
+class TestDiurnal:
+    def test_loss_bounded_and_fractional(self, reference_topology):
+        compiled = compile_family(
+            reference_topology, "diurnal", seed=SEED, duration_s=259200.0
+        )
+        assert compiled.events
+        for contribution in compiled.contributions():
+            assert contribution.state.loss_rate <= 0.5
+
+    def test_concurrent_lossy_links_capped(self, reference_topology):
+        family = DiurnalFamily()
+        compiled = family.compile(reference_topology, SEED)
+        # Sample each compiled segment: at no instant may more undirected
+        # links carry fractional loss than the family's cap.
+        boundaries = sorted(
+            {c.start_s for c in compiled.contributions()}
+            | {c.end_s for c in compiled.contributions()}
+        )
+        for start, end in zip(boundaries, boundaries[1:]):
+            midpoint = (start + end) / 2.0
+            lossy = {
+                tuple(sorted(c.edge))
+                for c in compiled.contributions()
+                if c.start_s <= midpoint < c.end_s and c.state.loss_rate > 0.0
+            }
+            assert len(lossy) <= family.max_concurrent
+
+
+class TestIntermittentEdge:
+    def test_targets_low_degree_sites(self, reference_topology):
+        family = IntermittentEdgeFamily.for_duration(DURATION_S)
+        compiled = family.compile(reference_topology, SEED)
+        degree = {
+            node: len(reference_topology.adjacent_edges(node)) // 2
+            for node in reference_topology.nodes
+        }
+        sites = sorted(
+            reference_topology.nodes, key=lambda node: (degree[node], node)
+        )[: family.edge_sites]
+        for event in compiled.events:
+            u, v = event.location
+            assert u in sites or v in sites
+
+    def test_off_periods_respect_bounds(self, reference_topology):
+        family = IntermittentEdgeFamily.for_duration(DURATION_S)
+        compiled = family.compile(reference_topology, SEED)
+        for contribution in compiled.contributions():
+            length = contribution.end_s - contribution.start_s
+            # Clipping at the active span may shorten a window; none may
+            # ever exceed the configured cap.
+            assert length <= family.off_cap_s + 1e-9
+
+
+class TestValidation:
+    def test_unfrozen_topology_rejected(self):
+        topology = Topology("raw")
+        topology.add_node("a", lat=0.0, lon=0.0)
+        topology.add_node("b", lat=1.0, lon=1.0)
+        topology.add_link("a", "b", 1.0)
+        with pytest.raises(ValidationError, match="frozen"):
+            SRLGOutageFamily().compile(topology, 0)
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValidationError):
+            SRLGOutageFamily(duration_s=0.0)
+        with pytest.raises(ValidationError):
+            CongestionStormFamily(ring_decay=0.0)
+        with pytest.raises(ValidationError):
+            DiurnalFamily(base_loss=0.4, peak_loss=0.2)
+        with pytest.raises(ValidationError):
+            IntermittentEdgeFamily(off_alpha=1.0)
+
+    def test_make_family_uses_for_duration(self):
+        family = make_family("srlg-outage", duration_s=120.0)
+        assert isinstance(family, SRLGOutageFamily)
+        assert family.duration_s == 120.0

@@ -1,0 +1,175 @@
+"""Per-event-window reconciliation and the world-consistency check."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos.faults import FaultSchedule
+from repro.netmodel.conditions import LinkState
+from repro.netmodel.events import Burst, EventKind, LinkDegradation, ProblemEvent
+from repro.scenarios import (
+    check_world_consistency,
+    compile_family,
+    event_windows,
+    expected_on_time,
+    reconcile,
+)
+from repro.scenarios.families import CompiledScenario
+from repro.simulation.results import WindowRecord
+from repro.util.validation import ValidationError
+
+
+def _event(start: float, duration: float, loss: float = 1.0) -> ProblemEvent:
+    return ProblemEvent(
+        kind=EventKind.LINK,
+        location=("a", "b"),
+        start_s=start,
+        duration_s=duration,
+        bursts=(
+            Burst(
+                start,
+                duration,
+                (LinkDegradation(("a", "b"), LinkState(loss_rate=loss)),),
+            ),
+        ),
+    )
+
+
+def _record(start: float, end: float, on_time: float) -> WindowRecord:
+    return WindowRecord(
+        start_s=start,
+        end_s=end,
+        graph_name="g",
+        graph_edges=0,
+        on_time_probability=on_time,
+        lost_probability=1.0 - on_time,
+        late_probability=0.0,
+    )
+
+
+class TestEventWindows:
+    def test_guard_extends_and_horizon_clips(self):
+        windows = event_windows([_event(5.0, 10.0)], horizon_s=12.0, guard_s=2.0)
+        assert windows == [(5.0, 12.0)]
+
+    def test_overlapping_and_zero_gap_windows_merge(self):
+        events = [_event(0.0, 10.0), _event(10.0, 5.0), _event(30.0, 5.0)]
+        windows = event_windows(events, horizon_s=100.0, guard_s=0.0)
+        assert windows == [(0.0, 15.0), (30.0, 35.0)]
+
+    def test_guard_can_cause_the_merge(self):
+        events = [_event(0.0, 10.0), _event(10.4, 5.0)]
+        windows = event_windows(events, horizon_s=100.0, guard_s=0.5)
+        assert windows == [(0.0, 15.9)]
+
+    def test_bad_arguments_rejected(self):
+        with pytest.raises(ValidationError):
+            event_windows([], horizon_s=0.0)
+        with pytest.raises(ValidationError):
+            event_windows([], horizon_s=1.0, guard_s=-1.0)
+
+
+class TestExpectedOnTime:
+    def test_overlap_weighted_mean(self):
+        records = [_record(0.0, 10.0, 1.0), _record(10.0, 20.0, 0.5)]
+        assert expected_on_time(records, 5.0, 15.0) == pytest.approx(0.75)
+
+    def test_uncovered_window_counts_as_clean(self):
+        assert expected_on_time([], 0.0, 10.0) == 1.0
+
+    def test_partial_coverage_normalised_not_biased_to_zero(self):
+        records = [_record(0.0, 5.0, 0.4)]
+        assert expected_on_time(records, 0.0, 50.0) == pytest.approx(0.4)
+
+
+class TestReconcile:
+    def test_zero_sent_windows_are_skipped(self):
+        rows = reconcile(
+            send_times_s=[100.0],
+            deliveries=[],
+            records=[_record(0.0, 10.0, 1.0)],
+            windows=[(0.0, 10.0)],
+            deadline_ms=65.0,
+        )
+        assert rows == []
+
+    def test_observed_fraction_and_tolerance(self):
+        sends = [float(i) for i in range(10)]
+        deliveries = [(float(i), 10.0) for i in range(8)]  # 8 on time
+        rows = reconcile(
+            sends,
+            deliveries,
+            records=[_record(0.0, 10.0, 0.8)],
+            windows=[(0.0, 10.0)],
+            deadline_ms=65.0,
+            atol=0.1,
+            z=2.0,
+        )
+        (row,) = rows
+        assert row.sent == 10 and row.delivered == 8
+        assert row.observed_on_time == pytest.approx(0.8)
+        assert row.expected_on_time == pytest.approx(0.8)
+        # atol + z * sqrt(p (1-p) / n)
+        assert row.tolerance == pytest.approx(0.1 + 2.0 * (0.16 / 10) ** 0.5)
+        assert row.ok
+
+    def test_late_deliveries_do_not_count_as_on_time(self):
+        rows = reconcile(
+            [0.0, 1.0],
+            [(0.0, 500.0), (1.0, 5.0)],
+            records=[_record(0.0, 2.0, 0.5)],
+            windows=[(0.0, 2.0)],
+            deadline_ms=65.0,
+        )
+        assert rows[0].observed_on_time == pytest.approx(0.5)
+
+    def test_out_of_tolerance_window_flagged(self):
+        rows = reconcile(
+            [float(i) for i in range(100)],
+            [(float(i), 1.0) for i in range(100)],
+            records=[_record(0.0, 100.0, 0.0)],
+            windows=[(0.0, 100.0)],
+            deadline_ms=65.0,
+            atol=0.05,
+        )
+        assert not rows[0].ok
+
+
+class TestWorldConsistency:
+    def test_clean_for_every_compiled_family(self, reference_topology):
+        for name in ("srlg-outage", "intermittent-edge"):
+            compiled = compile_family(
+                reference_topology, name, seed=5, duration_s=400.0
+            )
+            assert check_world_consistency(compiled) == []
+
+    def test_detects_a_schedule_that_lost_an_outage(self, reference_topology):
+        class BrokenWorld(CompiledScenario):
+            def fault_schedule(self) -> FaultSchedule:
+                return FaultSchedule()  # drops every blackhole
+
+        edge = reference_topology.edges[0]
+        event = ProblemEvent(
+            kind=EventKind.LINK,
+            location=edge,
+            start_s=1.0,
+            duration_s=5.0,
+            bursts=(
+                Burst(
+                    1.0,
+                    5.0,
+                    (LinkDegradation(edge, LinkState(loss_rate=1.0)),),
+                ),
+            ),
+        )
+        broken = BrokenWorld(
+            family_name="srlg-outage",
+            seed=0,
+            duration_s=10.0,
+            description={},
+            events=(event,),
+            topology=reference_topology,
+        )
+        discrepancies = check_world_consistency(broken)
+        assert discrepancies
+        assert any("open" in line for line in discrepancies)

@@ -1,0 +1,53 @@
+"""Scenario-family registry: names, lookup, one-line errors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios import (
+    FAMILY_NAMES,
+    compile_family,
+    family_names,
+    make_family,
+)
+from repro.util.validation import ValidationError
+
+
+class TestRegistry:
+    def test_four_families_sorted(self):
+        assert FAMILY_NAMES == (
+            "congestion-storm",
+            "diurnal",
+            "intermittent-edge",
+            "srlg-outage",
+        )
+        assert family_names() == FAMILY_NAMES
+
+    def test_make_family_sets_duration(self):
+        for name in FAMILY_NAMES:
+            family = make_family(name, duration_s=90.0)
+            assert family.name == name
+            assert family.duration_s == 90.0
+
+    def test_unknown_family_is_a_one_line_error_listing_known(self):
+        with pytest.raises(ValidationError) as excinfo:
+            make_family("solar-flare", duration_s=60.0)
+        message = str(excinfo.value)
+        assert "\n" not in message
+        assert "solar-flare" in message
+        for name in FAMILY_NAMES:
+            assert name in message
+
+    def test_compile_family_matches_direct_compile(self, reference_topology):
+        via_registry = compile_family(
+            reference_topology, "srlg-outage", seed=11, duration_s=300.0
+        )
+        direct = make_family("srlg-outage", duration_s=300.0).compile(
+            reference_topology, 11
+        )
+        assert via_registry.description_json() == direct.description_json()
+        assert via_registry.events == direct.events
+        assert (
+            via_registry.fault_schedule().fingerprint()
+            == direct.fault_schedule().fingerprint()
+        )

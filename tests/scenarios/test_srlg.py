@@ -1,0 +1,82 @@
+"""Shared-risk link group derivation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios.srlg import SharedRiskGroup, derive_srlgs, undirected_links
+from repro.util.validation import ValidationError
+
+
+class TestUndirectedLinks:
+    def test_canonical_sorted_pairs(self, reference_topology):
+        links = undirected_links(reference_topology)
+        assert links == tuple(sorted(links))
+        assert all(u < v for u, v in links)
+
+    def test_covers_every_directed_edge(self, reference_topology):
+        links = set(undirected_links(reference_topology))
+        for u, v in reference_topology.edges:
+            assert tuple(sorted((u, v))) in links
+
+
+class TestDeriveSrlgs:
+    def test_reference_topology_yields_groups(self, reference_topology):
+        groups = derive_srlgs(reference_topology)
+        assert groups
+        for group in groups:
+            assert len(group.links) >= 2
+            assert group.links == tuple(sorted(group.links))
+
+    def test_groups_are_disjoint(self, reference_topology):
+        seen: set = set()
+        for group in derive_srlgs(reference_topology):
+            overlap = seen & set(group.links)
+            assert not overlap, overlap
+            seen.update(group.links)
+
+    def test_deterministic_in_topology_alone(self, reference_topology):
+        assert derive_srlgs(reference_topology) == derive_srlgs(
+            reference_topology
+        )
+
+    def test_tiny_radius_leaves_only_singletons_which_are_dropped(
+        self, reference_topology
+    ):
+        assert derive_srlgs(reference_topology, radius_km=1e-6) == ()
+
+    def test_min_links_one_keeps_singletons(self, reference_topology):
+        groups = derive_srlgs(reference_topology, radius_km=1e-6, min_links=1)
+        assert len(groups) == len(undirected_links(reference_topology))
+
+    def test_directed_edges_include_both_directions(self, reference_topology):
+        group = derive_srlgs(reference_topology)[0]
+        edges = group.directed_edges(reference_topology)
+        for u, v in group.links:
+            assert (u, v) in edges and (v, u) in edges
+
+    def test_bad_parameters_rejected(self, reference_topology):
+        with pytest.raises(ValidationError):
+            derive_srlgs(reference_topology, radius_km=0.0)
+        with pytest.raises(ValidationError):
+            derive_srlgs(reference_topology, min_links=0)
+
+    def test_missing_coordinates_rejected(self, diamond):
+        with pytest.raises(ValidationError, match="lat/lon"):
+            derive_srlgs(diamond)
+
+
+class TestSharedRiskGroup:
+    def test_nodes_union_of_links(self):
+        group = SharedRiskGroup(
+            name="g", links=(("a", "b"), ("b", "c")), center=(0.0, 0.0)
+        )
+        assert group.nodes == frozenset({"a", "b", "c"})
+
+    def test_non_canonical_link_rejected(self):
+        with pytest.raises(ValidationError, match="canonical"):
+            SharedRiskGroup(name="g", links=(("b", "a"),), center=(0.0, 0.0))
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValidationError):
+            SharedRiskGroup(name="g", links=(), center=(0.0, 0.0))
