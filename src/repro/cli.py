@@ -9,6 +9,10 @@ Subcommands mirror the evaluation workflow:
 * ``classify`` -- print the problem-classification distribution of a
   trace (experiment E1);
 * ``graphs`` -- print every dissemination-graph family for one flow;
+* ``topology`` -- generate (``generate``) or summarise (``info``) seeded
+  overlay topologies from :mod:`repro.topogen`; ``generate-trace``,
+  ``evaluate`` and ``chaos`` accept ``--topology-family`` /
+  ``--topology-size`` / ``--topology-seed`` to run on one;
 * ``chaos`` -- run the message-level overlay under a seeded fault
   schedule (crashes, partitions, blackholes, message faults, daemon
   stalls), check the run's invariants, and compare schemes;
@@ -69,6 +73,7 @@ from repro.netmodel.topology import (
 from repro.exec.cache import ResultCache
 from repro.exec.engine import run_replay_parallel
 from repro.netmodel.trace import load_timeline, write_trace
+from repro.routing.registry import STANDARD_SCHEME_NAMES
 from repro.simulation.results import ReplayConfig
 from repro.util.logging import LOG_LEVELS, configure_logging, get_logger
 from repro.util.validation import require
@@ -110,6 +115,49 @@ def _scenario(args: argparse.Namespace) -> Scenario:
     return preset_scenario(args.preset, duration_s=args.weeks * WEEK_S)
 
 
+def _add_topology_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--topology-family",
+        help="run on a generated topology instead of the 12-site reference: "
+        "random-geo, waxman, isp-hier, continental (see `repro-dgraphs "
+        "topology`)",
+    )
+    parser.add_argument(
+        "--topology-size",
+        type=int,
+        help="node count for --topology-family (required with a family)",
+    )
+    parser.add_argument(
+        "--topology-seed",
+        type=int,
+        help="generator seed for --topology-family (default: 0)",
+    )
+
+
+def _workload(args: argparse.Namespace):
+    """Resolve the (topology, flows) workload the command runs against.
+
+    Every CLI entry point resolves through the :mod:`repro.topogen`
+    registry, so generated topologies and the reference overlay share
+    one path and unknown names fail with the same one-line error.
+    """
+    from repro.topogen import resolve_workload
+
+    workload = resolve_workload(
+        getattr(args, "topology_family", None),
+        getattr(args, "topology_size", None),
+        getattr(args, "topology_seed", None),
+    )
+    if workload.generated is not None:
+        generated = workload.generated
+        print(
+            f"generated topology {generated.name}: {len(generated.nodes)} "
+            f"nodes, {len(generated.links)} links "
+            f"(digest {generated.digest[:12]})"
+        )
+    return workload
+
+
 def _add_scenario_family_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--scenario-family",
@@ -134,7 +182,7 @@ def _compiled_family(topology, args: argparse.Namespace, duration_s: float):
 
 
 def _cmd_generate_trace(args: argparse.Namespace) -> int:
-    topology = build_reference_topology()
+    topology = _workload(args).topology
     scenario = _scenario(args)
     events = generate_events(topology, scenario, seed=args.seed)
     write_trace(args.output, topology, scenario.duration_s, events)
@@ -145,14 +193,29 @@ def _cmd_generate_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
-    topology = build_reference_topology()
+    import time
+
+    timings: dict[str, float] = {}
+    resolve_start = time.perf_counter()
+    workload = _workload(args)
+    topology = workload.topology
+    timings["resolve_topology_s"] = round(
+        time.perf_counter() - resolve_start, 6
+    )
     service = ServiceSpec(deadline_ms=args.deadline_ms)
-    flows = reference_flows()
+    flows = workload.select_flows(_split_names(args.flows))
+    schemes = _split_names(args.schemes)
+    if schemes is not None:
+        from repro.routing.registry import make_policy
+
+        for scheme in schemes:
+            make_policy(scheme)  # unknown names fail before any work
     obs = None
     if args.trace:
         from repro.obs import Observability
 
         obs = Observability()
+    trace_start = time.perf_counter()
     if args.trace_file:
         require(
             args.scenario_family is None,
@@ -176,6 +239,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
             f"generated trace: {len(events)} events over {args.weeks:g} weeks "
             f"(seed {args.seed})"
         )
+    timings["build_timeline_s"] = round(time.perf_counter() - trace_start, 6)
     config = ReplayConfig(detection_delay_s=args.detection_delay_s)
     profiler = None
     if args.profile:
@@ -184,12 +248,14 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         profiler = SamplingProfiler(
             interval_s=args.profile_interval_ms / 1000.0
         ).start()
+    replay_start = time.perf_counter()
     try:
         result, telemetry = run_replay_parallel(
             topology,
             timeline,
             flows,
             service,
+            scheme_names=schemes if schemes is not None else STANDARD_SCHEME_NAMES,
             config=config,
             max_workers=args.workers,
             time_shards=args.time_shards,
@@ -199,6 +265,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
             obs=obs,
         )
     finally:
+        timings["replay_s"] = round(time.perf_counter() - replay_start, 6)
         if profiler is not None:
             profiler.stop()
     require(
@@ -208,10 +275,18 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     )
     print()
     print(format_scheme_performance_table(result))
-    print()
-    print(format_cost_table(result))
+    if "static-two-disjoint" in result.schemes:
+        # The cost table is an overhead comparison against the standard
+        # baseline; with a --schemes subset that omits it there is nothing
+        # to normalise against.
+        print()
+        print(format_cost_table(result))
     print()
     print(telemetry.summary_table())
+    print(
+        "timings: "
+        + " ".join(f"{name}={value:.3f}s" for name, value in timings.items())
+    )
     if args.per_flow:
         print()
         print(format_per_flow_table(result))
@@ -236,7 +311,12 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
         from repro.obs import RunManifest, topology_fingerprint
 
-        extra = {}
+        extra: dict = {"timings": timings}
+        if workload.generated is not None:
+            extra["generated_topology"] = {
+                "name": workload.generated.name,
+                "digest": workload.generated.digest,
+            }
         if profiler is not None:
             extra["profile"] = profiler.report()
         manifest = RunManifest(
@@ -481,21 +561,90 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
-def _chaos_flows(args: argparse.Namespace):
-    flows = reference_flows()
-    if not args.flows:
-        # All 16 reference flows at once makes for a slow simulation;
-        # default to a representative pair.
-        return list(flows[:2])
-    by_name = {flow.name: flow for flow in flows}
-    wanted = [name.strip() for name in args.flows.split(",") if name.strip()]
-    unknown = sorted(set(wanted) - set(by_name))
-    if unknown:
-        raise ValueError(
-            f"unknown flow(s) {', '.join(unknown)}; "
-            f"known: {', '.join(sorted(by_name))}"
+def _cmd_topology(args: argparse.Namespace) -> int:
+    from repro.topogen import (
+        GeneratedTopology,
+        family_names,
+        generate_topology,
+        resolve_workload,
+    )
+    from repro.topogen.registry import DEFAULT_FLOW_COUNT, family_info
+
+    if args.topology_command == "generate":
+        generated = generate_topology(args.family, args.size, args.seed)
+        if args.out:
+            generated.dump(args.out)
+            print(
+                f"wrote {generated.name} ({len(generated.nodes)} nodes, "
+                f"{len(generated.links)} links, digest "
+                f"{generated.digest[:12]}) to {args.out}"
+            )
+        else:
+            # The artifact itself, byte-for-byte: piping to a file equals
+            # --out, and repeated runs are byte-identical.
+            sys.stdout.write(generated.to_json())
+        return 0
+    # info
+    if args.path is not None:
+        require(
+            args.family is None and args.size is None,
+            "give either an artifact path or --family/--size, not both",
         )
-    return [by_name[name] for name in wanted]
+        generated = GeneratedTopology.load(args.path)
+    else:
+        require(
+            args.family is not None,
+            "topology info needs an artifact path or --family/--size; "
+            f"families: {', '.join(family_names())}",
+        )
+        info = family_info(args.family)
+        require(
+            args.size is not None,
+            f"family {args.family!r} needs an explicit --size "
+            f"({info.min_size}..{info.max_size})",
+        )
+        generated = generate_topology(
+            args.family, args.size, 0 if args.seed is None else args.seed
+        )
+    degrees: dict[str, int] = {node[0]: 0 for node in generated.nodes}
+    for a, b, _latency in generated.links:
+        degrees[a] += 1
+        degrees[b] += 1
+    latencies = [latency for _a, _b, latency in generated.links]
+    print(f"name:    {generated.name}")
+    print(
+        f"family:  {generated.family}  size: {generated.size}  "
+        f"seed: {generated.seed}"
+    )
+    print(f"digest:  {generated.digest}")
+    print(f"nodes:   {len(generated.nodes)}  links: {len(generated.links)}")
+    print(
+        f"degree:  min {min(degrees.values())} / "
+        f"avg {sum(degrees.values()) / len(degrees):.2f} / "
+        f"max {max(degrees.values())}"
+    )
+    print(
+        f"latency: {min(latencies):.2f}..{max(latencies):.2f} ms "
+        f"(declared bounds {generated.param('latency_ms_min')}.."
+        f"{generated.param('latency_ms_max')})"
+    )
+    if args.flows:
+        workload = resolve_workload(
+            generated.family, generated.size, generated.seed
+        )
+        print(f"default flows ({DEFAULT_FLOW_COUNT}):")
+        for flow in workload.flows:
+            print(f"  {flow.name}")
+    return 0
+
+
+def _chaos_flows(args: argparse.Namespace, workload):
+    names = _split_names(args.flows)
+    if names is None:
+        # The whole flow table at once makes for a slow simulation;
+        # default to a representative pair.
+        return workload.select_flows(None, default=workload.flows[:2])
+    return workload.select_flows(names)
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
@@ -504,8 +653,9 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.overlay.harness import build_overlay
     from repro.routing.registry import make_policy
 
-    topology = build_reference_topology()
-    flows = _chaos_flows(args)
+    workload = _workload(args)
+    topology = workload.topology
+    flows = _chaos_flows(args, workload)
     schemes = [name.strip() for name in args.schemes.split(",") if name.strip()]
     for scheme in schemes:
         make_policy(scheme)  # validate early: unknown names fail before the run
@@ -674,6 +824,9 @@ def _client_request(args: argparse.Namespace):
             use_cache=not args.no_cache,
             scenario_family=args.scenario_family,
             scenario_seed=args.scenario_seed,
+            topology_family=args.topology_family,
+            topology_size=args.topology_size,
+            topology_seed=args.topology_seed,
         )
     if args.action == "classify":
         return ClassifyRequest(
@@ -697,6 +850,9 @@ def _client_request(args: argparse.Namespace):
         send_interval_ms=args.send_interval_ms,
         scenario_family=args.scenario_family,
         scenario_seed=args.scenario_seed,
+        topology_family=args.topology_family,
+        topology_size=args.topology_size,
+        topology_seed=args.topology_seed,
     )
 
 
@@ -810,6 +966,7 @@ def build_parser() -> argparse.ArgumentParser:
         "generate-trace", help="synthesise a condition trace"
     )
     _add_trace_arguments(generate)
+    _add_topology_arguments(generate)
     generate.add_argument("output", help="output trace file (JSONL)")
     generate.set_defaults(handler=_cmd_generate_trace)
 
@@ -821,9 +978,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-file", help="replay this condition-trace file instead"
     )
     _add_scenario_family_arguments(evaluate)
+    _add_topology_arguments(evaluate)
     _add_obs_arguments(evaluate)
     evaluate.add_argument("--deadline-ms", type=float, default=65.0)
     evaluate.add_argument("--detection-delay-s", type=float, default=1.0)
+    evaluate.add_argument(
+        "--schemes",
+        help="comma-separated routing schemes (default: the standard six)",
+    )
+    evaluate.add_argument(
+        "--flows",
+        help="comma-separated flow names (default: the topology's whole "
+        "flow table)",
+    )
     evaluate.add_argument(
         "--per-flow", action="store_true", help="also print per-flow coverage"
     )
@@ -923,8 +1090,55 @@ def build_parser() -> argparse.ArgumentParser:
         help="packet pacing (larger = faster simulation)",
     )
     _add_scenario_family_arguments(chaos)
+    _add_topology_arguments(chaos)
     _add_obs_arguments(chaos)
     chaos.set_defaults(handler=_cmd_chaos)
+
+    topology = subparsers.add_parser(
+        "topology",
+        help="generate or inspect seeded overlay topologies (repro.topogen)",
+    )
+    topology_actions = topology.add_subparsers(
+        dest="topology_command", required=True
+    )
+    t_generate = topology_actions.add_parser(
+        "generate",
+        help="emit one (family, size, seed) artifact as canonical JSON "
+        "(byte-identical across runs and machines)",
+    )
+    t_generate.add_argument(
+        "--family",
+        required=True,
+        help="generator family: random-geo, waxman, isp-hier, continental",
+    )
+    t_generate.add_argument(
+        "--size", type=int, required=True, help="node count"
+    )
+    t_generate.add_argument(
+        "--seed", type=int, default=0, help="generator seed (default: 0)"
+    )
+    t_generate.add_argument(
+        "--out", help="write the artifact here instead of stdout"
+    )
+    t_generate.set_defaults(handler=_cmd_topology)
+    t_info = topology_actions.add_parser(
+        "info",
+        help="summarise an artifact file or a (family, size, seed) triple",
+    )
+    t_info.add_argument(
+        "path", nargs="?", help="artifact JSON written by `topology generate`"
+    )
+    t_info.add_argument("--family", help="generate-and-summarise this family")
+    t_info.add_argument("--size", type=int, help="node count for --family")
+    t_info.add_argument(
+        "--seed", type=int, help="generator seed (default: 0)"
+    )
+    t_info.add_argument(
+        "--flows",
+        action="store_true",
+        help="also list the topology's default flow table",
+    )
+    t_info.set_defaults(handler=_cmd_topology)
 
     cache = subparsers.add_parser(
         "cache",
@@ -1128,6 +1342,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true", help="ask the server to skip its disk cache"
     )
     _add_scenario_family_arguments(c_eval)
+    _add_topology_arguments(c_eval)
     c_eval.set_defaults(handler=_cmd_client)
 
     c_classify = actions.add_parser(
@@ -1154,6 +1369,7 @@ def build_parser() -> argparse.ArgumentParser:
     c_chaos.add_argument("--deadline-ms", type=float, default=65.0)
     c_chaos.add_argument("--send-interval-ms", type=float, default=50.0)
     _add_scenario_family_arguments(c_chaos)
+    _add_topology_arguments(c_chaos)
     c_chaos.set_defaults(handler=_cmd_client)
 
     c_status = actions.add_parser(

@@ -224,7 +224,14 @@ class ConditionTimeline:
                     current[edge] = state
                     changed.add(edge)
             pending.clear()
-            views.append(dict(current))
+            # Share the previous view object across unchanged boundaries:
+            # long replays on large topologies have many boundaries whose
+            # delta is empty for this timeline, and consumers treat views
+            # as read-only snapshots.
+            if changed or not views:
+                views.append(dict(current))
+            else:
+                views.append(views[-1])
             deltas.append(frozenset(changed))
         return views, deltas
 

@@ -58,6 +58,7 @@ class OverlayHarness:
         require(flow.name not in self.daemons, f"flow {flow.name} already added")
         if isinstance(policy, str):
             policy = make_policy(policy)
+        policy.set_observability(self.obs)
         daemon = FlowRoutingDaemon(
             self.nodes[flow.source], flow, service, policy, update_interval_s
         )

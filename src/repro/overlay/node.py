@@ -67,6 +67,7 @@ from repro.overlay.messages import (
     frame_intact,
 )
 from repro.overlay.network import SimNetwork
+from repro.util.rng import hash_uniform
 from repro.util.validation import require
 
 __all__ = ["NodeConfig", "OverlayNode"]
@@ -92,6 +93,17 @@ class NodeConfig:
     hello_backoff_max_s: float = 5.0  # probe interval never exceeds this
     lsa_refresh_interval_s: float = 5.0  # re-originate non-clean LSAs this often
     lsa_max_age_s: float = 15.0  # unrefreshed LSDB entries age out
+    # -- flooding fan-out (large-topology hardening) ---------------------------
+    # Cap on how many neighbours a *forwarded* LSA is re-flooded to (None =
+    # all, the classic discipline and the default).  On dense meshes the
+    # quadratic re-flood dominates control traffic; a cap of k keeps it
+    # O(k * nodes) per update.  Originated LSAs always go to every
+    # neighbour, and the kept subset is a deterministic per-(update, node)
+    # hash so convergence is reproducible.  Sized below the minimum degree
+    # the topology generators guarantee (>= 2), it still floods a connected
+    # subgraph with overwhelming probability; periodic refreshes repair any
+    # residual gap within one refresh interval.
+    lsa_flood_fanout: int | None = None
 
     def __post_init__(self) -> None:
         require(self.hello_interval_s > 0, "hello_interval_s must be positive")
@@ -115,6 +127,10 @@ class NodeConfig:
             self.lsa_max_age_s > self.lsa_refresh_interval_s,
             "lsa_max_age_s must exceed lsa_refresh_interval_s "
             "(refreshes must land before entries age out)",
+        )
+        require(
+            self.lsa_flood_fanout is None or self.lsa_flood_fanout >= 2,
+            "lsa_flood_fanout must be None (flood all) or >= 2",
         )
 
 
@@ -183,6 +199,7 @@ class OverlayNode:
             "lsas_refreshed": 0,
             "lsas_purged": 0,
             "lsas_aged_out": 0,
+            "lsas_fanout_suppressed": 0,
             "data_forwarded": 0,
             "data_delivered": 0,
             "duplicates_suppressed": 0,
@@ -469,9 +486,30 @@ class OverlayNode:
             )
         for tap in self.lsa_taps:
             tap(self, update, existing)
-        for neighbor in self._neighbors:
-            if neighbor == flood_from:
-                continue
+        targets = [
+            neighbor for neighbor in self._neighbors if neighbor != flood_from
+        ]
+        fanout = self.config.lsa_flood_fanout
+        if flood_from is not None and fanout is not None and len(targets) > fanout:
+            # Deterministic per-(update, node) subset: rank neighbours by a
+            # keyed hash so repeated floods of one update pick the same
+            # set, while different updates spread over different subsets.
+            targets.sort(
+                key=lambda neighbor: (
+                    hash_uniform(
+                        "lsa-fanout",
+                        self.node_id,
+                        neighbor,
+                        update.originator,
+                        update.edge,
+                        update.sequence,
+                    ),
+                    neighbor,
+                )
+            )
+            self.stats["lsas_fanout_suppressed"] += len(targets) - fanout
+            targets = targets[:fanout]
+        for neighbor in targets:
             self.network.send(self.node_id, neighbor, update)
             if flood_from is not None:
                 self.stats["lsas_forwarded"] += 1

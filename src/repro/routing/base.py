@@ -29,6 +29,7 @@ __all__ = [
     "degraded_edge_set",
     "graph_connects",
     "on_time_edges",
+    "timely_edge_latencies",
 ]
 
 # An observed loss rate at or above this is treated as a dead link when
@@ -60,6 +61,19 @@ class RoutingPolicy(abc.ABC):
         self._service: ServiceSpec | None = None
         self._last_update_s = float("-inf")
         self._observed_changed: frozenset[Edge] | None = None
+        #: Optional :class:`repro.obs.Observability`; policies emit hot-spot
+        #: counters/spans through it when set.  ``None`` keeps the hot path
+        #: uninstrumented (the common case).
+        self.obs = None
+
+    def set_observability(self, obs) -> "RoutingPolicy":
+        """Attach an observability bundle (or ``None``/disabled to detach).
+
+        Instrumentation must never change decisions, so this can be
+        called at any point in the lifecycle.
+        """
+        self.obs = obs if obs is not None and getattr(obs, "enabled", False) else None
+        return self
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -203,6 +217,27 @@ def on_time_edges(
     search to this set so it never installs a path that cannot possibly
     deliver on time.
     """
+    return frozenset(
+        edge
+        for edge, through in timely_edge_latencies(
+            topology, observed, source, destination
+        ).items()
+        if through <= deadline_ms
+    )
+
+
+def timely_edge_latencies(
+    topology: Topology,
+    observed: Mapping[Edge, LinkState],
+    source: NodeId,
+    destination: NodeId,
+) -> dict[Edge, float]:
+    """Best source->edge->destination through-latency per reachable edge.
+
+    The quantity :func:`on_time_edges` thresholds, exposed so callers
+    that must *rank* edges (candidate pruning at large N) reuse the same
+    two Dijkstra passes instead of running their own.
+    """
     from repro.core.algorithms import single_source_distances
     from repro.core.algorithms.adjacency import reverse_adjacency
 
@@ -211,7 +246,7 @@ def on_time_edges(
     to_destination = single_source_distances(
         reverse_adjacency(adjacency), destination
     )
-    usable = set()
+    through: dict[Edge, float] = {}
     for node, neighbors in adjacency.items():
         head = from_source.get(node)
         if head is None:
@@ -220,9 +255,8 @@ def on_time_edges(
             tail = to_destination.get(neighbor)
             if tail is None:
                 continue
-            if head + weight + tail <= deadline_ms:
-                usable.add((node, neighbor))
-    return frozenset(usable)
+            through[(node, neighbor)] = head + weight + tail
+    return through
 
 
 def observed_adjacency(

@@ -36,7 +36,7 @@ from repro.routing.base import (
     RoutingPolicy,
     degraded_edge_set,
     observed_adjacency,
-    on_time_edges,
+    timely_edge_latencies,
 )
 from repro.util.validation import require, require_non_negative
 
@@ -55,6 +55,7 @@ class TargetedRedundancyPolicy(RoutingPolicy):
         hold_down_s: float = 10.0,
         max_entry_links: int | None = None,
         max_exit_links: int | None = None,
+        max_candidate_edges: int | None = None,
     ) -> None:
         super().__init__()
         require_non_negative(hold_down_s, "hold_down_s")
@@ -66,11 +67,21 @@ class TargetedRedundancyPolicy(RoutingPolicy):
             max_exit_links is None or max_exit_links >= 1,
             "max_exit_links must be None or >= 1",
         )
+        require(
+            max_candidate_edges is None or max_candidate_edges >= 2,
+            "max_candidate_edges must be None or >= 2",
+        )
         self.loss_threshold = loss_threshold
         self.endpoint_link_threshold = endpoint_link_threshold
         self.hold_down_s = hold_down_s
         self.max_entry_links = max_entry_links
         self.max_exit_links = max_exit_links
+        # Beam cap on the re-route search: at most this many timely edges
+        # are admitted as candidates (best through-latency first).  None
+        # scales with the topology: max(64, 4 * nodes) -- never binding on
+        # the 12-site reference overlay, bounding the disjoint-path search
+        # to O(nodes) edges on the generated large meshes.
+        self.max_candidate_edges = max_candidate_edges
         self._detector: ProblemDetector | None = None
         self._base_graph: DisseminationGraph | None = None
         self._problem_graphs: dict[ProblemType, DisseminationGraph] = {}
@@ -184,6 +195,60 @@ class TargetedRedundancyPolicy(RoutingPolicy):
             return self._middle_reroute(now_s, observed)
         return self._base_graph
 
+    @property
+    def candidate_cap(self) -> int:
+        """The effective beam cap (resolves the node-count-scaled default)."""
+        if self.max_candidate_edges is not None:
+            return self.max_candidate_edges
+        return max(64, 4 * self.topology.num_nodes)
+
+    def _candidate_edges(self, observed: Mapping[Edge, LinkState]) -> frozenset[Edge]:
+        """Timely candidate edges for re-routing, beam-capped at scale.
+
+        This is the targeted search's hot spot on large topologies (two
+        Dijkstra passes over the full mesh plus a disjoint-path search
+        over the surviving edges), so it is the one place the policy
+        reports to :mod:`repro.obs`: a ``routing.targeted.candidates``
+        span and considered/kept counters.  When more edges are timely
+        than the cap admits, the best by through-latency win (ties by
+        edge name) -- pruning the longest detours first, which are the
+        edges a deadline-meeting disjoint pair is least likely to use.
+        """
+        obs = self.obs
+        start_s = obs.tracer.now() if obs is not None else 0.0
+        through = timely_edge_latencies(
+            self.topology, observed, self.flow.source, self.flow.destination
+        )
+        deadline = self.service.deadline_ms
+        timely = [edge for edge, ms in through.items() if ms <= deadline]
+        cap = self.candidate_cap
+        if len(timely) > cap:
+            timely.sort(key=lambda edge: (through[edge], edge))
+            kept = frozenset(timely[:cap])
+        else:
+            kept = frozenset(timely)
+        if obs is not None:
+            metrics = obs.metrics
+            metrics.counter("routing.targeted.candidates.considered").inc(
+                len(timely)
+            )
+            metrics.counter("routing.targeted.candidates.kept").inc(len(kept))
+            if len(timely) > len(kept):
+                metrics.counter("routing.targeted.candidates.pruned").inc(
+                    len(timely) - len(kept)
+                )
+            obs.tracer.complete(
+                "targeted.candidates",
+                "routing",
+                start_s,
+                obs.tracer.now(),
+                flow=self.flow.name,
+                considered=len(timely),
+                kept=len(kept),
+                cap=cap,
+            )
+        return kept
+
     def _sticky_degraded(self, now_s: float) -> frozenset[Edge]:
         """Edges seen degraded within the hold-down window."""
         horizon = now_s - self.hold_down_s
@@ -203,13 +268,7 @@ class TargetedRedundancyPolicy(RoutingPolicy):
         meet the deadline at observed latencies.
         """
         degraded = self._sticky_degraded(now_s)
-        timely = on_time_edges(
-            self.topology,
-            observed,
-            self.flow.source,
-            self.flow.destination,
-            self.service.deadline_ms,
-        )
+        timely = self._candidate_edges(observed)
         inflated = tuple(
             sorted(
                 (edge, state.extra_latency_ms)

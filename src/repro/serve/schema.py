@@ -110,6 +110,42 @@ def _check_scenario(family: object, seed: object) -> None:
         _check_int(seed, "scenario_seed")
 
 
+def _check_topology(family: object, size: object, seed: object) -> None:
+    """Validate the generated-topology override fields shared by requests.
+
+    Name and size-envelope checks go through the :mod:`repro.topogen`
+    registry -- the same path the CLI resolves against -- so a bad
+    request is rejected at admission with the identical one-line error,
+    before it can occupy a worker slot generating a topology.
+    """
+    from repro.topogen import REFERENCE_NAME
+    from repro.topogen.registry import family_info
+
+    if family is None or family == REFERENCE_NAME:
+        if family is not None:
+            _check_str(family, "topology_family")
+        require(
+            size is None and seed is None,
+            "topology_size/topology_seed apply only to generator "
+            "families; the reference topology is fixed",
+        )
+        return
+    _check_str(family, "topology_family")
+    info = family_info(family)  # unknown names fail with the registry error
+    require(
+        size is not None,
+        f"topology_family {family!r} needs an explicit topology_size",
+    )
+    _check_int(size, "topology_size")
+    require(
+        info.min_size <= size <= info.max_size,  # type: ignore[operator]
+        f"family {family!r} supports sizes "
+        f"{info.min_size}..{info.max_size}, got {size!r}",
+    )
+    if seed is not None:
+        _check_int(seed, "topology_seed")
+
+
 @dataclass(frozen=True)
 class EvaluateRequest:
     """Replay a generated trace under a scheme line-up (the E2 workload)."""
@@ -129,6 +165,12 @@ class EvaluateRequest:
     # at weeks * WEEK_S) instead of the preset generator.
     scenario_family: str | None = None
     scenario_seed: int | None = None  # None = the request seed
+    # Generated-topology override (repro.topogen): replay on a generated
+    # overlay instead of the 12-site reference.  Size is required with a
+    # family; seed defaults to 0.
+    topology_family: str | None = None
+    topology_size: int | None = None
+    topology_seed: int | None = None
 
     kind = "evaluate"
 
@@ -145,6 +187,9 @@ class EvaluateRequest:
         _check_bool(self.use_cache, "use_cache")
         _check_bool(self.profile, "profile")
         _check_scenario(self.scenario_family, self.scenario_seed)
+        _check_topology(
+            self.topology_family, self.topology_size, self.topology_seed
+        )
 
 
 @dataclass(frozen=True)
@@ -185,6 +230,10 @@ class ChaosRequest:
     # ChaosSpec schedule.
     scenario_family: str | None = None
     scenario_seed: int | None = None  # None = the request seed
+    # Generated-topology override, same contract as EvaluateRequest.
+    topology_family: str | None = None
+    topology_size: int | None = None
+    topology_seed: int | None = None
 
     kind = "chaos"
 
@@ -201,6 +250,9 @@ class ChaosRequest:
         _check_float(self.deadline_ms, "deadline_ms", positive=True)
         _check_float(self.send_interval_ms, "send_interval_ms", positive=True)
         _check_scenario(self.scenario_family, self.scenario_seed)
+        _check_topology(
+            self.topology_family, self.topology_size, self.topology_seed
+        )
 
 
 Request = EvaluateRequest | ClassifyRequest | ChaosRequest

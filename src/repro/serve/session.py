@@ -70,11 +70,14 @@ def execute_request(
 def _run_evaluate(
     runtime: ServeRuntime, request: EvaluateRequest, request_id: str, emit: Emit
 ) -> tuple[dict, RunManifest]:
-    topology = runtime.topology
+    workload = runtime.workload(
+        request.topology_family, request.topology_size, request.topology_seed
+    )
+    topology = workload.topology
     schemes = tuple(request.schemes or STANDARD_SCHEME_NAMES)
     for scheme in schemes:
         make_policy(scheme)  # unknown names fail before any work
-    flows = runtime.select_flows(request.flows)
+    flows = workload.select_flows(request.flows)
     service = ServiceSpec(deadline_ms=request.deadline_ms)
     config = ReplayConfig(detection_delay_s=request.detection_delay_s)
 
@@ -188,6 +191,7 @@ def _run_evaluate(
         "serve": {
             "request_id": request_id,
             "kind": request.kind,
+            "topology": workload.label,
             "context_warm": context_warm,
             "workers": workers,
             "shards_cached": telemetry.shards_cached,
@@ -262,10 +266,13 @@ def _run_chaos(
     from repro.netmodel.conditions import ConditionTimeline
     from repro.overlay.harness import build_overlay
 
-    topology = runtime.topology
+    workload = runtime.workload(
+        request.topology_family, request.topology_size, request.topology_seed
+    )
+    topology = workload.topology
     for scheme in request.schemes:
         make_policy(scheme)  # unknown names fail before the run
-    flows = runtime.select_flows(request.flows, default=runtime.flows[:2])
+    flows = workload.select_flows(request.flows, default=workload.flows[:2])
     service = ServiceSpec(
         deadline_ms=request.deadline_ms,
         send_interval_ms=request.send_interval_ms,

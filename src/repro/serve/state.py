@@ -26,27 +26,29 @@ memo is exact by construction.
 from __future__ import annotations
 
 import threading
-from typing import Mapping
 
 from repro.core.graph import Topology
 from repro.exec.cache import ResultCache
 from repro.exec.hashing import context_key
 from repro.exec.plan import ShardContext
 from repro.netmodel.conditions import ConditionTimeline
-from repro.netmodel.topology import (
-    FlowSpec,
-    ServiceSpec,
-    build_reference_topology,
-    reference_flows,
-)
+from repro.netmodel.topology import FlowSpec, ServiceSpec
 from repro.simulation.results import ReplayConfig
+from repro.topogen import Workload, resolve_workload
 from repro.util.validation import require
 
 __all__ = ["ContextCache", "ServeRuntime"]
 
 #: Probability-memo counters aggregated across warm contexts into
 #: ``serve.cache.prob_*`` metrics.
-_PROB_COUNTER_NAMES = ("hits", "misses", "shared_hits", "mask_hits", "evictions")
+_PROB_COUNTER_NAMES = (
+    "hits",
+    "misses",
+    "shared_hits",
+    "mask_hits",
+    "evictions",
+    "canonical_evictions",
+)
 
 
 class ContextCache:
@@ -136,27 +138,33 @@ class ServeRuntime:
     ) -> None:
         require(worker_budget >= 0, "worker budget must be >= 0")
         self.worker_budget = worker_budget
-        self.topology = build_reference_topology()
-        self.flows = reference_flows()
+        self._reference = resolve_workload()
+        self.topology = self._reference.topology
+        self.flows = self._reference.flows
         self.contexts = ContextCache(context_capacity)
         self.result_cache = ResultCache(cache_dir) if use_disk_cache else None
+
+    def workload(
+        self,
+        family: str | None = None,
+        size: int | None = None,
+        seed: int | None = None,
+    ) -> Workload:
+        """Resolve a request's topology override to (topology, flows).
+
+        Goes through :func:`repro.topogen.resolve_workload` -- the same
+        registry the CLI uses -- so generated topologies are memoised
+        across requests and unknown names fail with the one-line registry
+        error.  The exec-layer context key fingerprints the full node and
+        link set, so warm contexts for different topologies never collide.
+        """
+        return resolve_workload(family, size, seed)
 
     def select_flows(
         self, names: tuple[str, ...] | None, default: tuple[FlowSpec, ...] | None = None
     ) -> list[FlowSpec]:
         """Resolve flow names against the reference table (one-line error)."""
-        if names is None:
-            return list(default if default is not None else self.flows)
-        by_name: Mapping[str, FlowSpec] = {
-            flow.name: flow for flow in self.flows
-        }
-        unknown = sorted(set(names) - set(by_name))
-        require(
-            not unknown,
-            f"unknown flow(s) {', '.join(unknown)}; "
-            f"known: {', '.join(sorted(by_name))}",
-        )
-        return [by_name[name] for name in names]
+        return self._reference.select_flows(names, default)
 
     def cache_stats(self) -> dict[str, object]:
         """Server-lifetime cache counters (the ``serve.cache.*`` source)."""

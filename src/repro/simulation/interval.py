@@ -58,7 +58,9 @@ from repro.util.validation import require
 
 __all__ = [
     "PROB_CACHE_MAX_BYTES_ENV",
+    "PROB_CANONICAL_MAX_ENTRIES_ENV",
     "default_prob_cache_max_bytes",
+    "default_prob_canonical_max_entries",
     "replay_flow",
     "run_replay",
 ]
@@ -70,6 +72,18 @@ PROB_CACHE_MAX_BYTES_ENV = "REPRO_PROB_CACHE_MAX_BYTES"
 #: Default cap: generous for multi-week replays (hundreds of thousands of
 #: entries) while bounding pool-worker memory creep.
 DEFAULT_PROB_CACHE_MAX_BYTES = 64 * 1024 * 1024
+
+#: Entry cap for the per-graph canonical-form memo.  On the reference
+#: overlay distinct graphs per replay number in the hundreds, but dynamic
+#: schemes on generated 500-node meshes can mint a fresh reroute graph
+#: per decision boundary, so the memo needs its own bound.  ``0`` means
+#: unlimited.
+PROB_CANONICAL_MAX_ENTRIES_ENV = "REPRO_PROB_CANONICAL_MAX_ENTRIES"
+
+#: Default canonical-memo cap: far above any reference-overlay replay
+#: (so tier-1 behavior is untouched) while holding a 500-node dynamic
+#: replay to a few thousand retained edge lists.
+DEFAULT_PROB_CANONICAL_MAX_ENTRIES = 4096
 
 # Deterministic per-entry footprint estimate: a fixed overhead for the
 # dict slot, key/value tuples and the result object, plus a per-edge cost
@@ -95,6 +109,25 @@ def default_prob_cache_max_bytes() -> int | None:
         ) from error
     if value < 0:
         raise ValueError(f"{PROB_CACHE_MAX_BYTES_ENV} must be >= 0, got {value}")
+    return value or None
+
+
+def default_prob_canonical_max_entries() -> int | None:
+    """Cap from ``$REPRO_PROB_CANONICAL_MAX_ENTRIES``; ``None`` = unlimited."""
+    raw = os.environ.get(PROB_CANONICAL_MAX_ENTRIES_ENV)
+    if not raw:
+        return DEFAULT_PROB_CANONICAL_MAX_ENTRIES
+    try:
+        value = int(raw)
+    except ValueError as error:
+        raise ValueError(
+            f"{PROB_CANONICAL_MAX_ENTRIES_ENV} must be an integer entry "
+            f"count, got {raw!r}"
+        ) from error
+    if value < 0:
+        raise ValueError(
+            f"{PROB_CANONICAL_MAX_ENTRIES_ENV} must be >= 0, got {value}"
+        )
     return value or None
 
 
@@ -171,18 +204,25 @@ class _ProbabilityCache:
             tuple[DeliveryProbabilities | MaskClassification, str | None, int],
         ] = {}
         self._bytes = 0
-        # Per-graph canonical forms.  Keyed by the graph value itself;
-        # distinct graphs per replay number in the hundreds, so this memo
-        # is naturally bounded and excluded from the byte cap.
+        # Per-graph canonical forms, keyed by the graph value itself and
+        # excluded from the byte cap.  On the reference overlay distinct
+        # graphs per replay number in the hundreds; dynamic schemes on
+        # generated large meshes can mint one per decision boundary, so
+        # the memo carries its own LRU entry cap (insertion order doubles
+        # as recency order, exactly like ``_entries``).  Eviction is safe:
+        # entries are pure functions of (topology, graph), so a re-computed
+        # entry is identical to the evicted one.
         self._canonical: dict[
             DisseminationGraph,
             tuple[tuple[Edge, ...], tuple, tuple[float, ...], dict[Edge, int]],
         ] = {}
+        self.max_canonical_entries = default_prob_canonical_max_entries()
         self.hits = 0
         self.misses = 0
         self.shared_hits = 0
         self.mask_hits = 0
         self.evictions = 0
+        self.canonical_evictions = 0
         self.recovery_fallbacks = 0
         # Single lock around lookup/insert/evict and counter updates; see
         # the class docstring for the concurrency contract.
@@ -197,6 +237,7 @@ class _ProbabilityCache:
                 "shared_hits": self.shared_hits,
                 "mask_hits": self.mask_hits,
                 "evictions": self.evictions,
+                "canonical_evictions": self.canonical_evictions,
                 "recovery_fallbacks": self.recovery_fallbacks,
             }
 
@@ -211,7 +252,7 @@ class _ProbabilityCache:
         makes canonical-key sharing bitwise-exact (see class docstring).
         """
         with self._lock:
-            entry = self._canonical.get(graph)
+            entry = self._canonical.pop(graph, None)
             if entry is None:
                 edges = graph.sorted_edges()
                 rank = {
@@ -226,7 +267,13 @@ class _ProbabilityCache:
                 base_latency = tuple(topology.latency(u, v) for u, v in edges)
                 slot_of = {edge: slot for slot, edge in enumerate(edges)}
                 entry = (edges, structure, base_latency, slot_of)
-                self._canonical[graph] = entry
+            self._canonical[graph] = entry  # (re-)insert: most recently used
+            cap = self.max_canonical_entries
+            if cap is not None:
+                while len(self._canonical) > cap:
+                    oldest = next(iter(self._canonical))
+                    del self._canonical[oldest]
+                    self.canonical_evictions += 1
             return entry
 
     def _lookup(

@@ -1,0 +1,212 @@
+"""The canonical artifact of one generated topology.
+
+A :class:`GeneratedTopology` is the *description* of a generated overlay:
+family, seed, size, the family's parameters, every site with its
+coordinates and tier, and every undirected link with its latency.  The
+description has one canonical JSON form (sorted keys, no whitespace),
+and its SHA-256 over that form is the artifact's content digest -- the
+same stable-identity pattern ``CompiledScenario`` uses for scenarios.
+
+Byte identity is the contract: generating the same ``(family, size,
+seed)`` in any process yields the identical JSON document, and a file
+written by ``repro topology generate`` round-trips exactly (link
+latencies are stored, not recomputed, so the loaded
+:class:`~repro.core.graph.Topology` equals the generated one
+fingerprint-for-fingerprint).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.graph import NodeId, Topology
+from repro.util.validation import require
+
+__all__ = ["ARTIFACT_VERSION", "GeneratedTopology", "TIER_RANK"]
+
+#: Bumped whenever the description schema or any generator's output
+#: changes -- a digest only identifies a topology *within* one version.
+ARTIFACT_VERSION = 1
+
+#: Numeric rank stored as the ``tier`` node attribute (topology node
+#: attributes are numeric); lower = closer to the core.
+TIER_RANK = {"core": 0, "region": 1, "edge": 2, "site": 1}
+
+#: One node: ``(id, lat, lon, tier)``.
+NodeRow = tuple[NodeId, float, float, str]
+
+#: One undirected link: ``(a, b, latency_ms)`` with ``a < b``.
+LinkRow = tuple[NodeId, NodeId, float]
+
+
+def _canonical_json(document: dict) -> str:
+    return json.dumps(document, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class GeneratedTopology:
+    """One generated overlay, as canonical data (see module docstring)."""
+
+    family: str
+    seed: int
+    size: int
+    params: tuple[tuple[str, object], ...]  # sorted (name, value) pairs
+    nodes: tuple[NodeRow, ...]  # sorted by node id
+    links: tuple[LinkRow, ...]  # sorted, each with a < b
+    version: int = ARTIFACT_VERSION
+    _topology: list = field(
+        default_factory=list, repr=False, compare=False
+    )  # one-element memo of the built Topology
+
+    def __post_init__(self) -> None:
+        require(self.size == len(self.nodes), "size must match the node count")
+        require(len(self.nodes) >= 2, "a topology needs at least 2 nodes")
+        ids = [row[0] for row in self.nodes]
+        require(ids == sorted(ids) and len(set(ids)) == len(ids),
+                "nodes must be sorted and unique")
+        for a, b, latency in self.links:
+            require(a < b, f"link endpoints must be ordered, got {a!r}, {b!r}")
+            require(latency > 0.0, f"link {a}->{b} latency must be positive")
+
+    # -- identity ------------------------------------------------------------
+
+    def describe(self) -> dict:
+        """The canonical description (digest excluded)."""
+        return {
+            "version": self.version,
+            "family": self.family,
+            "seed": self.seed,
+            "size": self.size,
+            "params": {name: value for name, value in self.params},
+            "nodes": [list(row) for row in self.nodes],
+            "links": [list(row) for row in self.links],
+        }
+
+    @property
+    def digest(self) -> str:
+        """SHA-256 of the canonical description JSON."""
+        text = _canonical_json(self.describe())
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+    def to_json(self) -> str:
+        """The artifact document: description + digest, one canonical line."""
+        return _canonical_json({**self.describe(), "digest": self.digest}) + "\n"
+
+    @property
+    def name(self) -> str:
+        """Topology name; carries the generation triple for telemetry."""
+        return f"topogen-{self.family}-{self.size}-s{self.seed}"
+
+    def param(self, name: str) -> object:
+        """One generation parameter by name (one-line error if absent)."""
+        for key, value in self.params:
+            if key == name:
+                return value
+        raise ValueError(
+            f"unknown topogen param {name!r}; "
+            f"known: {', '.join(key for key, _ in self.params)}"
+        )
+
+    # -- materialisation ----------------------------------------------------
+
+    def topology(self) -> Topology:
+        """The frozen :class:`Topology` this artifact describes (memoised)."""
+        if self._topology:
+            return self._topology[0]
+        topology = Topology(name=self.name)
+        for node, lat, lon, tier in self.nodes:
+            topology.add_node(node, lat=lat, lon=lon, tier=TIER_RANK[tier])
+        for a, b, latency in self.links:
+            topology.add_link(a, b, latency)
+        topology.freeze()
+        topology.validate()
+        self._topology.append(topology)
+        return topology
+
+    # -- persistence ---------------------------------------------------------
+
+    @classmethod
+    def from_description(cls, document: object) -> "GeneratedTopology":
+        """Validate one parsed JSON document into an artifact.
+
+        Raises :class:`~repro.util.validation.ValidationError` with a
+        one-line message on any malformed input; a present ``digest``
+        field must match the description's recomputed digest.
+        """
+        require(isinstance(document, dict), "topology document must be a JSON object")
+        assert isinstance(document, dict)
+        version = document.get("version")
+        require(
+            version == ARTIFACT_VERSION,
+            f"unsupported topology artifact version {version!r} "
+            f"(this build reads version {ARTIFACT_VERSION})",
+        )
+        missing = sorted(
+            {"family", "seed", "size", "params", "nodes", "links"} - set(document)
+        )
+        require(not missing, f"topology document missing field(s): {', '.join(missing)}")
+        family, seed, size = document["family"], document["seed"], document["size"]
+        require(isinstance(family, str), "family must be a string")
+        require(isinstance(seed, int) and not isinstance(seed, bool),
+                "seed must be an integer")
+        require(isinstance(size, int) and not isinstance(size, bool),
+                "size must be an integer")
+        params = document["params"]
+        require(isinstance(params, dict), "params must be an object")
+        nodes: list[NodeRow] = []
+        for row in document["nodes"]:
+            require(
+                isinstance(row, list) and len(row) == 4
+                and isinstance(row[0], str) and isinstance(row[3], str),
+                f"malformed node row {row!r} (want [id, lat, lon, tier])",
+            )
+            require(row[3] in TIER_RANK,
+                    f"unknown tier {row[3]!r}; known: {', '.join(sorted(TIER_RANK))}")
+            nodes.append((row[0], float(row[1]), float(row[2]), row[3]))
+        links: list[LinkRow] = []
+        for row in document["links"]:
+            require(
+                isinstance(row, list) and len(row) == 3
+                and isinstance(row[0], str) and isinstance(row[1], str),
+                f"malformed link row {row!r} (want [a, b, latency_ms])",
+            )
+            links.append((row[0], row[1], float(row[2])))
+        artifact = cls(
+            family=family,
+            seed=seed,
+            size=size,
+            params=tuple(sorted(params.items())),
+            nodes=tuple(nodes),
+            links=tuple(links),
+        )
+        declared = document.get("digest")
+        if declared is not None:
+            require(
+                declared == artifact.digest,
+                f"topology digest mismatch: file says {declared!r}, "
+                f"content is {artifact.digest!r} (corrupt or hand-edited)",
+            )
+        return artifact
+
+    @classmethod
+    def loads(cls, text: str) -> "GeneratedTopology":
+        """Parse one artifact JSON document from a string."""
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"topology document is not valid JSON: {error}") from error
+        return cls.from_description(document)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "GeneratedTopology":
+        """Read one artifact file (one-line error on unreadable/bad input)."""
+        return cls.loads(Path(path).read_text())
+
+    def dump(self, path: str | Path) -> Path:
+        """Write the canonical artifact document to ``path``."""
+        target = Path(path)
+        target.write_text(self.to_json())
+        return target

@@ -1,0 +1,104 @@
+"""Capped link-state flooding on generated topologies.
+
+With ``lsa_flood_fanout`` set, a node forwards a received LSA to at most
+that many neighbours (ranked by a keyed hash), bounding flood cost to
+O(fanout * nodes) per update on large overlays.  Origination is never
+capped, and the default (None) floods every neighbour exactly as before.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netmodel.conditions import Contribution, LinkState
+from repro.overlay.kernel import EventKernel
+from repro.overlay.network import SimNetwork
+from repro.overlay.node import NodeConfig, OverlayNode
+from repro.netmodel.conditions import ConditionTimeline
+from repro.topogen import resolve_workload
+from repro.util.validation import ValidationError
+
+
+def deploy(topology, *contributions, duration=120.0, config=None, seed=0):
+    kernel = EventKernel()
+    timeline = ConditionTimeline(topology, duration, contributions)
+    network = SimNetwork(topology, timeline, kernel, seed=seed)
+    nodes = {
+        node_id: OverlayNode(
+            node_id, topology, network, kernel, config or NodeConfig()
+        )
+        for node_id in topology.nodes
+    }
+    for node in nodes.values():
+        node.start()
+    return kernel, network, nodes
+
+
+def lossy_run(config, seed=0):
+    """Run a degraded generated overlay and return the node map."""
+    topology = resolve_workload("random-geo", 20, 4).topology
+    a, b = sorted(topology.edges)[0]
+    kernel, _network, nodes = deploy(
+        topology,
+        Contribution((a, b), 0.0, 120.0, LinkState(loss_rate=0.6)),
+        config=config,
+        seed=seed,
+    )
+    kernel.run_until(60.0)
+    return nodes
+
+
+class TestConfig:
+    def test_fanout_below_two_rejected(self):
+        with pytest.raises(ValidationError, match="lsa_flood_fanout"):
+            NodeConfig(lsa_flood_fanout=1)
+        with pytest.raises(ValidationError, match="lsa_flood_fanout"):
+            NodeConfig(lsa_flood_fanout=0)
+
+    def test_default_is_uncapped(self):
+        assert NodeConfig().lsa_flood_fanout is None
+
+
+class TestFlooding:
+    def test_default_never_suppresses(self):
+        nodes = lossy_run(NodeConfig())
+        assert all(
+            node.stats["lsas_fanout_suppressed"] == 0
+            for node in nodes.values()
+        )
+
+    def test_cap_suppresses_forwards_on_dense_overlay(self):
+        # random-geo targets degree ~6, so fanout=2 must bind somewhere.
+        capped = lossy_run(NodeConfig(lsa_flood_fanout=2))
+        suppressed = sum(
+            node.stats["lsas_fanout_suppressed"] for node in capped.values()
+        )
+        assert suppressed > 0
+        uncapped = lossy_run(NodeConfig())
+        assert sum(
+            node.stats["lsas_forwarded"] for node in capped.values()
+        ) < sum(node.stats["lsas_forwarded"] for node in uncapped.values())
+
+    def test_capped_flood_still_reaches_everyone(self):
+        # The capped subgraph stays connected in practice; every node must
+        # still learn about the degraded link via flood or refresh.
+        nodes = lossy_run(NodeConfig(lsa_flood_fanout=2))
+        topology = resolve_workload("random-geo", 20, 4).topology
+        a, b = sorted(topology.edges)[0]
+        aware = sum(
+            1
+            for node in nodes.values()
+            if any(edge == (a, b) for _orig, edge in node._lsdb)
+        )
+        assert aware == topology.num_nodes
+
+    def test_suppression_is_deterministic(self):
+        first = lossy_run(NodeConfig(lsa_flood_fanout=2))
+        second = lossy_run(NodeConfig(lsa_flood_fanout=2))
+        assert {
+            name: node.stats["lsas_fanout_suppressed"]
+            for name, node in first.items()
+        } == {
+            name: node.stats["lsas_fanout_suppressed"]
+            for name, node in second.items()
+        }

@@ -1,0 +1,154 @@
+"""Targeted-search hot-spot guard at generated-topology scale.
+
+The re-route candidate enumeration (two Dijkstra passes plus a
+disjoint-path search) is the targeted scheme's hot spot on large
+overlays.  These tests pin three things:
+
+* a selection on a generated 100-node topology completes within a
+  node-count-scaled wall-clock budget (see ``selection_budget_s``);
+* the candidate beam cap prunes deterministically and never changes the
+  12-site reference behaviour (the default cap's floor of 64 exceeds
+  the reference overlay's 44 directed edges);
+* the :mod:`repro.obs` counters/spans around the enumeration report it.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.netmodel.conditions import LinkState
+from repro.netmodel.topology import ServiceSpec
+from repro.routing.targeted import TargetedRedundancyPolicy
+from repro.topogen import resolve_workload
+from repro.util.validation import ValidationError
+
+
+def selection_budget_s(num_nodes: int) -> float:
+    """Wall-clock budget for ONE re-route decision at ``num_nodes``.
+
+    The enumeration is O(E log V) Dijkstra work over a degree-bounded
+    mesh, so near-linear in node count: budget 1 ms per node plus a
+    100 ms floor for interpreter noise.  Measured cost on the isp-hier
+    family is ~0.03 ms per node -- the budget is a >30x cushion, so a
+    failure means an accidental quadratic blow-up, not jitter.
+    """
+    return 0.1 + 0.001 * num_nodes
+
+
+def attach_targeted(workload, **kwargs):
+    policy = TargetedRedundancyPolicy(**kwargs)
+    flow = workload.flows[0]
+    policy.attach(workload.topology, flow, ServiceSpec())
+    return policy, flow
+
+
+def middle_loss_view(policy, flow):
+    """Observed view degrading one middle edge of the base graph."""
+    middle = next(
+        edge
+        for edge in policy._base_graph.edges
+        if flow.source not in edge and flow.destination not in edge
+    )
+    return {middle: LinkState(loss_rate=0.5)}
+
+
+class TestSelectionBudget:
+    def test_generated_100_node_selection_within_budget(self):
+        workload = resolve_workload("isp-hier", 100, 7)
+        policy, flow = attach_targeted(workload)
+        observed = middle_loss_view(policy, flow)
+        start = time.perf_counter()
+        graph = policy.update(0.0, observed)
+        elapsed = time.perf_counter() - start
+        assert graph.name == "targeted/reroute"
+        budget = selection_budget_s(workload.topology.num_nodes)
+        assert elapsed < budget, (
+            f"selection took {elapsed:.3f}s, budget {budget:.3f}s "
+            f"for {workload.topology.num_nodes} nodes"
+        )
+
+
+class TestBeamCap:
+    def test_default_cap_scales_with_node_count(self):
+        workload = resolve_workload("isp-hier", 100, 7)
+        policy, _flow = attach_targeted(workload)
+        assert policy.candidate_cap == 400  # max(64, 4 * 100)
+
+    def test_default_cap_never_binds_on_reference(self):
+        workload = resolve_workload()
+        policy, _flow = attach_targeted(workload)
+        # 12 sites, 44 directed edges: the floor of 64 admits everything,
+        # so tier-1 reference results are unchanged by the cap's existence.
+        assert policy.candidate_cap == 64
+        assert policy.candidate_cap > len(workload.topology.edges)
+
+    def test_explicit_cap_prunes_and_still_connects(self):
+        workload = resolve_workload("isp-hier", 100, 7)
+        policy, flow = attach_targeted(workload, max_candidate_edges=24)
+        observed = middle_loss_view(policy, flow)
+        kept = policy._candidate_edges(observed)
+        assert len(kept) == 24
+        graph = policy.update(0.0, observed)
+        assert graph.source == flow.source
+        assert graph.destination == flow.destination
+        assert len(graph.edges) >= 2  # two disjoint paths survived the cap
+
+    def test_capped_selection_is_deterministic(self):
+        workload = resolve_workload("isp-hier", 100, 7)
+        first, flow = attach_targeted(workload, max_candidate_edges=24)
+        second, _flow = attach_targeted(workload, max_candidate_edges=24)
+        observed = middle_loss_view(first, flow)
+        assert first._candidate_edges(observed) == second._candidate_edges(
+            observed
+        )
+        assert (
+            first.update(0.0, observed).sorted_edges()
+            == second.update(0.0, observed).sorted_edges()
+        )
+
+    def test_cap_validated(self):
+        with pytest.raises(ValidationError, match="max_candidate_edges"):
+            TargetedRedundancyPolicy(max_candidate_edges=1)
+
+
+class TestObservability:
+    def test_counters_and_span_emitted(self):
+        from repro.obs import Observability
+
+        workload = resolve_workload("isp-hier", 100, 7)
+        policy, flow = attach_targeted(workload, max_candidate_edges=24)
+        obs = Observability()
+        policy.set_observability(obs)
+        policy.update(0.0, middle_loss_view(policy, flow))
+        considered = obs.metrics.counter(
+            "routing.targeted.candidates.considered"
+        ).value
+        kept = obs.metrics.counter("routing.targeted.candidates.kept").value
+        pruned = obs.metrics.counter(
+            "routing.targeted.candidates.pruned"
+        ).value
+        assert kept == 24
+        assert considered > kept
+        assert pruned == considered - kept
+        names = [span.name for span in obs.tracer.spans]
+        assert "targeted.candidates" in names
+
+    def test_disabled_obs_is_detached(self):
+        policy = TargetedRedundancyPolicy()
+        policy.set_observability(None)
+        assert policy.obs is None
+
+    def test_uninstrumented_decisions_identical(self):
+        from repro.obs import Observability
+
+        workload = resolve_workload("isp-hier", 100, 7)
+        plain, flow = attach_targeted(workload)
+        traced, _flow = attach_targeted(workload)
+        traced.set_observability(Observability())
+        observed = middle_loss_view(plain, flow)
+        assert (
+            plain.update(0.0, observed).sorted_edges()
+            == traced.update(0.0, observed).sorted_edges()
+        )

@@ -105,6 +105,64 @@ class TestParseRequest:
         assert request.schemes == ("targeted",)
 
 
+class TestTopologyFields:
+    """Generated-topology overrides validate at admission, not in a worker."""
+
+    def test_defaults_to_reference(self):
+        request = parse_request(_evaluate_payload())
+        assert request.topology_family is None
+        assert request.topology_size is None
+
+    def test_generated_round_trips(self):
+        for request in (
+            EvaluateRequest(
+                topology_family="isp-hier", topology_size=100, topology_seed=7
+            ),
+            ChaosRequest(
+                topology_family="random-geo", topology_size=50, topology_seed=1
+            ),
+        ):
+            assert parse_request(request_to_payload(request)) == request
+
+    def test_unknown_family_gets_registry_error(self):
+        with pytest.raises(ValidationError, match="unknown topology family"):
+            parse_request(
+                _evaluate_payload(topology_family="fat-tree", topology_size=50)
+            )
+
+    def test_generated_family_needs_size(self):
+        with pytest.raises(ValidationError, match="explicit topology_size"):
+            parse_request(_evaluate_payload(topology_family="waxman"))
+
+    def test_size_envelope_enforced(self):
+        with pytest.raises(ValidationError, match="supports sizes"):
+            parse_request(
+                _evaluate_payload(topology_family="isp-hier", topology_size=8)
+            )
+
+    def test_reference_rejects_size_and_seed(self):
+        with pytest.raises(ValidationError, match="fixed"):
+            parse_request(_evaluate_payload(topology_size=100))
+        with pytest.raises(ValidationError, match="fixed"):
+            parse_request(
+                _evaluate_payload(topology_family="reference", topology_seed=3)
+            )
+
+    def test_seed_is_optional_but_typed(self):
+        request = parse_request(
+            _evaluate_payload(topology_family="waxman", topology_size=50)
+        )
+        assert request.topology_seed is None
+        with pytest.raises(ValidationError, match="topology_seed"):
+            parse_request(
+                _evaluate_payload(
+                    topology_family="waxman",
+                    topology_size=50,
+                    topology_seed="lucky",
+                )
+            )
+
+
 class TestMakeEvent:
     def test_shape(self):
         event = make_event("progress", phase="replay", events=3)

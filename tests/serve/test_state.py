@@ -76,6 +76,7 @@ class TestContextCache:
         assert totals["misses"] == 2
         assert set(totals) == {
             "hits", "misses", "shared_hits", "mask_hits", "evictions",
+            "canonical_evictions",
         }
 
 

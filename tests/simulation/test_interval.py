@@ -11,8 +11,10 @@ from repro.netmodel.topology import FlowSpec, ServiceSpec
 from repro.routing.registry import make_policy
 from repro.simulation.interval import (
     PROB_CACHE_MAX_BYTES_ENV,
+    PROB_CANONICAL_MAX_ENTRIES_ENV,
     _ProbabilityCache,
     default_prob_cache_max_bytes,
+    default_prob_canonical_max_entries,
     replay_flow,
     run_replay,
 )
@@ -303,6 +305,70 @@ class TestProbCacheEnvKnob:
         monkeypatch.setenv(PROB_CACHE_MAX_BYTES_ENV, "-1")
         with pytest.raises(ValueError, match=">= 0"):
             default_prob_cache_max_bytes()
+
+
+class TestCanonicalMemoCap:
+    def test_default_when_unset(self, monkeypatch):
+        monkeypatch.delenv(PROB_CANONICAL_MAX_ENTRIES_ENV, raising=False)
+        assert default_prob_canonical_max_entries() == 4096
+
+    def test_zero_means_unlimited(self, monkeypatch):
+        monkeypatch.setenv(PROB_CANONICAL_MAX_ENTRIES_ENV, "0")
+        assert default_prob_canonical_max_entries() is None
+
+    def test_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv(PROB_CANONICAL_MAX_ENTRIES_ENV, "many")
+        with pytest.raises(ValueError):
+            default_prob_canonical_max_entries()
+
+    def test_cap_evicts_and_results_unchanged(self, monkeypatch):
+        # Three structurally distinct graphs against a cap of two: the
+        # memo must evict, and because every canonical entry is a pure
+        # function of (topology, graph), re-deriving an evicted entry
+        # yields bitwise-identical probabilities.
+        monkeypatch.setenv(PROB_CANONICAL_MAX_ENTRIES_ENV, "2")
+        topology = twin_paths_topology()
+        capped = _ProbabilityCache(deadline_ms=15.0, max_lossy_edges=20)
+        assert capped.max_canonical_entries == 2
+        graphs = [
+            DisseminationGraph.from_path(["A1", "B1", "C1"]),
+            DisseminationGraph.from_path(["A1", "B1"]),
+            DisseminationGraph.from_path(["B1", "C1"]),
+        ]
+        degraded = {("A1", "B1"): LinkState(0.3)}
+        for _round in range(2):
+            for graph in graphs:
+                capped.probabilities(topology, graph, degraded, "s/f1")
+        assert capped.canonical_evictions > 0
+        assert len(capped._canonical) <= 2
+        assert (
+            capped.counters()["canonical_evictions"]
+            == capped.canonical_evictions
+        )
+        monkeypatch.delenv(PROB_CANONICAL_MAX_ENTRIES_ENV)
+        unlimited = _ProbabilityCache(deadline_ms=15.0, max_lossy_edges=20)
+        for graph in graphs:
+            capped_result = capped.probabilities(
+                topology, graph, degraded, "s/f1"
+            )
+            fresh = unlimited.probabilities(topology, graph, degraded, "s/f1")
+            assert capped_result.on_time.hex() == fresh.on_time.hex()
+            assert capped_result.eventually.hex() == fresh.eventually.hex()
+
+    def test_recently_used_entry_survives(self, monkeypatch):
+        monkeypatch.setenv(PROB_CANONICAL_MAX_ENTRIES_ENV, "2")
+        topology = twin_paths_topology()
+        cache = _ProbabilityCache(deadline_ms=15.0, max_lossy_edges=20)
+        keeper = DisseminationGraph.from_path(["A1", "B1", "C1"])
+        degraded = {("A1", "B1"): LinkState(0.3)}
+        cache.probabilities(topology, keeper, degraded, "s/f1")
+        for other in (["A1", "B1"], ["B1", "C1"]):
+            # Touch the keeper between inserts: LRU must evict the others.
+            cache.probabilities(
+                topology, DisseminationGraph.from_path(other), degraded, "s/f1"
+            )
+            cache.probabilities(topology, keeper, degraded, "s/f1")
+        assert keeper in cache._canonical
 
 
 class TestDeltaReuseEquivalence:

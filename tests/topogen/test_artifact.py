@@ -1,0 +1,111 @@
+"""GeneratedTopology: canonical form, digest, round-trips, validation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.topogen import ARTIFACT_VERSION, GeneratedTopology, generate_topology
+from repro.util.validation import ValidationError
+
+
+@pytest.fixture(scope="module")
+def artifact():
+    return generate_topology("random-geo", 24, 5)
+
+
+class TestCanonicalForm:
+    def test_json_is_one_canonical_line(self, artifact):
+        text = artifact.to_json()
+        assert text.endswith("\n") and text.count("\n") == 1
+        document = json.loads(text)
+        # Canonical form: re-dumping with sorted keys reproduces the bytes.
+        assert (
+            json.dumps(document, sort_keys=True, separators=(",", ":")) + "\n"
+            == text
+        )
+
+    def test_digest_is_stable_and_content_addressed(self, artifact):
+        assert artifact.digest == artifact.digest
+        other = generate_topology("random-geo", 24, 6)
+        assert other.digest != artifact.digest
+
+    def test_name_carries_generation_triple(self, artifact):
+        assert artifact.name == "topogen-random-geo-24-s5"
+
+    def test_param_lookup_and_one_line_error(self, artifact):
+        assert artifact.param("target_degree") == 6.0
+        with pytest.raises(ValueError, match="unknown topogen param"):
+            artifact.param("nope")
+
+
+class TestRoundTrip:
+    def test_loads_round_trips_exactly(self, artifact):
+        loaded = GeneratedTopology.loads(artifact.to_json())
+        assert loaded == artifact
+        assert loaded.to_json() == artifact.to_json()
+        assert loaded.digest == artifact.digest
+
+    def test_dump_load_file(self, artifact, tmp_path):
+        path = artifact.dump(tmp_path / "t.json")
+        loaded = GeneratedTopology.load(path)
+        assert loaded == artifact
+
+    def test_loaded_topology_matches_generated(self, artifact):
+        built = artifact.topology()
+        loaded = GeneratedTopology.loads(artifact.to_json()).topology()
+        assert built.name == loaded.name
+        assert set(built.edges) == set(loaded.edges)
+        for u, v in built.edges:
+            assert built.latency(u, v) == loaded.latency(u, v)
+
+    def test_topology_is_memoised(self, artifact):
+        assert artifact.topology() is artifact.topology()
+
+
+class TestValidation:
+    def test_digest_mismatch_rejected(self, artifact):
+        document = json.loads(artifact.to_json())
+        document["digest"] = "0" * 64
+        with pytest.raises(ValidationError, match="digest mismatch"):
+            GeneratedTopology.from_description(document)
+
+    def test_edited_content_rejected_via_digest(self, artifact):
+        document = json.loads(artifact.to_json())
+        document["links"][0][2] += 1.0
+        with pytest.raises(ValidationError, match="corrupt or hand-edited"):
+            GeneratedTopology.from_description(document)
+
+    def test_unsupported_version_rejected(self, artifact):
+        document = artifact.describe()
+        document["version"] = ARTIFACT_VERSION + 1
+        with pytest.raises(ValidationError, match="artifact version"):
+            GeneratedTopology.from_description(document)
+
+    def test_missing_fields_one_line(self):
+        with pytest.raises(ValidationError, match="missing field"):
+            GeneratedTopology.from_description({"version": ARTIFACT_VERSION})
+
+    def test_not_json_one_line(self):
+        with pytest.raises(ValueError, match="not valid JSON"):
+            GeneratedTopology.loads("{nope")
+
+    def test_unknown_tier_rejected(self, artifact):
+        document = artifact.describe()
+        document["nodes"][0][3] = "galaxy"
+        with pytest.raises(ValidationError, match="unknown tier"):
+            GeneratedTopology.from_description(document)
+
+    def test_unsorted_nodes_rejected(self, artifact):
+        document = artifact.describe()
+        document["nodes"].reverse()
+        with pytest.raises(ValidationError, match="sorted"):
+            GeneratedTopology.from_description(document)
+
+    def test_unordered_link_rejected(self, artifact):
+        document = artifact.describe()
+        a, b, latency = document["links"][0]
+        document["links"][0] = [b, a, latency]
+        with pytest.raises(ValidationError, match="ordered"):
+            GeneratedTopology.from_description(document)

@@ -1,0 +1,139 @@
+"""Generator families: structure, biconnectivity, geometry-derived latency."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netmodel.geo import fiber_latency_ms
+from repro.topogen import generate_topology
+from repro.util.validation import ValidationError
+
+SMALL = {
+    "random-geo": 20,
+    "waxman": 20,
+    "isp-hier": 24,
+    "continental": 12,
+}
+
+
+def adjacency(artifact):
+    neighbors = {node[0]: set() for node in artifact.nodes}
+    for a, b, _latency in artifact.links:
+        neighbors[a].add(b)
+        neighbors[b].add(a)
+    return neighbors
+
+
+def connected(neighbors, removed=frozenset()):
+    alive = [node for node in neighbors if node not in removed]
+    if not alive:
+        return True
+    frontier, seen = [alive[0]], {alive[0]}
+    while frontier:
+        node = frontier.pop()
+        for neighbor in neighbors[node]:
+            if neighbor not in removed and neighbor not in seen:
+                seen.add(neighbor)
+                frontier.append(neighbor)
+    return len(seen) == len(alive)
+
+
+@pytest.mark.parametrize("family,size", sorted(SMALL.items()))
+class TestEveryFamily:
+    def test_size_and_sorted_rows(self, family, size):
+        artifact = generate_topology(family, size, 3)
+        assert artifact.size == size == len(artifact.nodes)
+        assert list(artifact.nodes) == sorted(artifact.nodes)
+        assert list(artifact.links) == sorted(artifact.links)
+        assert all(a < b for a, b, _latency in artifact.links)
+
+    def test_biconnected(self, family, size):
+        """No single site failure may disconnect the overlay.
+
+        Menger: biconnectivity is exactly what guarantees two node-disjoint
+        paths between every pair, which every scheme assumes.
+        """
+        artifact = generate_topology(family, size, 3)
+        neighbors = adjacency(artifact)
+        assert connected(neighbors)
+        for node in neighbors:
+            assert connected(neighbors, removed={node}), (
+                f"{family}: removing {node} disconnects the overlay"
+            )
+
+    def test_latency_from_geography(self, family, size):
+        """Stored latencies match the geo model (continental keeps its own)."""
+        artifact = generate_topology(family, size, 3)
+        if family == "continental":
+            return  # legacy generator's latencies are preserved as-is
+        position = {node[0]: (node[1], node[2]) for node in artifact.nodes}
+        for a, b, latency in artifact.links:
+            expected = fiber_latency_ms(*position[a], *position[b])
+            assert latency == pytest.approx(expected, abs=1e-9)
+
+    def test_materialised_topology_validates(self, family, size):
+        topology = generate_topology(family, size, 3).topology()
+        assert topology.frozen
+        assert topology.num_nodes == size
+
+
+class TestFamilyShape:
+    def test_isp_hierarchy_has_three_tiers(self):
+        artifact = generate_topology("isp-hier", 50, 1)
+        tiers = {node[3] for node in artifact.nodes}
+        assert tiers == {"core", "region", "edge"}
+        prefixes = {node[0][0] for node in artifact.nodes}
+        assert prefixes == {"C", "R", "E"}
+
+    def test_isp_core_is_denser_than_edge(self):
+        artifact = generate_topology("isp-hier", 100, 1)
+        neighbors = adjacency(artifact)
+        core_degrees = [
+            len(neighbors[node[0]])
+            for node in artifact.nodes
+            if node[3] == "core"
+        ]
+        edge_degrees = [
+            len(neighbors[node[0]])
+            for node in artifact.nodes
+            if node[3] == "edge"
+        ]
+        assert min(core_degrees) >= 3
+        assert sum(core_degrees) / len(core_degrees) > (
+            sum(edge_degrees) / len(edge_degrees)
+        )
+
+    def test_random_geo_degree_near_target(self):
+        artifact = generate_topology("random-geo", 100, 2)
+        average = 2 * len(artifact.links) / len(artifact.nodes)
+        assert 3.0 <= average <= 9.0  # target 6, border effects allowed
+
+    def test_waxman_degree_near_target(self):
+        artifact = generate_topology("waxman", 100, 2)
+        average = 2 * len(artifact.links) / len(artifact.nodes)
+        assert 3.0 <= average <= 9.0
+
+    def test_patched_links_param_recorded(self):
+        artifact = generate_topology("random-geo", 20, 3)
+        assert artifact.param("patched_links") >= 0
+
+    def test_positions_inside_declared_box(self):
+        artifact = generate_topology("waxman", 40, 4)
+        lat_min, lat_max, lon_min, lon_max = artifact.param("box")
+        for _node, lat, lon, _tier in artifact.nodes:
+            assert lat_min <= lat <= lat_max
+            assert lon_min <= lon <= lon_max
+
+
+class TestSizeEnvelope:
+    def test_too_small_isp_rejected(self):
+        with pytest.raises(ValidationError, match="supports sizes"):
+            generate_topology("isp-hier", 8, 0)
+
+    def test_continental_cap_rejected(self):
+        with pytest.raises(ValidationError, match="supports sizes"):
+            generate_topology("continental", 200, 0)
+
+    def test_unknown_family_one_line(self):
+        with pytest.raises(ValidationError, match="unknown topology family"):
+            generate_topology("mesh9000", 50, 0)

@@ -1,0 +1,97 @@
+"""The single topology-resolution path shared by CLI, serve, and benches."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netmodel.topology import build_reference_topology
+from repro.topogen import (
+    REFERENCE_NAME,
+    family_names,
+    generate_topology,
+    resolve_workload,
+    topology_names,
+)
+from repro.topogen.registry import DEFAULT_FLOW_COUNT, family_info
+from repro.util.validation import ValidationError
+
+
+class TestRegistry:
+    def test_family_names_sorted(self):
+        names = family_names()
+        assert names == tuple(sorted(names))
+        assert {"random-geo", "waxman", "isp-hier", "continental"} <= set(names)
+
+    def test_topology_names_lead_with_reference(self):
+        assert topology_names()[0] == REFERENCE_NAME
+
+    def test_unknown_family_names_alternatives(self):
+        with pytest.raises(ValidationError, match="known: reference"):
+            family_info("fat-tree")
+
+    def test_generation_is_memoised(self):
+        first = generate_topology("random-geo", 16, 1)
+        assert generate_topology("random-geo", 16, 1) is first
+
+
+class TestResolveWorkload:
+    def test_reference_default(self):
+        workload = resolve_workload()
+        assert workload.generated is None
+        assert workload.topology.name == build_reference_topology().name
+        assert len(workload.flows) == 16
+
+    def test_reference_by_name(self):
+        assert resolve_workload(REFERENCE_NAME).generated is None
+
+    def test_reference_rejects_size(self):
+        with pytest.raises(ValidationError, match="fixed"):
+            resolve_workload(size=100)
+        with pytest.raises(ValidationError, match="fixed"):
+            resolve_workload(REFERENCE_NAME, seed=3)
+
+    def test_generated_needs_explicit_size(self):
+        with pytest.raises(ValidationError, match="explicit size"):
+            resolve_workload("random-geo")
+
+    def test_generated_workload_shape(self):
+        workload = resolve_workload("random-geo", 20, 4)
+        assert workload.generated is generate_topology("random-geo", 20, 4)
+        assert workload.topology is workload.generated.topology()
+        assert len(workload.flows) == DEFAULT_FLOW_COUNT
+        assert workload.label == "topogen-random-geo-20-s4"
+
+    def test_seed_defaults_to_zero(self):
+        assert (
+            resolve_workload("random-geo", 20).generated
+            is generate_topology("random-geo", 20, 0)
+        )
+
+    def test_resolution_is_memoised(self):
+        assert resolve_workload("random-geo", 20, 4) is resolve_workload(
+            "random-geo", 20, 4
+        )
+
+    def test_flows_are_real_topology_endpoints(self):
+        workload = resolve_workload("isp-hier", 30, 2)
+        for flow in workload.flows:
+            assert workload.topology.has_node(flow.source)
+            assert workload.topology.has_node(flow.destination)
+
+
+class TestSelectFlows:
+    def test_none_returns_default(self):
+        workload = resolve_workload("random-geo", 20, 4)
+        assert workload.select_flows(None) == list(workload.flows)
+        pair = tuple(workload.flows[:2])
+        assert workload.select_flows(None, default=pair) == list(pair)
+
+    def test_order_preserved(self):
+        workload = resolve_workload("random-geo", 20, 4)
+        names = (workload.flows[2].name, workload.flows[0].name)
+        assert [f.name for f in workload.select_flows(names)] == list(names)
+
+    def test_unknown_flow_names_topology(self):
+        workload = resolve_workload("random-geo", 20, 4)
+        with pytest.raises(ValidationError, match="topogen-random-geo-20-s4"):
+            workload.select_flows(("NYC->LAX",))
