@@ -17,6 +17,14 @@ the hot-path machinery this PR touched.
 ``REPRO_BENCH_HOTPATH_WEEKS`` overrides the trace length (default: the
 smaller of ``REPRO_BENCH_WEEKS`` and 0.25 -- the reference side is the
 historical slow path, so the guard keeps its own scale modest).
+
+The replay comparison is pinned to the **pure** kernel backend
+(:mod:`repro.simulation.kernel`), which is the bitwise-identical
+successor of the seed's fused loop; a second stage harvests the actual
+accumulation stream the replay performs and times its kernel-bound
+subset (classifications with at least ``VECTOR_MIN_CASES`` enumeration
+cases) on both backends, guarding the vectorization win (>= 3x) and the
+numpy-vs-pure reassociation tolerance whenever numpy is importable.
 """
 
 from __future__ import annotations
@@ -29,6 +37,7 @@ import common
 
 from repro.netmodel.scenarios import WEEK_S, Scenario, generate_timeline
 from repro.routing.registry import STANDARD_SCHEME_NAMES, make_policy
+from repro.simulation import kernel
 from repro.simulation.interval import _ProbabilityCache, replay_flow
 from repro.simulation.reliability import DeliveryProbabilities
 from repro.simulation.results import FlowSchemeStats, ReplayConfig
@@ -46,6 +55,11 @@ HOTPATH_WEEKS = float(
     )
 )
 MIN_SPEEDUP = 1.5
+MIN_KERNEL_SPEEDUP = 3.0
+#: numpy-vs-pure agreement bound on raw accumulation sums: identical
+#: multiplications, different summation tree, so the divergence is pure
+#: reassociation noise (~cases * eps on sums bounded by 1).
+KERNEL_TOLERANCE = 1e-9
 
 BITWISE_FIELDS = (
     "duration_s",
@@ -292,6 +306,43 @@ def _optimized_replay(topology, timeline, flows, service, config):
     return stats_by_pair, cache
 
 
+def _harvest_kernel_stream(topology, timeline, flows, service, config):
+    """Record every accumulation call an E2 replay feeds the kernel.
+
+    Patches the kernel's mask entry points to capture ``(classes, rows)``
+    before delegating, so the stream is exactly the arithmetic workload
+    the replay performs -- call shapes, batch sizes and all.
+    """
+    stream: list[tuple[bytes, list[list[float]]]] = []
+    original_single = kernel.mask_totals
+    original_batch = kernel.mask_totals_batch
+
+    def record_single(classes, losses):
+        stream.append((classes, [list(losses)]))
+        return original_single(classes, losses)
+
+    def record_batch(classes, rows):
+        stream.append((classes, [list(row) for row in rows]))
+        return original_batch(classes, rows)
+
+    kernel.mask_totals = record_single
+    kernel.mask_totals_batch = record_batch
+    try:
+        _optimized_replay(topology, timeline, flows, service, config)
+    finally:
+        kernel.mask_totals = original_single
+        kernel.mask_totals_batch = original_batch
+    return stream
+
+
+def _replay_kernel_stream(stream):
+    """Run a harvested stream on the active backend; returns all totals."""
+    totals: list[tuple[float, float]] = []
+    for classes, rows in stream:
+        totals.extend(kernel.mask_totals_batch(classes, rows))
+    return totals
+
+
 def test_hotpath_bitwise_identity_and_speedup(benchmark):
     topology = common.topology()
     flows = common.flows()
@@ -303,16 +354,20 @@ def test_hotpath_bitwise_identity_and_speedup(benchmark):
     config = ReplayConfig(detection_delay_s=common.DETECTION_DELAY_S)
 
     def run_both():
-        started = time.perf_counter()
-        reference = _reference_replay(
-            topology, timeline, flows, service, config
-        )
-        reference_wall = time.perf_counter() - started
-        started = time.perf_counter()
-        optimized, cache = _optimized_replay(
-            topology, timeline, flows, service, config
-        )
-        optimized_wall = time.perf_counter() - started
+        # The reference is the seed's fused loop, so the comparison runs
+        # on the bitwise-identical pure backend; the vector backend is
+        # guarded separately below under its reassociation tolerance.
+        with kernel.force_backend("pure"):
+            started = time.perf_counter()
+            reference = _reference_replay(
+                topology, timeline, flows, service, config
+            )
+            reference_wall = time.perf_counter() - started
+            started = time.perf_counter()
+            optimized, cache = _optimized_replay(
+                topology, timeline, flows, service, config
+            )
+            optimized_wall = time.perf_counter() - started
         return reference, reference_wall, optimized, optimized_wall, cache
 
     reference, reference_wall, optimized, optimized_wall, cache = (
@@ -373,4 +428,84 @@ def test_hotpath_bitwise_identity_and_speedup(benchmark):
         shared_hits=cache.shared_hits,
         mask_hits=cache.mask_hits,
         evictions=cache.evictions,
+    )
+
+    # 4) the vectorized kernel: harvest the accumulation stream the replay
+    #    actually performs, keep its kernel-bound subset (classifications
+    #    large enough for the vector path), and time it on both backends.
+    with kernel.force_backend("pure"):
+        stream = _harvest_kernel_stream(
+            topology, timeline, flows, service, config
+        )
+    bound = [
+        (classes, rows)
+        for classes, rows in stream
+        if len(classes) >= kernel.VECTOR_MIN_CASES
+    ]
+    bound_rows = sum(len(rows) for _classes, rows in bound)
+    with kernel.force_backend("pure"):
+        started = time.perf_counter()
+        pure_totals = _replay_kernel_stream(bound)
+        pure_wall = time.perf_counter() - started
+    numpy_wall = None
+    kernel_speedup = None
+    worst_divergence = None
+    if kernel.numpy_available() and bound:
+        with kernel.force_backend("numpy"):
+            started = time.perf_counter()
+            numpy_totals = _replay_kernel_stream(bound)
+            numpy_wall = time.perf_counter() - started
+        worst_divergence = max(
+            max(abs(p[0] - n[0]), abs(p[1] - n[1]))
+            for p, n in zip(pure_totals, numpy_totals)
+        )
+        assert worst_divergence <= KERNEL_TOLERANCE, (
+            f"numpy kernel diverged beyond reassociation tolerance: "
+            f"{worst_divergence:.3e} > {KERNEL_TOLERANCE:.0e}"
+        )
+        kernel_speedup = pure_wall / numpy_wall
+        assert kernel_speedup >= MIN_KERNEL_SPEEDUP, (
+            f"vector kernel regressed: {kernel_speedup:.2f}x < "
+            f"{MIN_KERNEL_SPEEDUP}x (pure {pure_wall:.2f} s, "
+            f"numpy {numpy_wall:.2f} s over {bound_rows} rows)"
+        )
+
+    print(common.banner("hotpath: kernel-bound accumulation (pure vs numpy)"))
+    print(
+        render_table(
+            ("measure", "value"),
+            [
+                ["accumulate calls", str(len(stream))],
+                ["kernel-bound calls", str(len(bound))],
+                ["kernel-bound rows", str(bound_rows)],
+                ["pure wall", f"{pure_wall:.3f} s"],
+                [
+                    "numpy wall",
+                    "n/a" if numpy_wall is None else f"{numpy_wall:.3f} s",
+                ],
+                [
+                    "kernel speedup",
+                    "n/a"
+                    if kernel_speedup is None
+                    else f"{kernel_speedup:.1f}x",
+                ],
+                [
+                    "worst divergence",
+                    "n/a"
+                    if worst_divergence is None
+                    else f"{worst_divergence:.2e}",
+                ],
+            ],
+        )
+    )
+    common.stage_metrics(
+        kernel_backend_default=kernel.describe()["backend"],
+        kernel_numpy_available=kernel.numpy_available(),
+        kernel_accumulate_calls=len(stream),
+        kernel_bound_calls=len(bound),
+        kernel_bound_rows=bound_rows,
+        kernel_pure_wall_s=pure_wall,
+        kernel_numpy_wall_s=numpy_wall,
+        kernel_speedup=kernel_speedup,
+        kernel_worst_divergence=worst_divergence,
     )

@@ -44,6 +44,7 @@ from repro.exec.telemetry import ExecTelemetry, record
 from repro.netmodel.conditions import ConditionTimeline
 from repro.netmodel.topology import FlowSpec, ServiceSpec
 from repro.routing.registry import STANDARD_SCHEME_NAMES
+from repro.simulation import kernel
 from repro.simulation.results import ReplayConfig, ReplayResult
 from repro.util.validation import require
 
@@ -90,6 +91,7 @@ def _worker_run(
     """
     require(_WORKER_CONTEXT is not None, "worker used before initialization")
     before = _WORKER_CONTEXT.probability_cache.counters()
+    kernel_before = kernel.counters()
     started = time.perf_counter()
     worker_spans: list[dict] | None = None
     if _WORKER_TRACE is not None:
@@ -103,17 +105,34 @@ def _worker_run(
         result = _WORKER_CONTEXT.run(shard)
     wall = time.perf_counter() - started
     after = _WORKER_CONTEXT.probability_cache.counters()
-    delta = {name: after[name] - before[name] for name in after}
+    delta: dict[str, float] = {
+        name: after[name] - before[name] for name in after
+    }
+    # Kernel counters are process-wide, so a worker's share travels home
+    # the same way the cache counters do: as a before/after difference,
+    # prefixed to keep the two counter families apart in one payload.
+    for name, value in kernel.counters_delta(
+        kernel_before, kernel.counters()
+    ).items():
+        delta[f"kernel_{name}"] = value
     return result, wall, delta, worker_spans
 
 
-def _apply_prob_cache_delta(telemetry: ExecTelemetry, delta: dict[str, int]) -> None:
-    """Fold one shard's probability-cache counter delta into telemetry."""
-    telemetry.prob_hits += delta.get("hits", 0)
-    telemetry.prob_misses += delta.get("misses", 0)
-    telemetry.prob_shared_hits += delta.get("shared_hits", 0)
-    telemetry.prob_mask_hits += delta.get("mask_hits", 0)
-    telemetry.prob_evicted += delta.get("evictions", 0)
+def _apply_prob_cache_delta(
+    telemetry: ExecTelemetry, delta: dict[str, float]
+) -> None:
+    """Fold one shard's cache and kernel counter deltas into telemetry."""
+    telemetry.prob_hits += int(delta.get("hits", 0))
+    telemetry.prob_misses += int(delta.get("misses", 0))
+    telemetry.prob_shared_hits += int(delta.get("shared_hits", 0))
+    telemetry.prob_mask_hits += int(delta.get("mask_hits", 0))
+    telemetry.prob_evicted += int(delta.get("evictions", 0))
+    telemetry.kernel_vector_calls += int(delta.get("kernel_vector_calls", 0))
+    telemetry.kernel_pure_calls += int(delta.get("kernel_pure_calls", 0))
+    telemetry.kernel_vector_rows += int(delta.get("kernel_vector_rows", 0))
+    telemetry.kernel_pure_rows += int(delta.get("kernel_pure_rows", 0))
+    telemetry.kernel_vector_s += delta.get("kernel_vector_s", 0.0)
+    telemetry.kernel_pure_s += delta.get("kernel_pure_s", 0.0)
 
 
 def _default_executor_factory(
@@ -286,6 +305,7 @@ def run_replay_parallel(
         workers=max_workers,
         time_shards=time_shards,
         shards_total=len(plan),
+        kernel_backend=kernel.active_backend(),
     )
 
     results: dict[ShardSpec, ShardResult] = {}
@@ -324,15 +344,21 @@ def run_replay_parallel(
         if local_context is None:
             local_context = ShardContext(topology, timeline, service, config)
         before = local_context.probability_cache.counters()
+        kernel_before = kernel.counters()
         shard_started = time.perf_counter()
         span_start = obs.tracer.now() if obs is not None else 0.0
         result = local_context.run(shard)
         shard_wall = time.perf_counter() - shard_started
         telemetry.shard_wall_s.append(shard_wall)
         after = local_context.probability_cache.counters()
-        _apply_prob_cache_delta(
-            telemetry, {name: after[name] - before[name] for name in after}
-        )
+        delta: dict[str, float] = {
+            name: after[name] - before[name] for name in after
+        }
+        for name, value in kernel.counters_delta(
+            kernel_before, kernel.counters()
+        ).items():
+            delta[f"kernel_{name}"] = value
+        _apply_prob_cache_delta(telemetry, delta)
         if obs is not None:
             obs.tracer.complete(
                 "shard", "exec", span_start, span_start + shard_wall,
@@ -407,6 +433,19 @@ def _observe_run(
     )
     metrics.counter("exec.prob_cache.mask_hits").inc(telemetry.prob_mask_hits)
     metrics.counter("exec.prob_cache.evicted").inc(telemetry.prob_evicted)
+    metrics.counter(
+        f"replay.kernel.backend.{telemetry.kernel_backend}"
+    ).inc(1)
+    metrics.counter("replay.kernel.vector_calls").inc(
+        telemetry.kernel_vector_calls
+    )
+    metrics.counter("replay.kernel.pure_calls").inc(telemetry.kernel_pure_calls)
+    metrics.counter("replay.kernel.vector_rows").inc(
+        telemetry.kernel_vector_rows
+    )
+    metrics.counter("replay.kernel.pure_rows").inc(telemetry.kernel_pure_rows)
+    metrics.counter("replay.kernel.vector_s").inc(telemetry.kernel_vector_s)
+    metrics.counter("replay.kernel.pure_s").inc(telemetry.kernel_pure_s)
     for wall in telemetry.shard_wall_s:
         metrics.histogram("exec.shard_wall_s").observe(wall)
     for totals in merged.all_totals():

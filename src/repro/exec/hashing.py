@@ -24,6 +24,7 @@ from pathlib import Path
 from repro.core.graph import Topology
 from repro.netmodel.conditions import ConditionTimeline
 from repro.netmodel.topology import FlowSpec, ServiceSpec
+from repro.simulation import kernel
 from repro.simulation.results import ReplayConfig
 
 __all__ = [
@@ -110,6 +111,9 @@ def context_key(
     return stable_hash(
         {
             "code": code_fingerprint(),
+            # The two kernel backends agree only up to float reassociation,
+            # so their shard payloads must never share disk-cache entries.
+            "kernel": kernel.active_backend(),
             "topology": _topology_fingerprint(topology),
             "timeline": _timeline_fingerprint(timeline),
             "service": {

@@ -32,7 +32,7 @@ from repro.core.graph import Topology
 from repro.netmodel.conditions import ConditionTimeline
 from repro.netmodel.topology import FlowSpec, ServiceSpec
 from repro.routing.registry import make_policy
-from repro.simulation.interval import _ProbabilityCache, _iter_windows
+from repro.simulation.interval import _ProbabilityCache, _replay_windows
 from repro.simulation.results import (
     FlowSchemeStats,
     ReplayConfig,
@@ -302,38 +302,18 @@ class ShardContext:
         group = f"{policy.name}/{shard.flow.name}"
         stats = FlowSchemeStats(flow=shard.flow, scheme=policy.name)
         stats.decision_changes = len(spans) - 1
-        last_graph = None
-        probabilities = None
-        for index, (start, end, graph) in enumerate(
-            _iter_windows(self.boundaries, spans)
-        ):
-            if end <= shard.start_s or start >= shard.end_s:
-                # A skipped window breaks the delta chain: the held
-                # probabilities no longer describe window ``index - 1``.
-                probabilities = None
-                continue
-            unchanged = (
-                probabilities is not None
-                and graph == last_graph
-                and not any(
-                    edge in graph.edges for edge in self.actual_deltas[index]
-                )
-            )
-            if not unchanged:
-                probabilities = self.probability_cache.probabilities(
-                    self.topology, graph, self.actual_views[index], group
-                )
-                last_graph = graph
-            stats.add_window(
-                start,
-                end,
-                graph.name,
-                graph.num_edges,
-                probabilities.on_time,
-                probabilities.lost,
-                probabilities.late,
-                collect=True,
-            )
+        _replay_windows(
+            stats,
+            self.probability_cache,
+            self.topology,
+            self.boundaries,
+            spans,
+            self.actual_views,
+            self.actual_deltas,
+            group,
+            True,
+            shard_range=(shard.start_s, shard.end_s),
+        )
         if tracer is not None:
             tracer.complete(
                 "shard.windows", "exec", phase_start, tracer.now(),

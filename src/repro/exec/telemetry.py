@@ -61,6 +61,13 @@ class ExecTelemetry:
     prob_shared_hits: int = 0
     prob_mask_hits: int = 0
     prob_evicted: int = 0
+    kernel_backend: str = "pure"
+    kernel_vector_calls: int = 0
+    kernel_pure_calls: int = 0
+    kernel_vector_rows: int = 0
+    kernel_pure_rows: int = 0
+    kernel_vector_s: float = 0.0
+    kernel_pure_s: float = 0.0
     wall_time_s: float = 0.0
     shard_wall_s: list[float] = field(default_factory=list)
 
@@ -103,6 +110,19 @@ class ExecTelemetry:
             ["prob-cache shared hits", str(self.prob_shared_hits)],
             ["prob-cache mask hits", str(self.prob_mask_hits)],
             ["prob-cache evictions", str(self.prob_evicted)],
+            ["kernel backend", self.kernel_backend],
+            [
+                "kernel calls (vector/pure)",
+                f"{self.kernel_vector_calls}/{self.kernel_pure_calls}",
+            ],
+            [
+                "kernel rows (vector/pure)",
+                f"{self.kernel_vector_rows}/{self.kernel_pure_rows}",
+            ],
+            [
+                "kernel time (vector/pure)",
+                f"{self.kernel_vector_s:.2f} / {self.kernel_pure_s:.2f} s",
+            ],
             ["workers", str(self.workers) if self.workers else "serial"],
             ["wall time", f"{self.wall_time_s:.2f} s"],
             ["shard time (mean/max)", f"{mean_shard:.2f} / {max_shard:.2f} s"],
@@ -136,6 +156,13 @@ class ExecTelemetry:
             "prob_mask_hits": self.prob_mask_hits,
             "prob_evicted": self.prob_evicted,
             "prob_hit_rate": self.prob_hit_rate,
+            "kernel_backend": self.kernel_backend,
+            "kernel_vector_calls": self.kernel_vector_calls,
+            "kernel_pure_calls": self.kernel_pure_calls,
+            "kernel_vector_rows": self.kernel_vector_rows,
+            "kernel_pure_rows": self.kernel_pure_rows,
+            "kernel_vector_s": self.kernel_vector_s,
+            "kernel_pure_s": self.kernel_pure_s,
             "wall_time_s": self.wall_time_s,
             "busy_s": self.busy_s,
             "max_shard_s": max(self.shard_wall_s) if self.shard_wall_s else 0.0,
@@ -162,6 +189,7 @@ def aggregate_telemetry(
         label=label or f"session ({len(records)} runs)",
         workers=max(t.workers for t in records),
         time_shards=max(t.time_shards for t in records),
+        kernel_backend=records[-1].kernel_backend,
     )
     for telemetry in records:
         total.shards_total += telemetry.shards_total
@@ -176,6 +204,12 @@ def aggregate_telemetry(
         total.prob_shared_hits += telemetry.prob_shared_hits
         total.prob_mask_hits += telemetry.prob_mask_hits
         total.prob_evicted += telemetry.prob_evicted
+        total.kernel_vector_calls += telemetry.kernel_vector_calls
+        total.kernel_pure_calls += telemetry.kernel_pure_calls
+        total.kernel_vector_rows += telemetry.kernel_vector_rows
+        total.kernel_pure_rows += telemetry.kernel_pure_rows
+        total.kernel_vector_s += telemetry.kernel_vector_s
+        total.kernel_pure_s += telemetry.kernel_pure_s
         total.wall_time_s += telemetry.wall_time_s
         total.shard_wall_s.extend(telemetry.shard_wall_s)
     return total

@@ -39,6 +39,7 @@ from repro.serve.schema import (
     make_event,
 )
 from repro.serve.state import ServeRuntime
+from repro.simulation import kernel
 from repro.simulation.results import ReplayConfig
 from repro.util.validation import fail, require
 
@@ -195,7 +196,8 @@ def _run_evaluate(
             "context_warm": context_warm,
             "workers": workers,
             "shards_cached": telemetry.shards_cached,
-        }
+        },
+        "kernel": kernel.describe(),
     }
     if profiler is not None:
         extra["profile"] = profiler.report()

@@ -41,11 +41,13 @@ from repro.routing.registry import STANDARD_SCHEME_NAMES, make_policy
 from repro.simulation.reliability import (
     DeliveryProbabilities,
     MaskClassification,
+    RecoveryClassification,
     ReliabilityLimitError,
-    accumulate_mask_probabilities,
+    accumulate_mask_probabilities_batch,
+    accumulate_recovery_probabilities_batch,
     classify_delivery_masks,
+    classify_recovery_states,
     delivery_probabilities,
-    delivery_probabilities_with_recovery,
 )
 from repro.simulation.results import FlowSchemeStats, ReplayConfig, ReplayResult
 from repro.simulation.timeline import (
@@ -93,6 +95,24 @@ _ENTRY_OVERHEAD_BYTES = 160
 _PER_EDGE_BYTES = 120
 
 _UNSET: object = object()
+
+
+def _limit_error_with_context(
+    error: ReliabilityLimitError,
+    graph: DisseminationGraph,
+    context: str | None,
+) -> ReliabilityLimitError:
+    """Re-raiseable limit error naming the graph (and window) that tripped.
+
+    The engine-level message only counts lossy edges; a failing N=500
+    replay is diagnosable only if the error also names which flow's
+    installed graph, between which endpoints, in which window hit the
+    cap.
+    """
+    detail = f"graph {graph.name!r} ({graph.source} -> {graph.destination})"
+    if context:
+        detail = f"{detail}; {context}"
+    return ReliabilityLimitError(f"{error} [{detail}]")
 
 
 def default_prob_cache_max_bytes() -> int | None:
@@ -351,108 +371,311 @@ class _ProbabilityCache:
         graph: DisseminationGraph,
         degraded: dict[Edge, LinkState],
         group: str | None = None,
+        context: str | None = None,
     ) -> DeliveryProbabilities:
         """Delivery probabilities for ``graph`` under ``degraded`` conditions.
 
         ``group`` labels the caller (one ``scheme/flow`` pair); it only
-        feeds the ``shared_hits`` counter, never the key.
+        feeds the ``shared_hits`` counter, never the key.  ``context``
+        (e.g. the window being replayed) is attached to any
+        :class:`ReliabilityLimitError` so the failure is diagnosable.
+
+        A thin wrapper over :meth:`probabilities_batch` -- one window is
+        the one-row special case of a run, taking the identical code
+        path so the result and every counter are the same either way.
         """
+        contexts = None if context is None else [context]
+        return self.probabilities_batch(
+            topology, graph, [degraded], group, contexts
+        )[0]
+
+    def probabilities_batch(
+        self,
+        topology: Topology,
+        graph: DisseminationGraph,
+        degraded_list: Sequence[dict[Edge, LinkState]],
+        group: str | None = None,
+        contexts: Sequence[str | None] | None = None,
+    ) -> list[DeliveryProbabilities]:
+        """Probabilities for one graph under a run of condition views.
+
+        Semantically a per-view :meth:`probabilities` loop, but misses
+        that share one cached classification are weighted in a single
+        batched kernel call, so a run of loss-only windows costs one
+        vector operation instead of one Python loop per window.  Counter
+        semantics are preserved exactly: a view whose key was already
+        missed earlier in the same batch counts as the hit it would have
+        been sequentially, and classification reuse feeds ``mask_hits``
+        per window as before.
+        """
+        if not degraded_list:
+            return []
         edges, structure, base_latency, slot_of = self._canonical_graph(
             topology, graph
         )
-        effective_latency = list(base_latency)
-        loss_vector = [0.0] * len(edges)
-        relevant = False
-        for edge, state in degraded.items():
-            slot = slot_of.get(edge)
-            if slot is None:
+        results: list[DeliveryProbabilities | None] = [None] * len(degraded_list)
+        first_miss: dict[tuple, int] = {}
+        aliases: list[tuple[int, tuple]] = []
+        misses: list[tuple[tuple, tuple[float, ...], list[float], int]] = []
+        for position, degraded in enumerate(degraded_list):
+            effective_latency = list(base_latency)
+            loss_vector = [0.0] * len(edges)
+            relevant = False
+            for edge, state in degraded.items():
+                slot = slot_of.get(edge)
+                if slot is None:
+                    continue
+                relevant = True
+                effective_latency[slot] = (
+                    base_latency[slot] + state.extra_latency_ms
+                )
+                loss_vector[slot] = state.loss_rate
+            if not relevant:
+                # Clean graph: outcome depends only on base latencies.
+                results[position] = self._clean_probabilities(
+                    topology, graph, group
+                )
                 continue
-            relevant = True
-            effective_latency[slot] = base_latency[slot] + state.extra_latency_ms
-            loss_vector[slot] = state.loss_rate
-        if not relevant:
-            # Clean graph: outcome depends only on base latencies.
-            return self._clean_probabilities(topology, graph, group)
-        key = (structure, tuple(effective_latency), tuple(loss_vector))
-        cached = self._lookup(key, group, count=True)
-        if cached is not None:
-            return cached
-
-        def latency_of(edge: Edge) -> float:
-            return effective_latency[slot_of[edge]]
-
-        def loss_of(edge: Edge) -> float:
-            return loss_vector[slot_of[edge]]
-
-        if self.hop_recovery:
-
-            def recovery_latency_of(edge: Edge) -> float:
-                # Ack timeout (~2x link latency + slack) + retransmission
-                # flight time.
-                return 3.0 * latency_of(edge) + self.recovery_extra_ms
-
-            try:
-                result = delivery_probabilities_with_recovery(
-                    graph,
-                    self.deadline_ms,
-                    latency_of,
-                    loss_of,
-                    recovery_latency_of,
-                    max_lossy_edges=self.max_recovery_lossy_edges,
-                )
-            except ReliabilityLimitError:
-                # Too many simultaneously lossy edges for ternary
-                # enumeration: fall back to the no-recovery computation,
-                # a conservative lower bound on delivery.
+            key = (structure, tuple(effective_latency), tuple(loss_vector))
+            if key in first_miss:
+                # Sequentially this lookup would hit the entry the
+                # earlier miss in this batch had already stored.
                 with self._lock:
-                    self.recovery_fallbacks += 1
-                result = delivery_probabilities(
-                    graph,
-                    self.deadline_ms,
-                    latency_of,
-                    loss_of,
-                    max_lossy_edges=self.max_lossy_edges,
+                    self.hits += 1
+                aliases.append((position, key))
+                continue
+            cached = self._lookup(key, group, count=True)
+            if cached is not None:
+                results[position] = cached
+                continue
+            first_miss[key] = position
+            misses.append((key, tuple(effective_latency), loss_vector, position))
+        if misses:
+            if self.hop_recovery:
+                computed = self._resolve_recovery_misses(
+                    graph, edges, slot_of, structure, misses, group, contexts
                 )
-        else:
-            # Loss values weight the enumeration cases but never change
-            # which cases deliver: the classification is cached on a key
-            # that keeps only each slot's *category* (clean / fractional
-            # / dead), so loss-only condition changes skip the Dijkstra
-            # enumeration entirely.
+            else:
+                computed = self._resolve_mask_misses(
+                    graph, edges, slot_of, structure, misses, group, contexts
+                )
+            computed.sort(key=lambda item: item[0])
+            by_key: dict[tuple, DeliveryProbabilities] = {}
+            for position, key, result in computed:
+                results[position] = result
+                self._store(key, result, group, len(edges))
+                by_key[key] = result
+            for position, key in aliases:
+                results[position] = by_key[key]
+        return results  # type: ignore[return-value]
+
+    def _mask_classification(
+        self,
+        graph: DisseminationGraph,
+        edges: tuple[Edge, ...],
+        slot_of: dict[Edge, int],
+        mask_key: tuple,
+        effective_latency: tuple[float, ...],
+        loss_vector: list[float],
+        group: str | None,
+        context: str | None,
+    ) -> MaskClassification:
+        """Cached delivery-mask classification (one locked LRU touch)."""
+        with self._lock:
+            entry = self._entries.pop(mask_key, None)
+            if entry is not None:
+                self._entries[mask_key] = entry  # most recently used
+                self.mask_hits += 1
+        if entry is not None:
+            classification = entry[0]
+            assert isinstance(classification, MaskClassification)
+            return classification
+        try:
+            classification, _losses = classify_delivery_masks(
+                graph,
+                self.deadline_ms,
+                lambda edge: effective_latency[slot_of[edge]],
+                lambda edge: loss_vector[slot_of[edge]],
+                max_lossy_edges=self.max_lossy_edges,
+            )
+        except ReliabilityLimitError as error:
+            raise _limit_error_with_context(error, graph, context) from error
+        self._store(
+            mask_key,
+            classification,
+            group,
+            len(edges),
+            extra_bytes=len(classification.classes),
+        )
+        return classification
+
+    def _resolve_mask_misses(
+        self,
+        graph: DisseminationGraph,
+        edges: tuple[Edge, ...],
+        slot_of: dict[Edge, int],
+        structure: tuple,
+        misses: list[tuple[tuple, tuple[float, ...], list[float], int]],
+        group: str | None,
+        contexts: Sequence[str | None] | None,
+    ) -> list[tuple[int, tuple, DeliveryProbabilities]]:
+        """Compute every missed view, batching rows per classification.
+
+        Loss values weight the enumeration cases but never change which
+        cases deliver: the classification is cached on a key that keeps
+        only each slot's *category* (clean / fractional / dead), so
+        loss-only condition changes skip the Dijkstra enumeration
+        entirely and their loss rows ride one kernel batch call.
+        """
+        grouped: dict[
+            tuple, tuple[MaskClassification, list[tuple[int, tuple, list[float]]]]
+        ] = {}
+        order: list[tuple] = []
+        for key, effective_latency, loss_vector, position in misses:
+            context = contexts[position] if contexts is not None else None
             categories = bytes(
                 0 if loss <= 0.0 else 2 if loss >= 1.0 else 1
                 for loss in loss_vector
             )
-            mask_key = ("masks", structure, tuple(effective_latency), categories)
-            with self._lock:
-                mask_entry = self._entries.pop(mask_key, None)
-                if mask_entry is not None:
-                    self._entries[mask_key] = mask_entry  # most recently used
-                    self.mask_hits += 1
-            if mask_entry is not None:
-                classification = mask_entry[0]
-                assert isinstance(classification, MaskClassification)
-            else:
-                classification, _losses = classify_delivery_masks(
-                    graph,
-                    self.deadline_ms,
-                    latency_of,
-                    loss_of,
-                    max_lossy_edges=self.max_lossy_edges,
+            mask_key = ("masks", structure, effective_latency, categories)
+            classification = self._mask_classification(
+                graph, edges, slot_of, mask_key, effective_latency,
+                loss_vector, group, context,
+            )
+            entry = grouped.get(mask_key)
+            if entry is None:
+                entry = (classification, [])
+                grouped[mask_key] = entry
+                order.append(mask_key)
+            losses = [loss_vector[slot] for slot in classification.lossy_slots]
+            entry[1].append((position, key, losses))
+        computed: list[tuple[int, tuple, DeliveryProbabilities]] = []
+        for mask_key in order:
+            classification, items = grouped[mask_key]
+            rows = [losses for _position, _key, losses in items]
+            values = accumulate_mask_probabilities_batch(classification, rows)
+            computed.extend(
+                (position, key, value)
+                for (position, key, _losses), value in zip(items, values)
+            )
+        return computed
+
+    def _recovery_classification(
+        self,
+        graph: DisseminationGraph,
+        edges: tuple[Edge, ...],
+        slot_of: dict[Edge, int],
+        recovery_key: tuple,
+        effective_latency: tuple[float, ...],
+        loss_vector: list[float],
+        group: str | None,
+    ) -> RecoveryClassification:
+        """Cached ternary recovery classification (raises on the cap)."""
+        with self._lock:
+            entry = self._entries.pop(recovery_key, None)
+            if entry is not None:
+                self._entries[recovery_key] = entry  # most recently used
+                self.mask_hits += 1
+        if entry is not None:
+            classification = entry[0]
+            assert isinstance(classification, RecoveryClassification)
+            return classification
+
+        def latency_of(edge: Edge) -> float:
+            return effective_latency[slot_of[edge]]
+
+        def recovery_latency_of(edge: Edge) -> float:
+            # Ack timeout (~2x link latency + slack) + retransmission
+            # flight time.
+            return 3.0 * latency_of(edge) + self.recovery_extra_ms
+
+        classification, _losses = classify_recovery_states(
+            graph,
+            self.deadline_ms,
+            latency_of,
+            lambda edge: loss_vector[slot_of[edge]],
+            recovery_latency_of,
+            max_lossy_edges=self.max_recovery_lossy_edges,
+        )
+        self._store(
+            recovery_key,
+            classification,
+            group,
+            len(edges),
+            extra_bytes=len(classification.classes),
+        )
+        return classification
+
+    def _resolve_recovery_misses(
+        self,
+        graph: DisseminationGraph,
+        edges: tuple[Edge, ...],
+        slot_of: dict[Edge, int],
+        structure: tuple,
+        misses: list[tuple[tuple, tuple[float, ...], list[float], int]],
+        group: str | None,
+        contexts: Sequence[str | None] | None,
+    ) -> list[tuple[int, tuple, DeliveryProbabilities]]:
+        """Recovery-engine analogue of :meth:`_resolve_mask_misses`.
+
+        The ternary (3^L) classification is cached just like the binary
+        one; a view with too many lossy edges for ternary enumeration
+        falls back to the no-recovery computation, a conservative lower
+        bound on delivery (as the fused engine always has).
+        """
+        grouped: dict[
+            tuple,
+            tuple[RecoveryClassification, list[tuple[int, tuple, list[float]]]],
+        ] = {}
+        order: list[tuple] = []
+        computed: list[tuple[int, tuple, DeliveryProbabilities]] = []
+        for key, effective_latency, loss_vector, position in misses:
+            context = contexts[position] if contexts is not None else None
+            categories = bytes(
+                0 if loss <= 0.0 else 2 if loss >= 1.0 else 1
+                for loss in loss_vector
+            )
+            recovery_key = ("rstates", structure, effective_latency, categories)
+            try:
+                classification = self._recovery_classification(
+                    graph, edges, slot_of, recovery_key, effective_latency,
+                    loss_vector, group,
                 )
-                self._store(
-                    mask_key,
-                    classification,
-                    group,
-                    len(edges),
-                    extra_bytes=len(classification.classes),
-                )
-            losses = [
-                loss_vector[slot] for slot in classification.lossy_slots
-            ]
-            result = accumulate_mask_probabilities(classification, losses)
-        self._store(key, result, group, len(edges))
-        return result
+            except ReliabilityLimitError:
+                with self._lock:
+                    self.recovery_fallbacks += 1
+                try:
+                    result = delivery_probabilities(
+                        graph,
+                        self.deadline_ms,
+                        lambda edge: effective_latency[slot_of[edge]],
+                        lambda edge: loss_vector[slot_of[edge]],
+                        max_lossy_edges=self.max_lossy_edges,
+                    )
+                except ReliabilityLimitError as error:
+                    raise _limit_error_with_context(
+                        error, graph, context
+                    ) from error
+                computed.append((position, key, result))
+                continue
+            entry = grouped.get(recovery_key)
+            if entry is None:
+                entry = (classification, [])
+                grouped[recovery_key] = entry
+                order.append(recovery_key)
+            losses = [loss_vector[slot] for slot in classification.lossy_slots]
+            entry[1].append((position, key, losses))
+        for recovery_key in order:
+            classification, items = grouped[recovery_key]
+            rows = [losses for _position, _key, losses in items]
+            values = accumulate_recovery_probabilities_batch(
+                classification, rows
+            )
+            computed.extend(
+                (position, key, value)
+                for (position, key, _losses), value in zip(items, values)
+            )
+        return computed
 
 
 def _iter_windows(
@@ -471,6 +694,92 @@ def _iter_windows(
         span = spans[span_index]
         assert span.start_s <= start and end <= span.end_s + 1e-9
         yield start, end, span.graph
+
+
+def _replay_windows(
+    stats: FlowSchemeStats,
+    cache: _ProbabilityCache,
+    topology: Topology,
+    boundaries: Sequence[float],
+    spans: Sequence[DecisionSpan],
+    actual_views: Sequence[dict],
+    actual_deltas: Sequence[frozenset[Edge]] | None,
+    group: str,
+    collect: bool,
+    shard_range: tuple[float, float] | None = None,
+) -> None:
+    """The engine's window loop, shared by serial replay and shards.
+
+    Walks the boundary windows in order, accumulating each into
+    ``stats``.  Maximal runs of consecutive windows under the same
+    installed graph are resolved with one :meth:`probabilities_batch`
+    call: within a run only the first window and the windows whose
+    changed-edge delta touches the graph need computation (the rest
+    reuse the previous window's probabilities, exactly as the sequential
+    loop did), and those computed windows ride a single batched cache
+    call so loss-only runs hit the vector kernel once.
+
+    ``shard_range`` restricts accumulation to windows overlapping
+    ``[start, end)``; a skipped window breaks the delta chain (the held
+    probabilities no longer describe the previous window), so the next
+    accumulated window starts a fresh run.
+    """
+    run: list[tuple[int, float, float, DisseminationGraph]] = []
+
+    def flush() -> None:
+        if not run:
+            return
+        graph = run[0][3]
+        if actual_deltas is None:
+            compute_at = list(range(len(run)))
+        else:
+            # The first window of a run always computes: a run starts at
+            # a graph change, a shard skip, or the trace start, all of
+            # which break the reuse chain.
+            compute_at = [0]
+            for offset in range(1, len(run)):
+                index = run[offset][0]
+                if any(edge in graph.edges for edge in actual_deltas[index]):
+                    compute_at.append(offset)
+        views = [actual_views[run[offset][0]] for offset in compute_at]
+        contexts = [
+            f"pair {group}, window [{run[offset][1]:g}s, {run[offset][2]:g}s)"
+            for offset in compute_at
+        ]
+        computed = cache.probabilities_batch(
+            topology, graph, views, group, contexts
+        )
+        probabilities: DeliveryProbabilities | None = None
+        next_computed = 0
+        for offset, (_index, start, end, window_graph) in enumerate(run):
+            if (
+                next_computed < len(compute_at)
+                and compute_at[next_computed] == offset
+            ):
+                probabilities = computed[next_computed]
+                next_computed += 1
+            stats.add_window(
+                start,
+                end,
+                window_graph.name,
+                window_graph.num_edges,
+                probabilities.on_time,
+                probabilities.lost,
+                probabilities.late,
+                collect=collect,
+            )
+        run.clear()
+
+    for index, (start, end, graph) in enumerate(_iter_windows(boundaries, spans)):
+        if shard_range is not None and (
+            end <= shard_range[0] or start >= shard_range[1]
+        ):
+            flush()
+            continue
+        if run and graph != run[0][3]:
+            flush()
+        run.append((index, start, end, graph))
+    flush()
 
 
 def replay_flow(
@@ -527,33 +836,17 @@ def replay_flow(
     group = f"{policy.name}/{flow.name}"
     stats = FlowSchemeStats(flow=flow, scheme=policy.name)
     stats.decision_changes = len(spans) - 1
-    last_graph: DisseminationGraph | None = None
-    probabilities: DeliveryProbabilities | None = None
-    for index, (start, end, graph) in enumerate(
-        _iter_windows(boundaries, spans)
-    ):
-        degraded = actual_views[index]
-        unchanged = (
-            probabilities is not None
-            and actual_deltas is not None
-            and graph == last_graph
-            and not any(edge in graph.edges for edge in actual_deltas[index])
-        )
-        if not unchanged:
-            # The cache returns the very object a repeated lookup would,
-            # so the reuse above is exactly equivalent to looking up.
-            probabilities = cache.probabilities(topology, graph, degraded, group)
-            last_graph = graph
-        stats.add_window(
-            start,
-            end,
-            graph.name,
-            graph.num_edges,
-            probabilities.on_time,
-            probabilities.lost,
-            probabilities.late,
-            collect=config.collect_windows,
-        )
+    _replay_windows(
+        stats,
+        cache,
+        topology,
+        boundaries,
+        spans,
+        actual_views,
+        actual_deltas,
+        group,
+        config.collect_windows,
+    )
     return stats
 
 

@@ -20,18 +20,24 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Sequence
 
 from repro.core.dgraph import DisseminationGraph
 from repro.core.graph import Edge, NodeId
+from repro.simulation import kernel
 from repro.util.validation import require
 
 __all__ = [
     "DeliveryProbabilities",
     "MaskClassification",
+    "RecoveryClassification",
     "ReliabilityLimitError",
     "accumulate_mask_probabilities",
+    "accumulate_mask_probabilities_batch",
+    "accumulate_recovery_probabilities",
+    "accumulate_recovery_probabilities_batch",
     "classify_delivery_masks",
+    "classify_recovery_states",
     "delivery_probabilities",
     "delivery_probabilities_with_recovery",
     "on_time_probability",
@@ -153,9 +159,10 @@ def classify_delivery_masks(
         certain = DeliveryProbabilities(on_time=1.0, eventually=1.0)
         return MaskClassification(certain=certain), losses
     if not lossy_slots:
-        on_time = 1.0 if baseline <= deadline_ms else 0.0
+        # Past the fast-path return above, ``baseline > deadline_ms``
+        # always holds: the certain subgraph delivers late or never.
         eventually = 1.0 if baseline < _INF else 0.0
-        certain = DeliveryProbabilities(on_time=on_time, eventually=eventually)
+        certain = DeliveryProbabilities(on_time=0.0, eventually=eventually)
         return MaskClassification(certain=certain), losses
 
     # Fast path the other way: even with every lossy edge surviving the
@@ -191,42 +198,56 @@ def classify_delivery_masks(
     return classification, losses
 
 
+def _finalize_mask_totals(
+    classification: MaskClassification, totals: tuple[float, float]
+) -> DeliveryProbabilities:
+    """Shared finalization: best-case hygiene zeroing plus the clamps."""
+    on_time_total, eventually_total = totals
+    if not classification.best_on_time:
+        on_time_total = 0.0  # numerical hygiene: cannot exceed best case
+    return DeliveryProbabilities(
+        on_time=min(1.0, on_time_total), eventually=min(1.0, eventually_total)
+    )
+
+
 def accumulate_mask_probabilities(
     classification: MaskClassification, losses: list[float]
 ) -> DeliveryProbabilities:
     """Weight a classification by the lossy edges' current loss values.
 
     ``losses`` aligns with ``classification.lossy_slots``.  The
-    accumulation performs the identical float-operation sequence as the
-    historical fused loop (same per-mask multiply order, same mask
-    order, same final clamps), so reusing a cached classification is
-    bitwise-exact.
+    arithmetic runs on the active :mod:`repro.simulation.kernel`
+    backend: the pure path performs the identical float-operation
+    sequence as the historical fused loop (same per-mask multiply order,
+    same mask order, same final clamps), so reusing a cached
+    classification is bitwise-exact; the numpy path agrees up to
+    summation reassociation (see the kernel module docstring).
     """
     if classification.certain is not None:
         return classification.certain
-    on_time_total = 0.0
-    eventually_total = 0.0
-    classes = classification.classes
-    for mask in range(len(classes)):
-        probability = 1.0
-        for bit, loss in enumerate(losses):
-            if mask >> bit & 1:
-                probability *= 1.0 - loss
-            else:
-                probability *= loss
-        if probability == 0.0:
-            continue
-        outcome = classes[mask]
-        if outcome == _MASK_ON_TIME:
-            on_time_total += probability
-            eventually_total += probability
-        elif outcome == _MASK_LATE:
-            eventually_total += probability
-    if not classification.best_on_time:
-        on_time_total = 0.0  # numerical hygiene: cannot exceed best case
-    return DeliveryProbabilities(
-        on_time=min(1.0, on_time_total), eventually=min(1.0, eventually_total)
+    return _finalize_mask_totals(
+        classification, kernel.mask_totals(classification.classes, losses)
     )
+
+
+def accumulate_mask_probabilities_batch(
+    classification: MaskClassification, losses_rows: Sequence[Sequence[float]]
+) -> list[DeliveryProbabilities]:
+    """One accumulation call for many loss vectors of one classification.
+
+    The replay engine feeds whole runs of loss-only windows through this
+    entry point so the vector backend builds a single weight matrix for
+    the run; row ``i`` equals ``accumulate_mask_probabilities(c,
+    rows[i])`` bitwise on either backend (the kernel's batch contract).
+    """
+    if classification.certain is not None:
+        return [classification.certain] * len(losses_rows)
+    return [
+        _finalize_mask_totals(classification, totals)
+        for totals in kernel.mask_totals_batch(
+            classification.classes, losses_rows
+        )
+    ]
 
 
 def _index_graph(
@@ -286,27 +307,37 @@ def _earliest_arrival_indexed(
     return best[destination]
 
 
-def delivery_probabilities_with_recovery(
+@dataclass(frozen=True)
+class RecoveryClassification:
+    """Loss-value-independent core of the hop-recovery engine.
+
+    The ternary analogue of :class:`MaskClassification`: ``classes[c]``
+    holds the outcome code of recovery state ``c``, whose base-3 digit
+    ``p`` (least significant first) is the state of lossy edge
+    ``lossy_slots[p]`` -- 0 fast, 1 recovered (slow copy), 2 dead.
+    Which states deliver on time depends only on the graph structure and
+    the fast/slow latencies, so the replay engine caches this across
+    loss-only condition changes exactly like the binary engine.
+    """
+
+    certain: DeliveryProbabilities | None
+    lossy_slots: tuple[int, ...] = ()
+    classes: bytes = b""
+
+
+def classify_recovery_states(
     graph: DisseminationGraph,
     deadline_ms: float,
     latency_of: Callable[[Edge], float],
     loss_of: Callable[[Edge], float],
     recovery_latency_of: Callable[[Edge], float],
     max_lossy_edges: int = 11,
-) -> DeliveryProbabilities:
-    """Delivery probabilities with one hop-by-hop retransmission per link.
+) -> tuple[RecoveryClassification, list[float]]:
+    """Classify every ternary recovery state of ``graph``.
 
-    With link-level recovery each lossy edge has three outcomes instead
-    of two: the copy arrives at the edge's normal latency with
-    probability ``1 - p``; the first copy is lost but the retransmission
-    arrives at ``recovery_latency_of(edge)`` with probability
-    ``p * (1 - p)``; both are lost with probability ``p^2``.  The exact
-    computation therefore enumerates ternary edge states (``3^L``), which
-    is why the lossy-edge cap is lower than the plain engine's.
-
-    ``recovery_latency_of`` should return the *total* latency of a
-    recovered copy across the edge -- typically ack-timeout plus the
-    retransmission's flight time, on the order of three link latencies.
+    Returns the classification plus the lossy slots' loss values (in
+    slot order) so :func:`accumulate_recovery_probabilities` can finish
+    without consulting ``loss_of`` again.
     """
     require(deadline_ms > 0, f"deadline must be positive, got {deadline_ms}")
     edges, rank, adjacency = _index_graph(graph)
@@ -331,49 +362,128 @@ def delivery_probabilities_with_recovery(
     baseline = _earliest_arrival_indexed(
         source, destination, adjacency, latency, present
     )
+    losses = [loss for _slot, loss in lossy]
     if baseline <= deadline_ms:
-        return DeliveryProbabilities(on_time=1.0, eventually=1.0)
+        certain = DeliveryProbabilities(on_time=1.0, eventually=1.0)
+        return RecoveryClassification(certain=certain), losses
     if not lossy:
         eventually = 1.0 if baseline < _INF else 0.0
-        return DeliveryProbabilities(on_time=0.0, eventually=eventually)
+        certain = DeliveryProbabilities(on_time=0.0, eventually=eventually)
+        return RecoveryClassification(certain=certain), losses
 
-    on_time_total = 0.0
-    eventually_total = 0.0
     count = len(lossy)
     slow_latency = [recovery_latency_of(edges[slot]) for slot, _loss in lossy]
-    base_latency = [latency_of(edges[slot]) for slot, _loss in lossy]
+    # The normal latencies were already read into ``latency`` above; the
+    # callback must not be invoked a second time per edge (a non-pure
+    # callable would silently diverge between the two reads).
+    base_latency = [latency[slot] for slot, _loss in lossy]
     # Edge states: 0 = fast, 1 = recovered (slow), 2 = dead.
     total_states = 3**count
+    classes = bytearray(total_states)
     for code in range(total_states):
-        probability = 1.0
         value = code
-        for position, (slot, loss) in enumerate(lossy):
+        for position, (slot, _loss) in enumerate(lossy):
             state = value % 3
             value //= 3
             if state == 0:
-                probability *= 1.0 - loss
                 latency[slot] = base_latency[position]
                 present[slot] = True
             elif state == 1:
-                probability *= loss * (1.0 - loss)
                 latency[slot] = slow_latency[position]
                 present[slot] = True
             else:
-                probability *= loss * loss
                 present[slot] = False
-        if probability == 0.0:
-            continue
         arrival = _earliest_arrival_indexed(
             source, destination, adjacency, latency, present
         )
         if arrival <= deadline_ms:
-            on_time_total += probability
-            eventually_total += probability
+            classes[code] = _MASK_ON_TIME
         elif arrival < _INF:
-            eventually_total += probability
+            classes[code] = _MASK_LATE
+    classification = RecoveryClassification(
+        certain=None,
+        lossy_slots=tuple(slot for slot, _loss in lossy),
+        classes=bytes(classes),
+    )
+    return classification, losses
+
+
+def _finalize_recovery_totals(
+    totals: tuple[float, float],
+) -> DeliveryProbabilities:
+    on_time_total, eventually_total = totals
     return DeliveryProbabilities(
         on_time=min(1.0, on_time_total), eventually=min(1.0, eventually_total)
     )
+
+
+def accumulate_recovery_probabilities(
+    classification: RecoveryClassification, losses: list[float]
+) -> DeliveryProbabilities:
+    """Weight a recovery classification by the current loss values.
+
+    ``losses`` aligns with ``classification.lossy_slots``; the state
+    weights are ``1 - p`` (fast), ``p * (1 - p)`` (recovered) and
+    ``p * p`` (dead) per edge, multiplied in base-3 digit order -- on
+    the pure backend this is the historical ``3^L`` loop bit for bit.
+    """
+    if classification.certain is not None:
+        return classification.certain
+    return _finalize_recovery_totals(
+        kernel.recovery_totals(classification.classes, losses)
+    )
+
+
+def accumulate_recovery_probabilities_batch(
+    classification: RecoveryClassification,
+    losses_rows: Sequence[Sequence[float]],
+) -> list[DeliveryProbabilities]:
+    """Batched :func:`accumulate_recovery_probabilities` (one vector call)."""
+    if classification.certain is not None:
+        return [classification.certain] * len(losses_rows)
+    return [
+        _finalize_recovery_totals(totals)
+        for totals in kernel.recovery_totals_batch(
+            classification.classes, losses_rows
+        )
+    ]
+
+
+def delivery_probabilities_with_recovery(
+    graph: DisseminationGraph,
+    deadline_ms: float,
+    latency_of: Callable[[Edge], float],
+    loss_of: Callable[[Edge], float],
+    recovery_latency_of: Callable[[Edge], float],
+    max_lossy_edges: int = 11,
+) -> DeliveryProbabilities:
+    """Delivery probabilities with one hop-by-hop retransmission per link.
+
+    With link-level recovery each lossy edge has three outcomes instead
+    of two: the copy arrives at the edge's normal latency with
+    probability ``1 - p``; the first copy is lost but the retransmission
+    arrives at ``recovery_latency_of(edge)`` with probability
+    ``p * (1 - p)``; both are lost with probability ``p^2``.  The exact
+    computation therefore enumerates ternary edge states (``3^L``), which
+    is why the lossy-edge cap is lower than the plain engine's.
+
+    ``recovery_latency_of`` should return the *total* latency of a
+    recovered copy across the edge -- typically ack-timeout plus the
+    retransmission's flight time, on the order of three link latencies.
+
+    Implemented as :func:`classify_recovery_states` followed by
+    :func:`accumulate_recovery_probabilities`, mirroring the plain
+    engine's split so the replay engine can cache the classification.
+    """
+    classification, losses = classify_recovery_states(
+        graph,
+        deadline_ms,
+        latency_of,
+        loss_of,
+        recovery_latency_of,
+        max_lossy_edges,
+    )
+    return accumulate_recovery_probabilities(classification, losses)
 
 
 def delivery_probabilities(

@@ -146,6 +146,68 @@ class TestProbCacheCounters:
         assert "prob-cache evictions 7" in collapsed
 
 
+class TestKernelCounters:
+    def test_to_dict_carries_kernel_fields(self):
+        payload = _telemetry(
+            kernel_backend="numpy",
+            kernel_vector_calls=4,
+            kernel_pure_calls=2,
+            kernel_vector_rows=40,
+            kernel_pure_rows=2,
+            kernel_vector_s=0.25,
+            kernel_pure_s=0.125,
+        ).to_dict()
+        assert payload["kernel_backend"] == "numpy"
+        assert payload["kernel_vector_calls"] == 4
+        assert payload["kernel_pure_calls"] == 2
+        assert payload["kernel_vector_rows"] == 40
+        assert payload["kernel_pure_rows"] == 2
+        assert payload["kernel_vector_s"] == 0.25
+        assert payload["kernel_pure_s"] == 0.125
+
+    def test_totals_sum_kernel_counters(self):
+        record(
+            _telemetry(
+                kernel_backend="numpy",
+                kernel_vector_calls=3,
+                kernel_vector_rows=30,
+                kernel_vector_s=0.5,
+            )
+        )
+        record(
+            _telemetry(
+                kernel_backend="numpy",
+                kernel_vector_calls=1,
+                kernel_pure_calls=2,
+                kernel_vector_rows=5,
+                kernel_pure_rows=2,
+                kernel_vector_s=0.25,
+                kernel_pure_s=0.0625,
+            )
+        )
+        total = session_totals()
+        assert total.kernel_backend == "numpy"
+        assert total.kernel_vector_calls == 4
+        assert total.kernel_pure_calls == 2
+        assert total.kernel_vector_rows == 35
+        assert total.kernel_pure_rows == 2
+        assert total.kernel_vector_s == 0.75
+        assert total.kernel_pure_s == 0.0625
+
+    def test_summary_table_shows_kernel_rows(self):
+        record(
+            _telemetry(
+                kernel_backend="pure",
+                kernel_pure_calls=6,
+                kernel_pure_rows=18,
+            )
+        )
+        collapsed = " ".join(session_summary().split())
+        assert "kernel backend pure" in collapsed
+        assert "kernel calls (vector/pure) 0/6" in collapsed
+        assert "kernel rows (vector/pure) 0/18" in collapsed
+
+
 class TestScopedSessions:
     # Satellite: concurrent serve requests each need their own session;
     # session_totals must never bleed between them.

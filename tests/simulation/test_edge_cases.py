@@ -37,6 +37,32 @@ class TestReliabilityLimits:
                 ReplayConfig(max_lossy_edges=3),
             )
 
+    def test_limit_error_names_graph_and_window(self, braided):
+        """The cap error must be diagnosable: which pair's installed
+        graph, between which endpoints, in which window hit it."""
+        from repro.simulation.results import ReplayConfig
+
+        contributions = [
+            Contribution(edge, 10.0, 20.0, LinkState(loss_rate=0.5))
+            for edge in braided.edges
+        ]
+        timeline = ConditionTimeline(braided, 100.0, contributions)
+        with pytest.raises(ReliabilityLimitError) as excinfo:
+            replay_flow(
+                braided,
+                timeline,
+                FLOW,
+                SERVICE,
+                make_policy("flooding"),
+                ReplayConfig(max_lossy_edges=3),
+            )
+        message = str(excinfo.value)
+        assert "exceed the exact-enumeration cap" in message
+        assert "graph " in message
+        assert "S -> T" in message
+        assert "pair flooding/" in message
+        assert "window [" in message
+
     def test_default_cap_handles_node_event(self, reference_topology):
         """A full sustained node event (all adjacent links lossy) stays
         within the default enumeration budget for every scheme."""

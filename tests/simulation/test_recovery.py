@@ -97,6 +97,28 @@ class TestRecoveryProbabilities:
                 max_lossy_edges=5,
             )
 
+    def test_latency_callback_read_once_per_edge(self):
+        """Regression: the normal-latency callback must be consulted
+        exactly once per edge.  The enumeration re-reads the stored
+        values; a second invocation of a non-pure callable would let the
+        two reads silently diverge."""
+        calls: dict[tuple, int] = {}
+
+        def counting_latency(edge):
+            calls[edge] = calls.get(edge, 0) + 1
+            return 5.0
+
+        loss_map = {("S", "A"): 0.4, ("A", "T"): 0.3}
+        result = delivery_probabilities_with_recovery(
+            SINGLE, 30.0, counting_latency, losses(loss_map), constant(16.0)
+        )
+        assert set(calls) == set(SINGLE.edges)
+        assert all(count == 1 for count in calls.values()), calls
+        # And the values are the stored ones: same as a pure callable.
+        assert result == delivery_probabilities_with_recovery(
+            SINGLE, 30.0, constant(5.0), losses(loss_map), constant(16.0)
+        )
+
 
 class TestRecoveryReplay:
     def test_replay_halves_quadratically(self, diamond):

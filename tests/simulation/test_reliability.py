@@ -8,7 +8,9 @@ from hypothesis import strategies as st
 
 from repro.core.dgraph import DisseminationGraph
 from repro.simulation.reliability import (
+    DeliveryProbabilities,
     ReliabilityLimitError,
+    classify_delivery_masks,
     delivery_probabilities,
     on_time_probability,
 )
@@ -145,6 +147,41 @@ class TestEdgeCases:
         assert on_time_probability(
             SINGLE, 10.0, constant(1.0), losses({("S", "A"): 0.3})
         ) == pytest.approx(0.7)
+
+
+class TestNoLossyFastPath:
+    """Pin the certain-graph branch: past the all-clean fast path the
+    baseline is always over deadline, so ``on_time`` is exactly 0."""
+
+    def test_no_lossy_edges_late_graph(self):
+        # Two 1 ms hops against a 1.5 ms deadline: certain, but late.
+        classification, read = classify_delivery_masks(
+            SINGLE, 1.5, constant(1.0), constant(0.0)
+        )
+        assert read == []
+        assert classification.certain == DeliveryProbabilities(
+            on_time=0.0, eventually=1.0
+        )
+
+    def test_no_lossy_edges_unreachable(self):
+        # The only outgoing edge is fully dead: never delivered.
+        classification, read = classify_delivery_masks(
+            SINGLE, 1.5, constant(1.0), losses({("S", "A"): 1.0})
+        )
+        assert read == []
+        assert classification.certain == DeliveryProbabilities(
+            on_time=0.0, eventually=0.0
+        )
+
+    def test_no_lossy_edges_on_time(self):
+        # The all-clean fast path fires first: certain (1, 1).
+        classification, read = classify_delivery_masks(
+            SINGLE, 10.0, constant(1.0), constant(0.0)
+        )
+        assert read == []
+        assert classification.certain == DeliveryProbabilities(
+            on_time=1.0, eventually=1.0
+        )
 
 
 class TestAgainstMonteCarlo:
